@@ -1,0 +1,132 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (``ExperimentScale.quick`` by default) and prints the same rows /
+series the paper reports, so the qualitative shape — which method wins,
+by roughly what factor, where the curves bend — can be compared directly.
+
+Set the environment variable ``REPRO_BENCH_SCALE`` to ``default`` or
+``paper`` to run larger versions of the same sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import ExperimentScale  # noqa: E402
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "default":
+        return ExperimentScale.default()
+    scale = ExperimentScale.quick()
+    # Benchmarks should finish in minutes: shrink the workload but keep the
+    # replanning cadence fine enough for the strategies to differentiate.
+    scale.workload_scale = 0.03
+    scale.grid_rows = 5
+    scale.grid_cols = 5
+    scale.history = 4
+    scale.epochs = 3
+    scale.replan_interval = 20.0
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return _selected_scale()
+
+
+@pytest.fixture(scope="session")
+def yueche_workload(bench_scale):
+    from repro.datasets.yueche import generate_yueche
+
+    return generate_yueche(scale=bench_scale.workload_scale, seed=11)
+
+
+@pytest.fixture(scope="session")
+def didi_workload(bench_scale):
+    from repro.datasets.didi import generate_didi
+
+    return generate_didi(scale=bench_scale.workload_scale, seed=23)
+
+
+#: Capture manager handle so figure tables reach the real terminal (and any
+#: ``tee``'d log) even though pytest captures test stdout by default.
+_CAPTURE_MANAGER = [None]
+
+#: File that accumulates every printed table of the benchmark session.
+RESULTS_FILE = Path(__file__).resolve().parent / "results" / "figures.txt"
+
+
+def pytest_configure(config):
+    _CAPTURE_MANAGER[0] = config.pluginmanager.getplugin("capturemanager")
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_FILE.write_text("")
+
+
+def print_figure(title: str, rows, columns) -> None:
+    """Print a figure's series as an aligned table (the paper's rows).
+
+    The table is echoed to the real terminal (bypassing pytest's capture) and
+    appended to ``benchmarks/results/figures.txt`` so a ``tee``'d benchmark
+    log and the results file both contain every reproduced series.
+    """
+    from repro.experiments.reporting import format_table
+
+    text = "\n" + format_table(rows, columns, title=title) + "\n"
+    capman = _CAPTURE_MANAGER[0]
+    if capman is not None:
+        with capman.global_and_fixture_disabled():
+            print(text)
+    else:
+        print(text)
+    with open(RESULTS_FILE, "a") as handle:
+        handle.write(text)
+
+
+@pytest.fixture(scope="session")
+def yueche_experiment(bench_scale):
+    """Assignment-experiment driver for the Yueche-like workload.
+
+    Session-scoped so the DDGNN demand predictor is trained once and shared
+    by every figure benchmark.
+    """
+    from repro.experiments.assignment_experiments import AssignmentExperiment
+
+    experiment = AssignmentExperiment(dataset="yueche", scale=bench_scale, delta_t=30.0, k=3)
+    experiment.predicted_tasks()
+    return experiment
+
+
+@pytest.fixture(scope="session")
+def didi_experiment(bench_scale):
+    """Assignment-experiment driver for the DiDi-like workload."""
+    from repro.experiments.assignment_experiments import AssignmentExperiment
+
+    experiment = AssignmentExperiment(dataset="didi", scale=bench_scale, delta_t=30.0, k=3)
+    experiment.predicted_tasks()
+    return experiment
+
+
+def run_assignment_figure(experiment, parameter: str, values, methods, title: str) -> list:
+    """Run one Fig. 7-11 sweep and print its two panels (assigned, CPU)."""
+    rows = experiment.run_sweep(parameter, values, methods=methods)
+    dicts = [row.as_dict() for row in rows]
+    from repro.experiments.reporting import pivot_rows
+
+    assigned = pivot_rows(dicts, index="value", column="method", value="assigned_tasks")
+    cpu = pivot_rows(dicts, index="value", column="method", value="mean_cpu_time")
+    print_figure(f"{title} — number of assigned tasks", assigned, ["value", *methods])
+    print_figure(f"{title} — CPU time per planning instance (s)", cpu, ["value", *methods])
+    return rows

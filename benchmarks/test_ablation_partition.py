@@ -1,0 +1,43 @@
+"""Ablation: worker dependency separation (graph partition + RTC) on/off."""
+
+from conftest import print_figure
+
+from repro.assignment.planner import PlannerConfig, TaskPlanner
+from test_ablation_tvf import _planning_snapshot
+
+
+def test_ablation_worker_dependency_separation(benchmark, yueche_workload):
+    workers, tasks, now = _planning_snapshot(yueche_workload)
+    travel = yueche_workload.instance.travel
+    budget = 20_000
+
+    partitioned = TaskPlanner(
+        PlannerConfig(max_reachable=8, max_sequence_length=3, node_budget=budget, use_partition=True),
+        travel=travel,
+    )
+    flat = TaskPlanner(
+        PlannerConfig(max_reachable=8, max_sequence_length=3, node_budget=budget, use_partition=False),
+        travel=travel,
+    )
+
+    def run_partitioned():
+        return partitioned.plan(workers, tasks, now)
+
+    with_partition = benchmark.pedantic(run_partitioned, rounds=1, iterations=1)
+    without_partition = flat.plan(workers, tasks, now)
+
+    rows = [
+        {"variant": "with partition (WDS)", "planned_tasks": with_partition.planned_tasks,
+         "nodes_expanded": with_partition.nodes_expanded,
+         "components": with_partition.num_components},
+        {"variant": "without partition", "planned_tasks": without_partition.planned_tasks,
+         "nodes_expanded": without_partition.nodes_expanded,
+         "components": without_partition.num_components},
+    ]
+    print_figure("Ablation — worker dependency separation",
+                 rows, ["variant", "planned_tasks", "nodes_expanded", "components"])
+
+    # Separation must not lose assignment quality, and under the same node
+    # budget it should not need more expansions than the flat search.
+    assert with_partition.planned_tasks >= without_partition.planned_tasks * 0.9
+    assert with_partition.nodes_expanded <= without_partition.nodes_expanded * 1.5

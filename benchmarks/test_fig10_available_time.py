@@ -1,0 +1,36 @@
+"""Figure 10: effect of the workers' availability window (off - on)."""
+
+from conftest import run_assignment_figure
+
+from repro.experiments.config import ASSIGNMENT_METHODS
+
+METHODS = list(ASSIGNMENT_METHODS)
+
+#: Hours, as in Table III (subset keeping the end points and the default).
+AVAILABLE_HOURS = [0.25, 1.0, 1.25]
+
+
+def test_fig10_effect_of_available_time_yueche(benchmark, yueche_experiment):
+    def run():
+        return run_assignment_figure(
+            yueche_experiment, "available_time", AVAILABLE_HOURS, METHODS,
+            "Fig. 10(a)/(b) — effect of worker availability (Yueche)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        assert series[-1] >= series[0], f"{method}: longer availability must not assign fewer tasks"
+
+
+def test_fig10_effect_of_available_time_didi(benchmark, didi_experiment):
+    def run():
+        return run_assignment_figure(
+            didi_experiment, "available_time", AVAILABLE_HOURS, METHODS,
+            "Fig. 10(c)/(d) — effect of worker availability (DiDi)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        assert series[-1] >= series[0], method

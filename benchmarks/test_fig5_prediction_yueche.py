@@ -1,0 +1,74 @@
+"""Figure 5: task-demand prediction on Yueche — AP, training and testing time
+versus the time interval, for LSTM, Graph-WaveNet and DDGNN."""
+
+from conftest import print_figure
+
+from repro.experiments.config import PREDICTION_METHODS
+from repro.experiments.prediction_experiments import PredictionExperiment
+from repro.experiments.reporting import pivot_rows
+
+#: The paper sweeps delta_T in {5..9} seconds on the full trace; at benchmark
+#: scale the trace is sparser, so the sweep uses proportionally longer
+#: intervals while keeping the same structure (three increasing values).
+DELTA_T_VALUES = (30.0, 45.0, 60.0)
+
+
+def test_fig5_prediction_yueche(benchmark, bench_scale):
+    experiment = PredictionExperiment(
+        dataset="yueche", scale=bench_scale, k=3, methods=PREDICTION_METHODS, seed=0
+    )
+
+    def run_sweep():
+        return experiment.run(DELTA_T_VALUES)
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    dicts = [row.as_dict() for row in rows]
+    methods = list(PREDICTION_METHODS)
+    print_figure(
+        "Fig. 5(a) — Average Precision vs delta_T (Yueche)",
+        pivot_rows(dicts, "delta_t", "method", "average_precision"),
+        ["delta_t", *methods],
+    )
+    print_figure(
+        "Fig. 5(c) — training time (s) vs delta_T (Yueche)",
+        pivot_rows(dicts, "delta_t", "method", "training_time"),
+        ["delta_t", *methods],
+    )
+    print_figure(
+        "Fig. 5(d) — testing time (s) vs delta_T (Yueche)",
+        pivot_rows(dicts, "delta_t", "method", "testing_time"),
+        ["delta_t", *methods],
+    )
+
+    # Shape checks: every method produces a sane AP, and DDGNN is not
+    # dominated by the weakest baseline on average (the paper's headline).
+    by_method = {m: [r.average_precision for r in rows if r.method == m] for m in methods}
+    for method, values in by_method.items():
+        assert all(0.0 <= v <= 1.0 for v in values), method
+    mean = {m: sum(v) / len(v) for m, v in by_method.items()}
+    assert mean["DDGNN"] >= min(mean.values()) - 0.05
+
+
+def test_fig5b_assigned_tasks_by_predictor(benchmark, bench_scale):
+    """Fig. 5(b): tasks assigned by DTA+TP when planning with each predictor.
+
+    The paper reports this panel for every delta_T; the assignment replay is
+    the expensive part, so the benchmark reproduces it at the default
+    interval only — the paper itself notes the panel is flat in delta_T.
+    """
+    experiment = PredictionExperiment(
+        dataset="yueche", scale=bench_scale, k=3, methods=PREDICTION_METHODS,
+        seed=0, include_assignment=True,
+    )
+
+    def run_single():
+        return experiment.run_for_delta_t(DELTA_T_VALUES[0])
+
+    rows = benchmark.pedantic(run_single, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 5(b) — number of assigned tasks by predictor (Yueche)",
+        [{"method": r.method, "assigned_tasks": r.assigned_tasks} for r in rows],
+        ["method", "assigned_tasks"],
+    )
+    for row in rows:
+        assert row.assigned_tasks is not None and row.assigned_tasks >= 0

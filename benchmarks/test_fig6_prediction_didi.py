@@ -1,0 +1,63 @@
+"""Figure 6: task-demand prediction on DiDi — AP, training and testing time
+versus the time interval, for LSTM, Graph-WaveNet and DDGNN."""
+
+from conftest import print_figure
+
+from repro.experiments.config import PREDICTION_METHODS
+from repro.experiments.prediction_experiments import PredictionExperiment
+from repro.experiments.reporting import pivot_rows
+
+DELTA_T_VALUES = (30.0, 45.0, 60.0)
+
+
+def test_fig6_prediction_didi(benchmark, bench_scale):
+    experiment = PredictionExperiment(
+        dataset="didi", scale=bench_scale, k=3, methods=PREDICTION_METHODS, seed=1
+    )
+
+    def run_sweep():
+        return experiment.run(DELTA_T_VALUES)
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    dicts = [row.as_dict() for row in rows]
+    methods = list(PREDICTION_METHODS)
+    print_figure(
+        "Fig. 6(a) — Average Precision vs delta_T (DiDi)",
+        pivot_rows(dicts, "delta_t", "method", "average_precision"),
+        ["delta_t", *methods],
+    )
+    print_figure(
+        "Fig. 6(c) — training time (s) vs delta_T (DiDi)",
+        pivot_rows(dicts, "delta_t", "method", "training_time"),
+        ["delta_t", *methods],
+    )
+    print_figure(
+        "Fig. 6(d) — testing time (s) vs delta_T (DiDi)",
+        pivot_rows(dicts, "delta_t", "method", "testing_time"),
+        ["delta_t", *methods],
+    )
+
+    for row in rows:
+        assert 0.0 <= row.average_precision <= 1.0
+        assert row.training_time > 0.0
+        assert row.testing_time >= 0.0
+
+
+def test_fig6b_assigned_tasks_by_predictor(benchmark, bench_scale):
+    """Fig. 6(b): tasks assigned by DTA+TP when planning with each predictor."""
+    experiment = PredictionExperiment(
+        dataset="didi", scale=bench_scale, k=3, methods=PREDICTION_METHODS,
+        seed=1, include_assignment=True,
+    )
+
+    def run_single():
+        return experiment.run_for_delta_t(DELTA_T_VALUES[0])
+
+    rows = benchmark.pedantic(run_single, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 6(b) — number of assigned tasks by predictor (DiDi)",
+        [{"method": r.method, "assigned_tasks": r.assigned_tasks} for r in rows],
+        ["method", "assigned_tasks"],
+    )
+    for row in rows:
+        assert row.assigned_tasks is not None and row.assigned_tasks >= 0

@@ -1,0 +1,45 @@
+"""Figure 7: effect of the number of tasks |S| on assigned tasks and CPU time."""
+
+from conftest import run_assignment_figure
+
+from repro.experiments.config import ASSIGNMENT_METHODS
+
+METHODS = list(ASSIGNMENT_METHODS)
+
+
+def _task_values(experiment):
+    """Three |S| levels spanning the generated workload, mirroring Table III."""
+    total = experiment.workload().instance.num_tasks
+    return [max(1, int(total * f)) for f in (0.6, 0.8, 1.0)]
+
+
+def test_fig7_effect_of_num_tasks_yueche(benchmark, yueche_experiment):
+    values = _task_values(yueche_experiment)
+
+    def run():
+        return run_assignment_figure(
+            yueche_experiment, "num_tasks", values, METHODS,
+            "Fig. 7(a)/(b) — effect of |S| (Yueche)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Shape: growing |S| (nested task subsets) should grow assigned tasks,
+    # allowing a small tolerance for the myopic baselines.
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        assert series[-1] >= series[0] * 0.85, f"{method} should gain tasks as |S| grows"
+
+
+def test_fig7_effect_of_num_tasks_didi(benchmark, didi_experiment):
+    values = _task_values(didi_experiment)
+
+    def run():
+        return run_assignment_figure(
+            didi_experiment, "num_tasks", values, METHODS,
+            "Fig. 7(c)/(d) — effect of |S| (DiDi)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        assert series[-1] >= series[0] * 0.85, method

@@ -1,0 +1,44 @@
+"""Figure 8: effect of the number of workers |W| on assigned tasks and CPU time."""
+
+from conftest import run_assignment_figure
+
+from repro.experiments.config import ASSIGNMENT_METHODS
+
+METHODS = list(ASSIGNMENT_METHODS)
+
+
+def _worker_values(experiment):
+    total = experiment.workload().instance.num_workers
+    return sorted({max(1, int(total * f)) for f in (0.4, 0.7, 1.0)})
+
+
+def test_fig8_effect_of_num_workers_yueche(benchmark, yueche_experiment):
+    values = _worker_values(yueche_experiment)
+
+    def run():
+        return run_assignment_figure(
+            yueche_experiment, "num_workers", values, METHODS,
+            "Fig. 8(a)/(b) — effect of |W| (Yueche)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Shape: with the full worker pool every method assigns at least as many
+    # tasks as with the smallest pool.
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        assert series[-1] >= series[0] * 0.85, method
+
+
+def test_fig8_effect_of_num_workers_didi(benchmark, didi_experiment):
+    values = _worker_values(didi_experiment)
+
+    def run():
+        return run_assignment_figure(
+            didi_experiment, "num_workers", values, METHODS,
+            "Fig. 8(c)/(d) — effect of |W| (DiDi)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        assert series[-1] >= series[0] * 0.85, method

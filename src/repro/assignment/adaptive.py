@@ -1,0 +1,181 @@
+"""The adaptive assignment algorithm (Algorithm 3).
+
+:class:`AdaptiveAssigner` consumes the arrival stream of workers and tasks
+and maintains the planned assignment ``PA`` by re-running the Task Planning
+Assignment (Alg. 4) whenever a new worker or task appears.  Idle workers
+are dispatched on the first task of their planned sequence; completed tasks
+and expired workers/tasks are removed.
+
+This is the reference, event-by-event implementation of the paper's
+algorithm.  The benchmark harness uses the richer engine in
+:mod:`repro.simulation`, which supports all five evaluated strategies; both
+share the dispatch semantics and are cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.assignment.planner import PlannerConfig, TaskPlanner
+from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.events import ArrivalEvent
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.travel import EuclideanTravelModel, TravelModel
+
+
+@dataclass
+class _WorkerState:
+    """Mutable execution state of one worker inside the adaptive loop."""
+
+    worker: Worker
+    busy_until: float = 0.0
+    completed: int = 0
+
+    def is_idle(self, now: float) -> bool:
+        return now >= self.busy_until and self.worker.is_available(now)
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Outcome of an adaptive run over a full event stream."""
+
+    assigned_tasks: int
+    completed_by_worker: Dict[int, int]
+    replans: int
+    final_assignment: Assignment = field(default_factory=Assignment)
+
+
+class AdaptiveAssigner:
+    """Algorithm 3: adaptive task assignment over an arrival stream."""
+
+    def __init__(
+        self,
+        planner: Optional[TaskPlanner] = None,
+        travel: Optional[TravelModel] = None,
+        predictor=None,
+        predicted_task_start_id: int = 10_000_000,
+    ) -> None:
+        self.travel = travel or EuclideanTravelModel(speed=1.0)
+        self.planner = planner or TaskPlanner(PlannerConfig(), travel=self.travel)
+        self.predictor = predictor
+        self._predicted_task_start_id = predicted_task_start_id
+        # Mutable platform state.
+        self._workers: Dict[int, _WorkerState] = {}
+        self._pending_tasks: Dict[int, Task] = {}
+        self._predicted_tasks: Dict[int, Task] = {}
+        self._assigned_task_ids: set = set()
+        self._replans = 0
+
+    # ------------------------------------------------------------------ #
+    # State inspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def assigned_count(self) -> int:
+        return len(self._assigned_task_ids)
+
+    def pending_tasks(self, now: float) -> List[Task]:
+        return [task for task in self._pending_tasks.values() if not task.is_expired(now)]
+
+    def idle_workers(self, now: float) -> List[Worker]:
+        return [
+            state.worker for state in self._workers.values() if state.is_idle(now)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 3 main loop
+    # ------------------------------------------------------------------ #
+    def run(self, events: Sequence[ArrivalEvent]) -> AdaptiveRunResult:
+        """Process a full, time-ordered arrival stream."""
+        for event in events:
+            self.process_event(event)
+        return AdaptiveRunResult(
+            assigned_tasks=self.assigned_count,
+            completed_by_worker={wid: st.completed for wid, st in self._workers.items()},
+            replans=self._replans,
+        )
+
+    def process_event(self, event: ArrivalEvent) -> None:
+        """Handle one arrival: update state, replan, dispatch, clean up."""
+        now = event.time
+        if event.is_worker:
+            worker: Worker = event.payload
+            self._workers[worker.worker_id] = _WorkerState(worker=worker, busy_until=now)
+        else:
+            task: Task = event.payload
+            if not task.predicted:
+                self._pending_tasks[task.task_id] = task
+
+        plan = self._replan(now)
+        self._dispatch(plan, now)
+        self._garbage_collect(now)
+
+    # ------------------------------------------------------------------ #
+    def _replan(self, now: float) -> Assignment:
+        """Lines 3-9: recompute the planned assignment PA via TPA."""
+        idle = self.idle_workers(now)
+        tasks = self.pending_tasks(now)
+        if self.predictor is not None:
+            tasks = tasks + self._current_predicted_tasks(now)
+        if not idle or not tasks:
+            return Assignment()
+        self._replans += 1
+        return self.planner.plan(idle, tasks, now).assignment
+
+    def _current_predicted_tasks(self, now: float) -> List[Task]:
+        return [task for task in self._predicted_tasks.values() if not task.is_expired(now)]
+
+    def inject_predicted_tasks(self, tasks: Sequence[Task]) -> None:
+        """Register externally generated predicted tasks (from a DemandPredictor)."""
+        for task in tasks:
+            if not task.predicted:
+                raise ValueError("inject_predicted_tasks expects predicted tasks")
+            self._predicted_tasks[task.task_id] = task
+
+    def _dispatch(self, plan: Assignment, now: float) -> None:
+        """Lines 10-14: idle workers execute the first task of their plan."""
+        for worker_plan in plan:
+            state = self._workers.get(worker_plan.worker.worker_id)
+            if state is None or not state.is_idle(now):
+                continue
+            first_real = self._first_real_task(worker_plan, now)
+            if first_real is None:
+                continue
+            travel_time = self.travel.time(state.worker.location, first_real.location)
+            completion = now + travel_time
+            if completion >= first_real.expiration_time or completion >= state.worker.off_time:
+                continue
+            # Commit: task assigned, worker busy and relocated.
+            self._assigned_task_ids.add(first_real.task_id)
+            self._pending_tasks.pop(first_real.task_id, None)
+            state.busy_until = completion
+            state.completed += 1
+            state.worker = state.worker.moved_to(first_real.location)
+
+    def _first_real_task(self, worker_plan: WorkerPlan, now: float) -> Optional[Task]:
+        """First non-predicted, non-expired task of the planned sequence."""
+        for task in worker_plan.sequence:
+            if task.predicted:
+                continue
+            if task.is_expired(now):
+                continue
+            if task.task_id in self._assigned_task_ids:
+                continue
+            return task
+        return None
+
+    def _garbage_collect(self, now: float) -> None:
+        """Line 15: drop expired tasks and workers past their offline time."""
+        expired_tasks = [tid for tid, task in self._pending_tasks.items() if task.is_expired(now)]
+        for tid in expired_tasks:
+            del self._pending_tasks[tid]
+        expired_predicted = [
+            tid for tid, task in self._predicted_tasks.items() if task.is_expired(now)
+        ]
+        for tid in expired_predicted:
+            del self._predicted_tasks[tid]
+        offline = [wid for wid, state in self._workers.items() if now >= state.worker.off_time]
+        for wid in offline:
+            del self._workers[wid]

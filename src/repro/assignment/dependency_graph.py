@@ -1,0 +1,59 @@
+"""Worker Dependency Graph construction (Section IV-A.2).
+
+Nodes are workers; an edge connects two workers iff their reachable task
+sets intersect — assigning a shared task to one worker constrains the
+other, so they must be solved jointly.  Workers in different connected
+components can be assigned independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import networkx as nx
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+def build_worker_dependency_graph(
+    reachable_by_worker: Dict[int, Sequence[Task]],
+) -> nx.Graph:
+    """Build the WDG from per-worker reachable task sets.
+
+    Parameters
+    ----------
+    reachable_by_worker:
+        Mapping from worker id to that worker's reachable tasks ``RS_w``.
+
+    Returns
+    -------
+    An undirected :class:`networkx.Graph` whose nodes are worker ids.  The
+    graph always contains every worker as a node, even isolated ones.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(reachable_by_worker.keys())
+    # Invert: task id -> workers that can reach it, then connect all pairs
+    # sharing a task.  This is O(sum_t |workers(t)|^2) which is much cheaper
+    # than the naive O(|W|^2 |RS|) pairwise comparison on sparse instances.
+    task_to_workers: Dict[int, List[int]] = {}
+    for worker_id, tasks in reachable_by_worker.items():
+        for task in tasks:
+            task_to_workers.setdefault(task.task_id, []).append(worker_id)
+    for workers in task_to_workers.values():
+        for i in range(len(workers)):
+            for j in range(i + 1, len(workers)):
+                graph.add_edge(workers[i], workers[j])
+    return graph
+
+
+def dependency_components(graph: nx.Graph) -> List[List[int]]:
+    """Connected components of the WDG as lists of worker ids."""
+    return [sorted(component) for component in nx.connected_components(graph)]
+
+
+def are_independent(graph: nx.Graph, worker_a: int, worker_b: int) -> bool:
+    """Whether two workers can be assigned independently (no edge)."""
+    if worker_a == worker_b:
+        return False
+    return not graph.has_edge(worker_a, worker_b)

@@ -1,0 +1,214 @@
+"""Exact depth-first search over the partition tree (Algorithm 1).
+
+``dfsearch`` computes, for a partition-tree node, the maximum number of
+tasks assignable to the workers of that node and its descendants, trying
+every (worker, maximal-valid-sequence) combination and recursing on the
+remaining workers and tasks.  Besides the optimum it returns the realising
+assignment and, optionally, the ``(state, action, opt)`` experience tuples
+used to train the Task Value Function.
+
+The worst case is exponential; a node budget bounds the explored search
+tree and memoisation collapses repeated (workers, tasks) sub-problems, so
+the search degrades gracefully to a best-effort answer on large clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.assignment.tree import PartitionNode
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+@dataclass
+class SearchContext:
+    """Shared state of one DFSearch invocation.
+
+    Attributes
+    ----------
+    sequences_by_worker:
+        ``Q_w`` for every worker id (maximal valid task sequences).
+    workers_by_id:
+        Worker lookup.
+    node_budget:
+        Maximum number of recursive calls before falling back to the
+        best-found-so-far answer.
+    collect_experience:
+        Whether to record ``(state, action, opt)`` tuples for TVF training.
+    """
+
+    sequences_by_worker: Dict[int, List[TaskSequence]]
+    workers_by_id: Dict[int, Worker]
+    node_budget: int = 20000
+    collect_experience: bool = False
+    nodes_expanded: int = 0
+    experience: List[Tuple[dict, dict, float]] = field(default_factory=list)
+    _memo: Dict[Tuple[FrozenSet[int], FrozenSet[int]], Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]] = field(
+        default_factory=dict
+    )
+
+    def out_of_budget(self) -> bool:
+        return self.nodes_expanded >= self.node_budget
+
+
+@dataclass
+class DFSearchResult:
+    """Outcome of a DFSearch run."""
+
+    opt: int
+    selections: List[Tuple[int, Tuple[int, ...]]]
+    nodes_expanded: int
+    experience: List[Tuple[dict, dict, float]] = field(default_factory=list)
+
+    def as_assignment_map(self) -> Dict[int, Tuple[int, ...]]:
+        """Worker id -> tuple of assigned task ids."""
+        return {worker_id: task_ids for worker_id, task_ids in self.selections if task_ids}
+
+
+def _state_snapshot(worker_ids: Sequence[int], task_ids: FrozenSet[int], context: SearchContext) -> dict:
+    """Compact state description stored in experience tuples."""
+    return {
+        "num_workers": len(worker_ids),
+        "num_tasks": len(task_ids),
+        "worker_ids": tuple(sorted(worker_ids)),
+        "task_ids": tuple(sorted(task_ids)),
+    }
+
+
+def _action_snapshot(worker: Worker, sequence: TaskSequence) -> dict:
+    """Compact action description stored in experience tuples."""
+    return {
+        "worker_id": worker.worker_id,
+        "task_ids": sequence.task_ids,
+        "sequence_length": len(sequence),
+    }
+
+
+def _search(
+    node: PartitionNode,
+    task_ids: FrozenSet[int],
+    pending_workers: Tuple[int, ...],
+    context: SearchContext,
+) -> Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]:
+    """Recursive core of Algorithm 1.
+
+    ``pending_workers`` are the workers of ``node`` not yet decided; when it
+    is empty the search recurses into the children, whose sub-problems are
+    independent of each other by construction of the partition tree.
+    """
+    context.nodes_expanded += 1
+    memo_key = (frozenset(pending_workers), task_ids)
+    cached = context._memo.get(memo_key) if not context.collect_experience else None
+    if cached is not None:
+        return cached
+
+    if not pending_workers:
+        total = 0
+        selections: List[Tuple[int, Tuple[int, ...]]] = []
+        remaining = task_ids
+        for child in node.children:
+            child_opt, child_sel = _search(child, remaining, tuple(child.workers), context)
+            total += child_opt
+            selections.extend(child_sel)
+            used = {tid for _, tids in child_sel for tid in tids}
+            remaining = remaining - frozenset(used)
+        result = (total, tuple(selections))
+        if not context.collect_experience:
+            context._memo[memo_key] = result
+        return result
+
+    worker_id, *rest = pending_workers
+    rest_tuple = tuple(rest)
+    worker = context.workers_by_id[worker_id]
+    candidate_sequences = context.sequences_by_worker.get(worker_id, [])
+
+    # Option 0: assign this worker nothing.
+    best_opt, best_selection = _search(node, task_ids, rest_tuple, context)
+    best_selection = ((worker_id, ()),) + best_selection
+
+    if not context.out_of_budget():
+        for sequence in candidate_sequences:
+            sequence_ids = frozenset(sequence.task_ids)
+            if not sequence_ids or not sequence_ids <= task_ids:
+                continue
+            sub_opt, sub_selection = _search(node, task_ids - sequence_ids, rest_tuple, context)
+            value = sub_opt + len(sequence_ids)
+            if context.collect_experience:
+                descendant = node.descendant_workers()
+                state = _state_snapshot(list(pending_workers) + descendant, task_ids, context)
+                action = _action_snapshot(worker, sequence)
+                context.experience.append((state, action, float(value)))
+            if value > best_opt:
+                best_opt = value
+                best_selection = ((worker_id, sequence.task_ids),) + sub_selection
+            if context.out_of_budget():
+                break
+
+    result = (best_opt, best_selection)
+    if not context.collect_experience:
+        context._memo[memo_key] = result
+    return result
+
+
+def dfsearch(
+    node: PartitionNode,
+    tasks: Sequence[Task],
+    sequences_by_worker: Dict[int, List[TaskSequence]],
+    workers_by_id: Dict[int, Worker],
+    node_budget: int = 20000,
+    collect_experience: bool = False,
+) -> DFSearchResult:
+    """Run Algorithm 1 on a partition-tree node.
+
+    Parameters
+    ----------
+    node:
+        Root of the (sub)tree to search.
+    tasks:
+        Currently unassigned tasks available to this sub-problem.
+    sequences_by_worker:
+        Pre-computed ``Q_w`` for every worker appearing in the tree.
+    workers_by_id:
+        Worker lookup table.
+    node_budget:
+        Limit on recursive expansions (graceful degradation on huge nodes).
+    collect_experience:
+        Record ``(state, action, opt)`` tuples for TVF training; disables
+        memoisation so every visited state is recorded with its true value.
+    """
+    context = SearchContext(
+        sequences_by_worker=sequences_by_worker,
+        workers_by_id=workers_by_id,
+        node_budget=node_budget,
+        collect_experience=collect_experience,
+    )
+    task_ids = frozenset(task.task_id for task in tasks)
+    opt, selections = _search(node, task_ids, tuple(node.workers), context)
+    return DFSearchResult(
+        opt=opt,
+        selections=[sel for sel in selections],
+        nodes_expanded=context.nodes_expanded,
+        experience=context.experience,
+    )
+
+
+def collect_training_experience(
+    node: PartitionNode,
+    tasks: Sequence[Task],
+    sequences_by_worker: Dict[int, List[TaskSequence]],
+    workers_by_id: Dict[int, Worker],
+    node_budget: int = 20000,
+) -> List[Tuple[dict, dict, float]]:
+    """Convenience wrapper returning only the experience tuples ``U``."""
+    result = dfsearch(
+        node,
+        tasks,
+        sequences_by_worker,
+        workers_by_id,
+        node_budget=node_budget,
+        collect_experience=True,
+    )
+    return result.experience

@@ -1,0 +1,221 @@
+"""Task Planning Assignment — the TPA procedure of Algorithm 4.
+
+Given the current workers and (current + predicted) tasks, the planner
+
+1. computes every worker's reachable task set and maximal valid task
+   sequences ``Q_w``,
+2. builds the worker dependency graph,
+3. partitions each connected component with MCS cliques and organises the
+   clusters into a tree (RTC),
+4. searches each tree for the best combination of sequences — exactly
+   (DFSearch, Alg. 1) or guided by the Task Value Function
+   (DFSearch_TVF, Alg. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.assignment.dependency_graph import build_worker_dependency_graph
+from repro.assignment.dfsearch import dfsearch
+from repro.assignment.dfsearch_tvf import dfsearch_tvf
+from repro.assignment.reachability import reachable_tasks
+from repro.assignment.sequences import maximal_valid_sequences
+from repro.assignment.tree import PartitionNode, build_partition_tree
+from repro.assignment.tvf import TaskValueFunction
+from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.travel import EuclideanTravelModel, TravelModel
+
+
+@dataclass
+class PlannerConfig:
+    """Knobs controlling the TPA pipeline.
+
+    Attributes
+    ----------
+    max_reachable:
+        Cap on the reachable-task set per worker (nearest tasks kept).
+    max_sequence_length:
+        Maximum length of a maximal valid task sequence.
+    max_sequences:
+        Cap on ``|Q_w|`` per worker.
+    node_budget:
+        DFSearch expansion budget per partition-tree root.
+    use_tvf:
+        Use the TVF-guided search (Alg. 2) instead of exact DFSearch.
+    tvf_min_workers:
+        With ``use_tvf``, components smaller than this are still solved
+        exactly — the TVF exists to prune *large* search spaces, and the
+        exact search on a handful of workers is already cheap.
+    use_partition:
+        Apply worker dependency separation; disabling it (ablation) puts
+        every worker of a connected component into one flat cluster.
+    """
+
+    max_reachable: int = 10
+    max_sequence_length: int = 3
+    max_sequences: int = 32
+    node_budget: int = 20000
+    use_tvf: bool = False
+    tvf_min_workers: int = 4
+    use_partition: bool = True
+
+
+@dataclass
+class PlanningOutcome:
+    """Planner output: the assignment plus search diagnostics."""
+
+    assignment: Assignment
+    planned_tasks: int
+    nodes_expanded: int
+    num_components: int
+    experience: List = field(default_factory=list)
+
+
+class TaskPlanner:
+    """Algorithm 4: compute the optimal planned assignment ``PA``."""
+
+    def __init__(
+        self,
+        config: Optional[PlannerConfig] = None,
+        travel: Optional[TravelModel] = None,
+        tvf: Optional[TaskValueFunction] = None,
+    ) -> None:
+        self.config = config or PlannerConfig()
+        self.travel = travel or EuclideanTravelModel(speed=1.0)
+        self.tvf = tvf
+        if self.config.use_tvf and self.tvf is None:
+            self.tvf = TaskValueFunction()
+
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        now: float,
+        collect_experience: bool = False,
+    ) -> PlanningOutcome:
+        """Compute the planned assignment for the given snapshot.
+
+        Parameters
+        ----------
+        workers:
+            Workers currently able to accept a plan (idle and online).
+        tasks:
+            Unassigned tasks, possibly including predicted tasks.
+        now:
+            Current platform time.
+        collect_experience:
+            When True the exact search records ``(state, action, opt)``
+            tuples for TVF training (forces exact DFSearch).
+        """
+        config = self.config
+        active_tasks = [task for task in tasks if not task.is_expired(now)]
+        workers_by_id = {worker.worker_id: worker for worker in workers}
+        tasks_by_id = {task.task_id: task for task in active_tasks}
+
+        if not workers or not active_tasks:
+            return PlanningOutcome(Assignment(), 0, 0, 0)
+
+        # Lines 2-5 of Alg. 4: RS_w and Q_w for every worker.  Predicted
+        # tasks never displace real, currently-open tasks from a worker's
+        # reachable set: they only guide workers that have no real task to
+        # serve (repositioning towards future demand), which is how the
+        # paper uses the prediction signal.
+        real_tasks = [task for task in active_tasks if not task.predicted]
+        reachable_by_worker: Dict[int, List] = {}
+        for worker in workers:
+            reachable = reachable_tasks(
+                worker, real_tasks, now, self.travel, max_tasks=config.max_reachable
+            )
+            if not reachable and len(real_tasks) != len(active_tasks):
+                reachable = reachable_tasks(
+                    worker, active_tasks, now, self.travel, max_tasks=config.max_reachable
+                )
+            reachable_by_worker[worker.worker_id] = reachable
+        sequences_by_worker: Dict[int, List[TaskSequence]] = {
+            worker.worker_id: maximal_valid_sequences(
+                worker,
+                reachable_by_worker[worker.worker_id],
+                now,
+                self.travel,
+                max_length=config.max_sequence_length,
+                max_sequences=config.max_sequences,
+            )
+            for worker in workers
+        }
+
+        # Line 6: worker dependency graph.
+        graph = build_worker_dependency_graph(reachable_by_worker)
+
+        # Lines 7-10: per-component partition, tree and search.
+        if config.use_partition:
+            tree = build_partition_tree(graph)
+            roots = tree.roots
+        else:
+            import networkx as nx
+
+            roots = [
+                PartitionNode(workers=sorted(component))
+                for component in nx.connected_components(graph)
+            ]
+
+        assignment = Assignment()
+        planned = 0
+        nodes_expanded = 0
+        experience: List = []
+        use_guided = config.use_tvf and not collect_experience and self.tvf is not None
+
+        for root in roots:
+            if use_guided and len(root.all_workers()) >= config.tvf_min_workers:
+                result = dfsearch_tvf(
+                    root, active_tasks, sequences_by_worker, workers_by_id, self.tvf
+                )
+            else:
+                result = dfsearch(
+                    root,
+                    active_tasks,
+                    sequences_by_worker,
+                    workers_by_id,
+                    node_budget=config.node_budget,
+                    collect_experience=collect_experience,
+                )
+                experience.extend(result.experience)
+            nodes_expanded += result.nodes_expanded
+            for worker_id, task_ids in result.selections:
+                if not task_ids:
+                    continue
+                worker = workers_by_id[worker_id]
+                sequence_tasks = tuple(tasks_by_id[tid] for tid in task_ids)
+                assignment.add(WorkerPlan(worker, TaskSequence(worker, sequence_tasks)))
+                planned += len(task_ids)
+
+        return PlanningOutcome(
+            assignment=assignment,
+            planned_tasks=planned,
+            nodes_expanded=nodes_expanded,
+            num_components=len(roots),
+            experience=experience,
+        )
+
+    # ------------------------------------------------------------------ #
+    def train_tvf(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        now: float,
+        epochs: int = 20,
+    ) -> List[float]:
+        """Collect DFSearch experience on a snapshot and fit the TVF on it."""
+        outcome = self.plan(workers, tasks, now, collect_experience=True)
+        if not outcome.experience:
+            return []
+        if self.tvf is None:
+            self.tvf = TaskValueFunction()
+        workers_by_id = {worker.worker_id: worker for worker in workers}
+        tasks_by_id = {task.task_id: task for task in tasks}
+        return self.tvf.fit(outcome.experience, workers_by_id, tasks_by_id, epochs=epochs)

@@ -1,0 +1,124 @@
+"""Reachable-task computation (Section IV-A.1).
+
+A task ``s`` is *reachable* for worker ``w`` at time ``t_now`` iff
+
+i.   the worker can arrive before the task expires:
+     ``c(w.l, s.l) <= s.e - t_now``,
+ii.  the trip fits in the worker's remaining availability window ``T_w``:
+     ``c(w.l, s.l) <= T_w``, and
+iii. the task lies within the worker's reachable range:
+     ``td(w.l, s.l) <= w.d``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.index import SpatialIndex
+from repro.spatial.travel import EuclideanTravelModel, TravelModel
+
+
+def is_reachable(
+    worker: Worker,
+    task: Task,
+    now: float,
+    travel: Optional[TravelModel] = None,
+) -> bool:
+    """Whether ``task`` satisfies the three reachability constraints for ``worker``."""
+    travel = travel or EuclideanTravelModel(speed=worker.speed)
+    if task.is_expired(now):
+        return False
+    distance = travel.distance(worker.location, task.location)
+    if distance > worker.reachable_distance + 1e-9:
+        return False
+    travel_time = travel.time(worker.location, task.location)
+    if travel_time > task.expiration_time - now:
+        return False
+    if travel_time > worker.availability_remaining(now):
+        return False
+    return True
+
+
+def reachable_tasks(
+    worker: Worker,
+    tasks: Iterable[Task],
+    now: float,
+    travel: Optional[TravelModel] = None,
+    max_tasks: Optional[int] = None,
+    hops: int = 1,
+) -> List[Task]:
+    """Return the reachable task subset ``RS_w`` for a worker.
+
+    Parameters
+    ----------
+    max_tasks:
+        Optional cap on the result size.  When set, the nearest reachable
+        tasks are kept — this bounds the downstream sequence-enumeration
+        cost for very dense instances without changing which workers
+        compete for which regions.
+    hops:
+        Number of transitive-expansion rounds.  The paper's running example
+        has worker ``w1`` perform ``(s1, s3)`` although ``s3`` is farther
+        than ``w.d`` from ``w1``'s start — ``s3`` becomes reachable *via*
+        ``s1``.  Each round therefore adds unexpired tasks within ``w.d`` of
+        an already-reachable task; the per-leg time/distance feasibility is
+        enforced later during sequence generation.
+    """
+    travel = travel or EuclideanTravelModel(speed=worker.speed)
+    found = [task for task in tasks if is_reachable(worker, task, now, travel)]
+    reachable_set = {task.task_id for task in found}
+    for _ in range(max(hops, 0)):
+        added = False
+        for task in tasks:
+            if task.task_id in reachable_set or task.is_expired(now):
+                continue
+            for anchor in found:
+                if travel.distance(anchor.location, task.location) <= worker.reachable_distance + 1e-9:
+                    found.append(task)
+                    reachable_set.add(task.task_id)
+                    added = True
+                    break
+        if not added:
+            break
+    if max_tasks is not None and len(found) > max_tasks:
+        found.sort(key=lambda task: travel.distance(worker.location, task.location))
+        found = found[:max_tasks]
+    return found
+
+
+def reachable_tasks_indexed(
+    worker: Worker,
+    index: SpatialIndex,
+    tasks_by_id: dict,
+    now: float,
+    travel: Optional[TravelModel] = None,
+    max_tasks: Optional[int] = None,
+) -> List[Task]:
+    """Reachable tasks using a spatial index for the radius pre-filter.
+
+    ``index`` maps task ids to locations; ``tasks_by_id`` resolves ids back
+    to :class:`Task` objects.  Only candidates within the worker's reachable
+    distance are examined in detail, which keeps per-event replanning cheap
+    on large instances.
+    """
+    travel = travel or EuclideanTravelModel(speed=worker.speed)
+    # Widen the pre-filter to two reach radii so one transitive hop is covered.
+    candidate_ids = index.query_radius(worker.location, 2.0 * worker.reachable_distance)
+    candidates = [tasks_by_id[task_id] for task_id in candidate_ids if task_id in tasks_by_id]
+    return reachable_tasks(worker, candidates, now, travel, max_tasks=max_tasks)
+
+
+def mutual_reachability(
+    workers: Sequence[Worker],
+    tasks: Sequence[Task],
+    now: float,
+    travel: Optional[TravelModel] = None,
+    max_tasks_per_worker: Optional[int] = None,
+) -> dict:
+    """Reachable-task sets for every worker, keyed by worker id."""
+    return {
+        worker.worker_id: reachable_tasks(worker, tasks, now, travel, max_tasks=max_tasks_per_worker)
+        for worker in workers
+    }

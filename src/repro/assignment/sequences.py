@@ -1,0 +1,162 @@
+"""Maximal valid task sequence generation (Section IV-A.1, Eq. 10).
+
+For a worker's reachable task set ``RS_w`` we enumerate valid task
+sequences (Definition 4).  Among sequences over the same *set* of tasks,
+only the minimum-completion-time order is kept (Eq. 10), and only sequences
+that cannot be extended by any further reachable task are *maximal*.
+
+The enumeration is exponential in the worst case; ``max_length`` bounds the
+sequence length (workers rarely chain more than a handful of tasks inside
+one availability window) and ``max_sequences`` bounds the output size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.sequence import TaskSequence, arrival_times
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.travel import EuclideanTravelModel, TravelModel
+
+
+def best_order_for_subset(
+    worker: Worker,
+    subset: Sequence[Task],
+    now: float,
+    travel: Optional[TravelModel] = None,
+) -> Optional[TaskSequence]:
+    """Return the minimum-completion-time valid ordering of ``subset``.
+
+    Implements the Eq. 10 criterion by greedy nearest-feasible-next
+    insertion with a fallback to full permutation search for small subsets.
+    Returns ``None`` when no valid ordering exists.
+    """
+    travel = travel or EuclideanTravelModel(speed=worker.speed)
+    subset = list(subset)
+    if not subset:
+        return TaskSequence(worker, ())
+    if len(subset) <= 4:
+        return _best_order_exhaustive(worker, subset, now, travel)
+    return _best_order_greedy(worker, subset, now, travel)
+
+
+def _best_order_exhaustive(
+    worker: Worker, subset: List[Task], now: float, travel: TravelModel
+) -> Optional[TaskSequence]:
+    from itertools import permutations
+
+    best: Optional[Tuple[float, TaskSequence]] = None
+    for order in permutations(subset):
+        sequence = TaskSequence(worker, order)
+        if not sequence.is_valid(now, travel):
+            continue
+        completion = sequence.completion_time(now, travel)
+        if best is None or completion < best[0]:
+            best = (completion, sequence)
+    return best[1] if best else None
+
+
+def _best_order_greedy(
+    worker: Worker, subset: List[Task], now: float, travel: TravelModel
+) -> Optional[TaskSequence]:
+    remaining = list(subset)
+    order: List[Task] = []
+    location = worker.location
+    time = now
+    while remaining:
+        candidates = []
+        for task in remaining:
+            if travel.distance(location, task.location) > worker.reachable_distance + 1e-9:
+                continue
+            arrive = time + travel.time(location, task.location)
+            if arrive < task.expiration_time and arrive < worker.off_time:
+                candidates.append((arrive, task))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda pair: pair[0])
+        arrive, chosen = candidates[0]
+        order.append(chosen)
+        remaining.remove(chosen)
+        location = chosen.location
+        time = arrive
+    sequence = TaskSequence(worker, order)
+    return sequence if sequence.is_valid(now, travel) else None
+
+
+def maximal_valid_sequences(
+    worker: Worker,
+    reachable: Sequence[Task],
+    now: float,
+    travel: Optional[TravelModel] = None,
+    max_length: int = 3,
+    max_sequences: int = 64,
+) -> List[TaskSequence]:
+    """Generate the maximal valid task sequence set ``Q_w``.
+
+    The search proceeds depth-first over orderings, pruning any extension
+    that violates Definition 4.  For every visited task *set* only the
+    minimum-completion-time ordering is retained (Eq. 10), and a sequence
+    is returned only if it is maximal, i.e. no reachable task can be
+    appended without violating a constraint or the length bound.
+
+    The empty sequence is never returned; a worker with no feasible task
+    yields an empty list.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be at least 1")
+    travel = travel or EuclideanTravelModel(speed=worker.speed)
+    reachable = list(reachable)
+    # best ordering per task subset: subset -> (completion_time, ordered tasks)
+    best_by_subset: Dict[FrozenSet[int], Tuple[float, Tuple[Task, ...]]] = {}
+
+    def explore(prefix: Tuple[Task, ...], location, time: float) -> None:
+        if len(best_by_subset) >= max_sequences * 8:
+            return
+        for task in reachable:
+            if task in prefix:
+                continue
+            arrive = time + travel.time(location, task.location)
+            if arrive >= task.expiration_time or arrive >= worker.off_time:
+                continue
+            if travel.distance(location, task.location) > worker.reachable_distance + 1e-9:
+                continue
+            new_prefix = prefix + (task,)
+            key = frozenset(t.task_id for t in new_prefix)
+            existing = best_by_subset.get(key)
+            if existing is None or arrive < existing[0]:
+                best_by_subset[key] = (arrive, new_prefix)
+            # Only continue extending from the best-known order of this
+            # subset to curb redundant exploration.
+            if len(new_prefix) < max_length and (existing is None or arrive <= existing[0]):
+                explore(new_prefix, task.location, arrive)
+
+    explore((), worker.location, now)
+
+    if not best_by_subset:
+        return []
+
+    # Keep only maximal subsets: no other stored subset strictly contains them.
+    subsets = list(best_by_subset.keys())
+    subsets.sort(key=len, reverse=True)
+    maximal: List[FrozenSet[int]] = []
+    for subset in subsets:
+        if any(subset < other for other in maximal):
+            continue
+        if any(subset < other for other in subsets if len(other) > len(subset)):
+            continue
+        maximal.append(subset)
+
+    sequences = [
+        TaskSequence(worker, best_by_subset[subset][1]) for subset in maximal
+    ]
+    # Rank by (more tasks, earlier completion) and bound the output size.
+    sequences.sort(
+        key=lambda seq: (-len(seq), seq.completion_time(now, travel))
+    )
+    return sequences[:max_sequences]
+
+
+def sequence_signature(sequence: TaskSequence) -> FrozenSet[int]:
+    """The set of task ids covered by a sequence (used for deduplication)."""
+    return frozenset(sequence.task_ids)

@@ -1,0 +1,247 @@
+"""The five evaluated assignment strategies behind one interface.
+
+Section V-B.2 of the paper compares:
+
+* **Greedy** — each worker grabs the maximal valid task set from the
+  unassigned tasks, no search.
+* **FTA** — Fixed Task Assignment: worker dependency separation + DFSearch
+  run once per worker; the resulting sequence is frozen and executed in
+  order.
+* **DTA** — Dynamic Task Assignment: the same separation + DFSearch
+  machinery, but the plan is recomputed at every decision point from the
+  current spatio-temporal state (no prediction).
+* **DTA+TP** — DTA with predicted tasks injected by the demand predictor.
+* **DATA-WA** — DTA+TP with the Task Value Function replacing exact search.
+
+Every strategy exposes ``plan(idle_workers, pending_tasks, now)`` returning
+an :class:`~repro.core.assignment.Assignment`; the simulation platform
+dispatches the first task of each idle worker's planned sequence.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.assignment.baselines import greedy_assignment
+from repro.assignment.planner import PlannerConfig, PlanningOutcome, TaskPlanner
+from repro.assignment.tvf import TaskValueFunction
+from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.travel import EuclideanTravelModel, TravelModel
+
+#: Signature of the hook supplying predicted tasks for a given time.
+PredictedTaskProvider = Callable[[float], List[Task]]
+
+
+class AssignmentStrategy(ABC):
+    """Common interface of the five evaluated assignment methods."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "strategy"
+
+    def reset(self) -> None:
+        """Clear any per-run state (called once before a simulation)."""
+
+    @abstractmethod
+    def plan(
+        self, idle_workers: Sequence[Worker], pending_tasks: Sequence[Task], now: float
+    ) -> Assignment:
+        """Return the planned assignment for the current platform snapshot."""
+
+    def notify_dispatch(self, worker_id: int, task_id: int) -> None:
+        """Inform the strategy that a planned task has been executed."""
+
+
+class GreedyStrategy(AssignmentStrategy):
+    """The Greedy baseline."""
+
+    name = "Greedy"
+
+    def __init__(self, travel: Optional[TravelModel] = None, max_sequence_length: int = 3) -> None:
+        self.travel = travel or EuclideanTravelModel(speed=1.0)
+        self.max_sequence_length = max_sequence_length
+
+    def plan(self, idle_workers, pending_tasks, now):
+        return greedy_assignment(
+            idle_workers, pending_tasks, now, self.travel, self.max_sequence_length
+        )
+
+
+class _PlannerBackedStrategy(AssignmentStrategy):
+    """Shared machinery for the strategies built on the TPA planner."""
+
+    def __init__(
+        self,
+        config: Optional[PlannerConfig] = None,
+        travel: Optional[TravelModel] = None,
+        tvf: Optional[TaskValueFunction] = None,
+    ) -> None:
+        self.travel = travel or EuclideanTravelModel(speed=1.0)
+        self.config = config or PlannerConfig()
+        self.planner = TaskPlanner(self.config, travel=self.travel, tvf=tvf)
+
+    def _plan_with_planner(self, idle_workers, pending_tasks, now) -> PlanningOutcome:
+        return self.planner.plan(idle_workers, pending_tasks, now)
+
+
+class FTAStrategy(_PlannerBackedStrategy):
+    """Fixed Task Assignment: sequences are computed once and frozen."""
+
+    name = "FTA"
+
+    def __init__(self, config=None, travel=None) -> None:
+        super().__init__(config=config, travel=travel)
+        self._fixed: Dict[int, List[Task]] = {}
+        self._committed_task_ids: set = set()
+
+    def reset(self) -> None:
+        self._fixed.clear()
+        self._committed_task_ids.clear()
+
+    def plan(self, idle_workers, pending_tasks, now):
+        # Workers without a frozen sequence — or whose previous fixed sequence
+        # has been fully executed or expired — get a new one from a one-shot
+        # plan over the tasks not yet committed to any frozen sequence.  The
+        # "fixed" aspect is that a sequence, once given, is never adjusted to
+        # later demand changes (unlike DTA).
+        pending_ids = {task.task_id for task in pending_tasks}
+        new_workers = [
+            w
+            for w in idle_workers
+            if not any(
+                task.task_id in pending_ids and not task.is_expired(now)
+                for task in self._fixed.get(w.worker_id, [])
+            )
+        ]
+        if new_workers:
+            available = [
+                task for task in pending_tasks if task.task_id not in self._committed_task_ids
+            ]
+            outcome = self._plan_with_planner(new_workers, available, now)
+            for worker_plan in outcome.assignment:
+                tasks = list(worker_plan.sequence)
+                self._fixed[worker_plan.worker.worker_id] = tasks
+                self._committed_task_ids.update(t.task_id for t in tasks)
+        # The returned plan is simply each worker's remaining frozen sequence.
+        assignment = Assignment()
+        for worker in idle_workers:
+            remaining = [
+                task
+                for task in self._fixed.get(worker.worker_id, [])
+                if task.task_id in pending_ids and not task.is_expired(now)
+            ]
+            if remaining:
+                assignment.add(WorkerPlan(worker, TaskSequence(worker, tuple(remaining))))
+        return assignment
+
+    def notify_dispatch(self, worker_id: int, task_id: int) -> None:
+        sequence = self._fixed.get(worker_id)
+        if sequence:
+            self._fixed[worker_id] = [task for task in sequence if task.task_id != task_id]
+
+
+class DTAStrategy(_PlannerBackedStrategy):
+    """Dynamic Task Assignment: full replanning, no prediction."""
+
+    name = "DTA"
+
+    def plan(self, idle_workers, pending_tasks, now):
+        return self._plan_with_planner(idle_workers, pending_tasks, now).assignment
+
+
+class DTAPlusTPStrategy(_PlannerBackedStrategy):
+    """DTA augmented with predicted tasks from the demand predictor."""
+
+    name = "DTA+TP"
+
+    def __init__(
+        self,
+        config=None,
+        travel=None,
+        predicted_task_provider: Optional[PredictedTaskProvider] = None,
+    ) -> None:
+        super().__init__(config=config, travel=travel)
+        self.predicted_task_provider = predicted_task_provider
+
+    def _augmented_tasks(self, pending_tasks, now) -> List[Task]:
+        tasks = list(pending_tasks)
+        if self.predicted_task_provider is not None:
+            predicted = [
+                task for task in self.predicted_task_provider(now) if not task.is_expired(now)
+            ]
+            existing = {task.task_id for task in tasks}
+            tasks.extend(task for task in predicted if task.task_id not in existing)
+        return tasks
+
+    def plan(self, idle_workers, pending_tasks, now):
+        tasks = self._augmented_tasks(pending_tasks, now)
+        return self._plan_with_planner(idle_workers, tasks, now).assignment
+
+
+class DataWAStrategy(DTAPlusTPStrategy):
+    """DTA+TP with the Task Value Function guiding the search (DATA-WA)."""
+
+    name = "DATA-WA"
+
+    def __init__(
+        self,
+        config: Optional[PlannerConfig] = None,
+        travel=None,
+        predicted_task_provider: Optional[PredictedTaskProvider] = None,
+        tvf: Optional[TaskValueFunction] = None,
+        train_on_first_plan: bool = True,
+        tvf_training_epochs: int = 10,
+    ) -> None:
+        config = config or PlannerConfig()
+        config.use_tvf = True
+        super().__init__(config=config, travel=travel, predicted_task_provider=predicted_task_provider)
+        if tvf is not None:
+            self.planner.tvf = tvf
+        self.train_on_first_plan = train_on_first_plan
+        self.tvf_training_epochs = tvf_training_epochs
+
+    def reset(self) -> None:
+        # The trained TVF is intentionally kept across runs: the paper trains
+        # it offline from DFSearch traces and reuses it online.
+        pass
+
+    def plan(self, idle_workers, pending_tasks, now):
+        tasks = self._augmented_tasks(pending_tasks, now)
+        tvf = self.planner.tvf
+        if self.train_on_first_plan and tvf is not None and not tvf.is_fitted and idle_workers and tasks:
+            # Bootstrap: run the exact search once on this snapshot, collect
+            # (state, action, opt) experience and fit the TVF on it.
+            self.planner.train_tvf(idle_workers, tasks, now, epochs=self.tvf_training_epochs)
+        return self._plan_with_planner(idle_workers, tasks, now).assignment
+
+
+def make_strategy(
+    name: str,
+    config: Optional[PlannerConfig] = None,
+    travel: Optional[TravelModel] = None,
+    predicted_task_provider: Optional[PredictedTaskProvider] = None,
+    tvf: Optional[TaskValueFunction] = None,
+) -> AssignmentStrategy:
+    """Factory mapping the paper's method names to strategy objects."""
+    key = name.strip().lower().replace("_", "").replace("-", "").replace("+", "")
+    if key == "greedy":
+        return GreedyStrategy(travel=travel)
+    if key == "fta":
+        return FTAStrategy(config=config, travel=travel)
+    if key == "dta":
+        return DTAStrategy(config=config, travel=travel)
+    if key in ("dtatp", "dtaplustp"):
+        return DTAPlusTPStrategy(
+            config=config, travel=travel, predicted_task_provider=predicted_task_provider
+        )
+    if key in ("datawa", "dataw"):
+        return DataWAStrategy(
+            config=config,
+            travel=travel,
+            predicted_task_provider=predicted_task_provider,
+            tvf=tvf,
+        )
+    raise ValueError(f"unknown assignment strategy: {name!r}")

@@ -1,0 +1,229 @@
+"""Task Value Function (Section IV-B, Eq. 11–12).
+
+The TVF estimates the long-term value (expected total number of assigned
+tasks) of taking an action — assigning a particular maximal valid task
+sequence to a particular worker — in a given state (remaining workers and
+tasks).  Training data ``U`` is produced by the exact DFSearch (Alg. 1);
+the network is fitted with the Q-learning regression loss of Eq. 12 on
+mini-batches drawn uniformly at random from ``U``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.nn.tensor import Tensor, no_grad
+from repro.spatial.geometry import euclidean_distance
+
+#: Dimensionality of the hand-crafted state-action feature vector.
+FEATURE_DIM = 14
+
+
+@dataclass
+class Experience:
+    """A single ``(s_t, a_t, opt)`` training sample."""
+
+    state: dict
+    action: dict
+    value: float
+
+
+def featurize_state_action(
+    state: dict,
+    action: dict,
+    workers_by_id: Dict[int, Worker],
+    tasks_by_id: Dict[int, Task],
+) -> np.ndarray:
+    """Map a (state, action) pair to a fixed-size feature vector.
+
+    The state contributes aggregate supply/demand statistics (how many
+    workers and tasks remain, how urgent the tasks are); the action
+    contributes the chosen worker's capabilities and the geometry of the
+    chosen task sequence.  All features are scale-stabilised (log1p or
+    ratios) so a single network generalises across instance sizes.
+    """
+    num_workers = float(state.get("num_workers", 0))
+    num_tasks = float(state.get("num_tasks", 0))
+    remaining_task_ids = state.get("task_ids", ())
+    remaining_tasks = [tasks_by_id[tid] for tid in remaining_task_ids if tid in tasks_by_id]
+
+    worker = workers_by_id.get(action.get("worker_id"))
+    action_task_ids = action.get("task_ids", ())
+    action_tasks = [tasks_by_id[tid] for tid in action_task_ids if tid in tasks_by_id]
+    sequence_length = float(action.get("sequence_length", len(action_task_ids)))
+
+    # Aggregate demand statistics.
+    if remaining_tasks:
+        valid_durations = [t.valid_duration for t in remaining_tasks]
+        mean_valid = float(np.mean(valid_durations))
+        xs = [t.location.x for t in remaining_tasks]
+        ys = [t.location.y for t in remaining_tasks]
+        spread = float(np.std(xs) + np.std(ys))
+    else:
+        mean_valid = 0.0
+        spread = 0.0
+
+    # Worker / action geometry.
+    if worker is not None:
+        reach = worker.reachable_distance
+        availability = worker.available_time
+        speed = worker.speed
+    else:
+        reach = 0.0
+        availability = 0.0
+        speed = 1.0
+
+    if worker is not None and action_tasks:
+        path_length = euclidean_distance(worker.location, action_tasks[0].location)
+        for a, b in zip(action_tasks, action_tasks[1:]):
+            path_length += euclidean_distance(a.location, b.location)
+        first_leg = euclidean_distance(worker.location, action_tasks[0].location)
+        slack = float(
+            np.mean([t.expiration_time - t.publication_time for t in action_tasks])
+        )
+    else:
+        path_length = 0.0
+        first_leg = 0.0
+        slack = 0.0
+
+    features = np.array(
+        [
+            np.log1p(num_workers),
+            np.log1p(num_tasks),
+            num_tasks / (num_workers + 1.0),
+            np.log1p(len(remaining_tasks)),
+            mean_valid,
+            spread,
+            sequence_length,
+            sequence_length / (num_tasks + 1.0),
+            reach,
+            availability,
+            speed,
+            path_length,
+            first_leg,
+            slack,
+        ],
+        dtype=np.float64,
+    )
+    return features
+
+
+class TaskValueFunction:
+    """MLP approximator of the state-action value TVF(s, a).
+
+    Parameters
+    ----------
+    hidden:
+        Width of the two hidden layers.
+    learning_rate:
+        Adam step size for the Q-learning regression.
+    seed:
+        Seed for weight initialisation and replay sampling.
+    """
+
+    def __init__(self, hidden: int = 32, learning_rate: float = 0.005, seed: int = 0) -> None:
+        self.network = nn.Sequential(
+            nn.Linear(FEATURE_DIM, hidden, seed=seed),
+            nn.ReLU(),
+            nn.Linear(hidden, hidden, seed=seed + 1),
+            nn.ReLU(),
+            nn.Linear(hidden, 1, seed=seed + 2),
+        )
+        self.optimizer = nn.Adam(self.network.parameters(), lr=learning_rate)
+        self.criterion = nn.MSELoss()
+        self._rng = np.random.default_rng(seed)
+        self._feature_mean = np.zeros(FEATURE_DIM)
+        self._feature_std = np.ones(FEATURE_DIM)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _normalize(self, features: np.ndarray) -> np.ndarray:
+        return (features - self._feature_mean) / self._feature_std
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        experience: Sequence[Tuple[dict, dict, float]],
+        workers_by_id: Dict[int, Worker],
+        tasks_by_id: Dict[int, Task],
+        epochs: int = 20,
+        batch_size: int = 64,
+    ) -> List[float]:
+        """Fit the TVF on DFSearch experience with the Eq. 12 loss.
+
+        Returns the per-epoch loss curve.
+        """
+        if not experience:
+            raise ValueError("cannot fit the TVF on empty experience")
+        features = np.stack(
+            [featurize_state_action(s, a, workers_by_id, tasks_by_id) for s, a, _ in experience]
+        )
+        targets = np.array([[value] for _, _, value in experience], dtype=np.float64)
+
+        self._feature_mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std < 1e-8] = 1.0
+        self._feature_std = std
+        normalized = self._normalize(features)
+
+        losses: List[float] = []
+        n = normalized.shape[0]
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for begin in range(0, n, batch_size):
+                idx = order[begin:begin + batch_size]
+                self.optimizer.zero_grad()
+                prediction = self.network(Tensor(normalized[idx]))
+                loss = self.criterion(prediction, Tensor(targets[idx]))
+                loss.backward()
+                self.optimizer.clip_grad_norm(5.0)
+                self.optimizer.step()
+                epoch_loss += float(loss.item())
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        self._fitted = True
+        return losses
+
+    # ------------------------------------------------------------------ #
+    def value(
+        self,
+        state: dict,
+        action: dict,
+        workers_by_id: Dict[int, Worker],
+        tasks_by_id: Dict[int, Task],
+    ) -> float:
+        """Predicted value of one (state, action) pair."""
+        features = featurize_state_action(state, action, workers_by_id, tasks_by_id)
+        with no_grad():
+            out = self.network(Tensor(self._normalize(features)[None, :]))
+        return float(out.data[0, 0])
+
+    def values(
+        self,
+        state: dict,
+        actions: Iterable[dict],
+        workers_by_id: Dict[int, Worker],
+        tasks_by_id: Dict[int, Task],
+    ) -> np.ndarray:
+        """Predicted values of several candidate actions in the same state."""
+        actions = list(actions)
+        if not actions:
+            return np.array([])
+        features = np.stack(
+            [featurize_state_action(state, a, workers_by_id, tasks_by_id) for a in actions]
+        )
+        with no_grad():
+            out = self.network(Tensor(self._normalize(features)))
+        return out.data[:, 0]

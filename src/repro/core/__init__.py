@@ -1,0 +1,30 @@
+"""Core spatial-crowdsourcing entities and the ATA problem definition.
+
+This package defines the vocabulary of the paper's Section II: tasks,
+workers with availability windows, task sequences and their validity
+constraints (Definition 4), spatial task assignments, the arrival event
+stream and the Adaptive Task Assignment problem instance.
+"""
+
+from repro.core.task import Task
+from repro.core.worker import AvailabilityWindow, Worker
+from repro.core.sequence import TaskSequence, arrival_times, is_valid_sequence, sequence_completion_time
+from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.events import ArrivalEvent, EventKind, build_event_stream
+from repro.core.problem import ATAInstance
+
+__all__ = [
+    "Task",
+    "Worker",
+    "AvailabilityWindow",
+    "TaskSequence",
+    "arrival_times",
+    "is_valid_sequence",
+    "sequence_completion_time",
+    "Assignment",
+    "WorkerPlan",
+    "ArrivalEvent",
+    "EventKind",
+    "build_event_stream",
+    "ATAInstance",
+]

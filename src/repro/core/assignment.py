@@ -1,0 +1,121 @@
+"""Spatial task assignments (Definition 5) and per-worker plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+@dataclass
+class WorkerPlan:
+    """A worker together with its planned valid task sequence ``VR(S_w)``."""
+
+    worker: Worker
+    sequence: TaskSequence
+
+    def __post_init__(self) -> None:
+        if self.sequence.worker.worker_id != self.worker.worker_id:
+            raise ValueError("sequence is bound to a different worker")
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def task_ids(self) -> Tuple[int, ...]:
+        return self.sequence.task_ids
+
+
+class Assignment:
+    """A spatial task assignment ``A``: a set of (worker, sequence) pairs.
+
+    Enforces the single-task-assignment mode of the paper: a task may appear
+    in at most one worker's sequence.
+    """
+
+    def __init__(self, plans: Optional[Iterable[WorkerPlan]] = None) -> None:
+        self._plans: Dict[int, WorkerPlan] = {}
+        self._task_owner: Dict[int, int] = {}
+        for plan in plans or ():
+            self.add(plan)
+
+    # ------------------------------------------------------------------ #
+    def add(self, plan: WorkerPlan) -> None:
+        """Add or replace a worker's plan, keeping task ownership unique."""
+        worker_id = plan.worker.worker_id
+        if worker_id in self._plans:
+            self.remove_worker(worker_id)
+        for task in plan.sequence:
+            owner = self._task_owner.get(task.task_id)
+            if owner is not None and owner != worker_id:
+                raise ValueError(
+                    f"task {task.task_id} is already assigned to worker {owner}"
+                )
+        self._plans[worker_id] = plan
+        for task in plan.sequence:
+            self._task_owner[task.task_id] = worker_id
+
+    def assign(self, worker: Worker, tasks: Iterable[Task]) -> None:
+        """Convenience wrapper building the plan from a worker and tasks."""
+        self.add(WorkerPlan(worker, TaskSequence(worker, tuple(tasks))))
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Drop a worker's plan and release its tasks."""
+        plan = self._plans.pop(worker_id, None)
+        if plan is None:
+            return
+        for task in plan.sequence:
+            self._task_owner.pop(task.task_id, None)
+
+    # ------------------------------------------------------------------ #
+    def plan_for(self, worker_id: int) -> Optional[WorkerPlan]:
+        return self._plans.get(worker_id)
+
+    def owner_of(self, task_id: int) -> Optional[int]:
+        """Return the worker id a task is assigned to, or ``None``."""
+        return self._task_owner.get(task_id)
+
+    def __iter__(self) -> Iterator[WorkerPlan]:
+        return iter(self._plans.values())
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, worker_id: int) -> bool:
+        return worker_id in self._plans
+
+    # ------------------------------------------------------------------ #
+    @property
+    def assigned_tasks(self) -> Set[Task]:
+        """The paper's ``A.S``: the union of all assigned task sets."""
+        tasks: Set[Task] = set()
+        for plan in self._plans.values():
+            tasks.update(plan.sequence)
+        return tasks
+
+    @property
+    def num_assigned_tasks(self) -> int:
+        """``|A.S|`` — the objective of the ATA problem."""
+        return len(self._task_owner)
+
+    @property
+    def workers(self) -> List[Worker]:
+        return [plan.worker for plan in self._plans.values()]
+
+    def copy(self) -> "Assignment":
+        """Shallow copy (plans are immutable value objects)."""
+        return Assignment(list(self._plans.values()))
+
+    def summary(self) -> Dict[str, float]:
+        """Small dictionary of headline statistics for reporting."""
+        lengths = [plan.num_tasks for plan in self._plans.values()]
+        return {
+            "workers": float(len(self._plans)),
+            "assigned_tasks": float(self.num_assigned_tasks),
+            "mean_sequence_length": float(sum(lengths) / len(lengths)) if lengths else 0.0,
+            "max_sequence_length": float(max(lengths)) if lengths else 0.0,
+        }

@@ -1,0 +1,57 @@
+"""Arrival event stream: the input of the adaptive algorithm (Alg. 3)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+class EventKind(enum.Enum):
+    """Kind of arrival event on the SC platform."""
+
+    WORKER = "worker"
+    TASK = "task"
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """A single arrival ``delta_i`` in the stream ``{delta_i | delta_i in {w, s}}``."""
+
+    time: float
+    kind: EventKind
+    payload: Union[Worker, Task]
+
+    @property
+    def is_worker(self) -> bool:
+        return self.kind is EventKind.WORKER
+
+    @property
+    def is_task(self) -> bool:
+        return self.kind is EventKind.TASK
+
+
+def build_event_stream(workers: Iterable[Worker], tasks: Iterable[Task]) -> List[ArrivalEvent]:
+    """Merge workers and tasks into a single time-ordered arrival stream.
+
+    Workers arrive at their online time, tasks at their publication time.
+    Ties are broken so that workers arrive before tasks published at the
+    same instant (the worker is then immediately eligible for that task),
+    and deterministically by id after that.
+    """
+    events: List[ArrivalEvent] = []
+    for worker in workers:
+        events.append(ArrivalEvent(worker.on_time, EventKind.WORKER, worker))
+    for task in tasks:
+        events.append(ArrivalEvent(task.publication_time, EventKind.TASK, task))
+
+    def sort_key(event: ArrivalEvent):
+        kind_rank = 0 if event.is_worker else 1
+        payload_id = event.payload.worker_id if event.is_worker else event.payload.task_id
+        return (event.time, kind_rank, payload_id)
+
+    events.sort(key=sort_key)
+    return events

@@ -1,0 +1,125 @@
+"""The Adaptive Task Assignment (ATA) problem instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.events import ArrivalEvent, build_event_stream
+from repro.core.sequence import is_valid_sequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.travel import EuclideanTravelModel, TravelModel
+
+
+@dataclass
+class ATAInstance:
+    """A complete ATA problem instance: workers, tasks and a travel model.
+
+    The objective (Problem Statement, Section II) is to find the assignment
+    ``A_opt`` maximising the number of assigned tasks ``|A.S|`` subject to
+    every per-worker sequence being valid (Definition 4).
+    """
+
+    workers: List[Worker]
+    tasks: List[Task]
+    travel: TravelModel = field(default_factory=lambda: EuclideanTravelModel(speed=1.0))
+    name: str = "ata-instance"
+
+    def __post_init__(self) -> None:
+        worker_ids = [w.worker_id for w in self.workers]
+        task_ids = [t.task_id for t in self.tasks]
+        if len(worker_ids) != len(set(worker_ids)):
+            raise ValueError("duplicate worker ids in ATA instance")
+        if len(task_ids) != len(set(task_ids)):
+            raise ValueError("duplicate task ids in ATA instance")
+        self._workers_by_id = {w.worker_id: w for w in self.workers}
+        self._tasks_by_id = {t.task_id: t for t in self.tasks}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def start_time(self) -> float:
+        """Earliest event time in the instance."""
+        times = [w.on_time for w in self.workers] + [t.publication_time for t in self.tasks]
+        return min(times) if times else 0.0
+
+    @property
+    def end_time(self) -> float:
+        """Latest relevant time (last worker offline or task expiry)."""
+        times = [w.off_time for w in self.workers] + [t.expiration_time for t in self.tasks]
+        return max(times) if times else 0.0
+
+    def worker(self, worker_id: int) -> Worker:
+        return self._workers_by_id[worker_id]
+
+    def task(self, task_id: int) -> Task:
+        return self._tasks_by_id[task_id]
+
+    def bounding_box(self) -> BoundingBox:
+        """Smallest box containing every worker and task location."""
+        points: List[Point] = [w.location for w in self.workers] + [t.location for t in self.tasks]
+        return BoundingBox.from_points(points)
+
+    def event_stream(self) -> List[ArrivalEvent]:
+        """Time-ordered arrival events for workers and (real) tasks."""
+        return build_event_stream(self.workers, [t for t in self.tasks if not t.predicted])
+
+    # ------------------------------------------------------------------ #
+    def validate_assignment(self, assignment: Assignment, now: Optional[float] = None) -> List[str]:
+        """Return a list of constraint violations (empty means feasible).
+
+        Used by tests and by the simulator's post-run audit.  ``now``
+        defaults to the instance start time, matching a plan computed before
+        any movement has happened.
+        """
+        now = self.start_time if now is None else now
+        problems: List[str] = []
+        seen: Dict[int, int] = {}
+        for plan in assignment:
+            worker = plan.worker
+            if worker.worker_id not in self._workers_by_id:
+                problems.append(f"unknown worker {worker.worker_id}")
+                continue
+            for task in plan.sequence:
+                if task.task_id in seen and seen[task.task_id] != worker.worker_id:
+                    problems.append(
+                        f"task {task.task_id} assigned to both worker {seen[task.task_id]} "
+                        f"and worker {worker.worker_id}"
+                    )
+                seen[task.task_id] = worker.worker_id
+                if not task.predicted and task.task_id not in self._tasks_by_id:
+                    problems.append(f"unknown task {task.task_id}")
+            if not is_valid_sequence(worker, list(plan.sequence), now, self.travel):
+                problems.append(
+                    f"worker {worker.worker_id}: sequence {plan.task_ids} violates Definition 4"
+                )
+        return problems
+
+    def restrict(self, num_workers: Optional[int] = None, num_tasks: Optional[int] = None,
+                 seed: int = 0) -> "ATAInstance":
+        """Return a smaller instance by random sub-sampling (for sweeps)."""
+        import random
+
+        # Shuffle once and take prefixes so that, for a fixed seed, smaller
+        # samples are nested inside larger ones — parameter sweeps over
+        # |S| / |W| then compare nested instances rather than disjoint draws.
+        rng = random.Random(seed)
+        workers = list(self.workers)
+        tasks = list(self.tasks)
+        rng.shuffle(workers)
+        rng.shuffle(tasks)
+        if num_workers is not None and num_workers < len(workers):
+            workers = workers[:num_workers]
+        if num_tasks is not None and num_tasks < len(tasks):
+            tasks = tasks[:num_tasks]
+        return ATAInstance(list(workers), list(tasks), travel=self.travel, name=self.name)

@@ -1,0 +1,62 @@
+"""Spatial task entity (Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spatial.geometry import Point
+
+
+@dataclass(frozen=True)
+class Task:
+    """A spatial task ``s = (l, p, e)``.
+
+    Attributes
+    ----------
+    task_id:
+        Unique identifier on the platform.
+    location:
+        Where the task must be performed (``s.l``).
+    publication_time:
+        When the task becomes available (``s.p``).
+    expiration_time:
+        Deadline by which the task must be completed (``s.e``).
+    predicted:
+        Whether this task was injected by the demand predictor rather than
+        observed in the real stream.  Predicted tasks guide planning but do
+        not count toward the number of assigned tasks.
+    """
+
+    task_id: int
+    location: Point
+    publication_time: float
+    expiration_time: float
+    predicted: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.expiration_time <= self.publication_time:
+            raise ValueError(
+                f"task {self.task_id}: expiration time ({self.expiration_time}) must be "
+                f"after publication time ({self.publication_time})"
+            )
+
+    @property
+    def valid_duration(self) -> float:
+        """The paper's ``e - p``: how long the task stays assignable."""
+        return self.expiration_time - self.publication_time
+
+    def is_available(self, now: float) -> bool:
+        """Whether the task is published and not yet expired at time ``now``."""
+        return self.publication_time <= now < self.expiration_time
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the task can no longer be completed at time ``now``."""
+        return now >= self.expiration_time
+
+    def __hash__(self) -> int:
+        return hash(self.task_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Task):
+            return NotImplemented
+        return self.task_id == other.task_id

@@ -1,0 +1,39 @@
+"""Dataset generators and loaders.
+
+The paper evaluates on two proprietary ride-hailing traces (Yueche and
+DiDi, Chengdu, November 1st 2016) that cannot be redistributed.  This
+package provides synthetic workload generators calibrated to the paper's
+Table II statistics — the same worker/task counts, a two-hour horizon, a
+Chengdu-scale region, hot-spot spatial structure with cross-region demand
+dependencies and a rush-hour temporal profile — plus a CSV loader so real
+traces can be substituted when available.
+"""
+
+from repro.datasets.synthetic import (
+    CityModel,
+    Hotspot,
+    DemandFlow,
+    SyntheticWorkload,
+    SyntheticWorkloadGenerator,
+    WorkloadConfig,
+)
+from repro.datasets.yueche import yueche_config, generate_yueche
+from repro.datasets.didi import didi_config, generate_didi
+from repro.datasets.loader import load_instance_csv, save_instance_csv
+from repro.datasets.splits import split_tasks_by_time
+
+__all__ = [
+    "CityModel",
+    "Hotspot",
+    "DemandFlow",
+    "SyntheticWorkload",
+    "SyntheticWorkloadGenerator",
+    "WorkloadConfig",
+    "yueche_config",
+    "generate_yueche",
+    "didi_config",
+    "generate_didi",
+    "load_instance_csv",
+    "save_instance_csv",
+    "split_tasks_by_time",
+]

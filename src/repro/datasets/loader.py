@@ -1,0 +1,101 @@
+"""CSV persistence for ATA instances.
+
+Real traces (or generated workloads that should be shared between runs)
+can be stored as a pair of CSV files: ``<name>_workers.csv`` and
+``<name>_tasks.csv``.  Columns follow the paper's notation.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.core.problem import ATAInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.geometry import Point
+from repro.spatial.travel import EuclideanTravelModel
+
+WORKER_FIELDS = ["worker_id", "x", "y", "reachable_distance", "on_time", "off_time", "speed"]
+TASK_FIELDS = ["task_id", "x", "y", "publication_time", "expiration_time"]
+
+
+def save_instance_csv(instance: ATAInstance, directory: Union[str, Path]) -> Tuple[Path, Path]:
+    """Write an instance to ``<dir>/<name>_workers.csv`` and ``_tasks.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    worker_path = directory / f"{instance.name}_workers.csv"
+    task_path = directory / f"{instance.name}_tasks.csv"
+
+    with open(worker_path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=WORKER_FIELDS)
+        writer.writeheader()
+        for worker in instance.workers:
+            writer.writerow(
+                {
+                    "worker_id": worker.worker_id,
+                    "x": worker.location.x,
+                    "y": worker.location.y,
+                    "reachable_distance": worker.reachable_distance,
+                    "on_time": worker.on_time,
+                    "off_time": worker.off_time,
+                    "speed": worker.speed,
+                }
+            )
+
+    with open(task_path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=TASK_FIELDS)
+        writer.writeheader()
+        for task in instance.tasks:
+            writer.writerow(
+                {
+                    "task_id": task.task_id,
+                    "x": task.location.x,
+                    "y": task.location.y,
+                    "publication_time": task.publication_time,
+                    "expiration_time": task.expiration_time,
+                }
+            )
+    return worker_path, task_path
+
+
+def load_instance_csv(
+    worker_path: Union[str, Path],
+    task_path: Union[str, Path],
+    name: str = "loaded",
+    speed: float = 0.012,
+) -> ATAInstance:
+    """Load an instance from worker and task CSV files."""
+    workers: List[Worker] = []
+    with open(worker_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            workers.append(
+                Worker(
+                    worker_id=int(row["worker_id"]),
+                    location=Point(float(row["x"]), float(row["y"])),
+                    reachable_distance=float(row["reachable_distance"]),
+                    on_time=float(row["on_time"]),
+                    off_time=float(row["off_time"]),
+                    speed=float(row.get("speed", speed) or speed),
+                )
+            )
+
+    tasks: List[Task] = []
+    with open(task_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            tasks.append(
+                Task(
+                    task_id=int(row["task_id"]),
+                    location=Point(float(row["x"]), float(row["y"])),
+                    publication_time=float(row["publication_time"]),
+                    expiration_time=float(row["expiration_time"]),
+                )
+            )
+
+    return ATAInstance(
+        workers=workers,
+        tasks=tasks,
+        travel=EuclideanTravelModel(speed=speed),
+        name=name,
+    )

@@ -1,0 +1,28 @@
+"""Chronological splitting utilities for task streams."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.task import Task
+
+
+def split_tasks_by_time(tasks: Sequence[Task], fraction: float = 0.8) -> Tuple[List[Task], List[Task]]:
+    """Split tasks chronologically into (early, late) parts.
+
+    The paper trains on 80% of the data and tests on 20%; a chronological
+    split avoids leaking future demand into training.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    ordered = sorted(tasks, key=lambda task: task.publication_time)
+    cut = int(round(len(ordered) * fraction))
+    cut = min(max(cut, 0), len(ordered))
+    return ordered[:cut], ordered[cut:]
+
+
+def split_tasks_at(tasks: Sequence[Task], time: float) -> Tuple[List[Task], List[Task]]:
+    """Split tasks into those published before and after ``time``."""
+    before = [task for task in tasks if task.publication_time < time]
+    after = [task for task in tasks if task.publication_time >= time]
+    return before, after

@@ -1,0 +1,44 @@
+"""Task demand prediction (Section III of the paper).
+
+Pipeline:
+
+1. :mod:`repro.demand.timeseries` turns the historical task stream into the
+   *task multivariate time series* of Eq. 2 — one binary occupancy vector of
+   ``k`` intervals per grid cell per window.
+2. :mod:`repro.demand.dependency` learns the dynamic demand-dependency
+   adjacency matrix (Eq. 4–6).
+3. :mod:`repro.demand.ddgnn` combines gated dilated causal convolutions with
+   APPNP propagation over the learned graph (Eq. 7–9) — the DDGNN model.
+4. :mod:`repro.demand.baselines` implements the paper's comparison models
+   (LSTM, Graph-WaveNet-style).
+5. :mod:`repro.demand.predictor` thresholds predicted occupancy (0.85 in the
+   paper) and materialises *predicted tasks* for the assignment stage.
+"""
+
+from repro.demand.timeseries import TaskMultivariateTimeSeries, build_time_series, sliding_windows
+from repro.demand.dependency import DemandDependencyLearner, normalized_adjacency
+from repro.demand.appnp import APPNP
+from repro.demand.ddgnn import DDGNN
+from repro.demand.baselines import LSTMDemandModel, GraphWaveNetDemandModel
+from repro.demand.metrics import average_precision, precision_recall_curve, prediction_report
+from repro.demand.training import DemandTrainer, TrainingResult
+from repro.demand.predictor import DemandPredictor, PredictedDemand
+
+__all__ = [
+    "TaskMultivariateTimeSeries",
+    "build_time_series",
+    "sliding_windows",
+    "DemandDependencyLearner",
+    "normalized_adjacency",
+    "APPNP",
+    "DDGNN",
+    "LSTMDemandModel",
+    "GraphWaveNetDemandModel",
+    "average_precision",
+    "precision_recall_curve",
+    "prediction_report",
+    "DemandTrainer",
+    "TrainingResult",
+    "DemandPredictor",
+    "PredictedDemand",
+]

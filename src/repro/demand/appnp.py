@@ -1,0 +1,53 @@
+"""APPNP propagation layer (Eq. 8–9).
+
+Approximate Personalized Propagation of Neural Predictions (Gasteiger et
+al., 2019) iterates ``Z^{h+1} = alpha Z^0 + (1 - alpha) A_hat Z^h`` so that a
+node's features blend its own prediction with its neighbourhood, with the
+restart probability ``alpha`` bounding how far information diffuses.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class APPNP(nn.Module):
+    """Personalised-PageRank style propagation over a (learned) graph.
+
+    Parameters
+    ----------
+    alpha:
+        Restart probability; larger values keep features closer to the
+        node's own input.
+    iterations:
+        Number of power-iteration steps ``H``.
+    apply_relu:
+        Whether to apply the final ReLU of Eq. 9.
+    """
+
+    def __init__(self, alpha: float = 0.1, iterations: int = 2, apply_relu: bool = True) -> None:
+        super().__init__()
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        self.alpha = alpha
+        self.iterations = iterations
+        self.apply_relu = apply_relu
+
+    def forward(self, features: Tensor, adjacency: Tensor) -> Tensor:
+        """Propagate ``features`` (``(M, F)``) over ``adjacency`` (``(M, M)``)."""
+        features = features if isinstance(features, Tensor) else Tensor(features)
+        adjacency = adjacency if isinstance(adjacency, Tensor) else Tensor(adjacency)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError("adjacency must be square")
+        if features.shape[0] != adjacency.shape[0]:
+            raise ValueError("features and adjacency disagree on the number of nodes")
+        initial = features
+        hidden = features
+        for _ in range(self.iterations):
+            hidden = initial * self.alpha + (adjacency @ hidden) * (1.0 - self.alpha)
+        if self.apply_relu:
+            hidden = hidden.relu()
+        return hidden

@@ -1,0 +1,105 @@
+"""Demand Dependency Learning Module (Section III-B, Eq. 4–6).
+
+Two node-embedding networks map the current cell features ``C^t`` to source
+and target embeddings ``M1`` and ``M2``; their symmetric product, squashed
+by tanh and normalised row-wise by softmax, is the dynamic adjacency matrix
+``A^t`` describing how demand in one region influences another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class DemandDependencyLearner(nn.Module):
+    """Learns the dynamic graph adjacency matrix from cell features.
+
+    Parameters
+    ----------
+    feature_dim:
+        Dimensionality ``k`` of the per-cell feature vector ``c_i^t``.
+    embedding_dim:
+        Dimensionality of the node embeddings ``M1`` / ``M2``.
+    seed:
+        Seed for reproducible weight initialisation.
+    """
+
+    def __init__(self, feature_dim: int, embedding_dim: int = 16, seed: int | None = None) -> None:
+        super().__init__()
+        if feature_dim < 1 or embedding_dim < 1:
+            raise ValueError("feature_dim and embedding_dim must be positive")
+        self.feature_dim = feature_dim
+        self.embedding_dim = embedding_dim
+        # F_theta1 and F_theta2 of Eq. 4-5: small fully connected networks.
+        self.source_net = nn.Sequential(
+            nn.Linear(feature_dim, embedding_dim, seed=seed),
+            nn.Tanh(),
+            nn.Linear(embedding_dim, embedding_dim, seed=None if seed is None else seed + 1),
+        )
+        self.target_net = nn.Sequential(
+            nn.Linear(feature_dim, embedding_dim, seed=None if seed is None else seed + 2),
+            nn.Tanh(),
+            nn.Linear(embedding_dim, embedding_dim, seed=None if seed is None else seed + 3),
+        )
+
+    def forward(self, cell_features: Tensor) -> Tensor:
+        """Compute the dynamic adjacency matrix ``A^t``.
+
+        Parameters
+        ----------
+        cell_features:
+            ``(M, feature_dim)`` tensor of per-cell features at time ``t``
+            (the paper's ``C^t``).
+
+        Returns
+        -------
+        Tensor of shape ``(M, M)``, rows normalised by softmax.
+        """
+        cell_features = cell_features if isinstance(cell_features, Tensor) else Tensor(cell_features)
+        if cell_features.ndim != 2 or cell_features.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"expected cell features of shape (M, {self.feature_dim}), got {cell_features.shape}"
+            )
+        source = self.source_net(cell_features)    # M1
+        target = self.target_net(cell_features)    # M2
+        # Eq. 6: softmax(tanh(M1 M2^T + M2 M1^T)) — symmetric interaction.
+        interaction = (source @ target.T + target @ source.T).tanh()
+        return interaction.softmax(axis=-1)
+
+
+def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetric degree normalisation used by APPNP (Eq. 8–9).
+
+    Computes ``D^{-1/2} (A + I) D^{-1/2}`` where ``D`` is the diagonal degree
+    matrix of ``A + I``.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be a square matrix")
+    matrix = adjacency + np.eye(adjacency.shape[0]) if add_self_loops else adjacency.copy()
+    degrees = matrix.sum(axis=1)
+    degrees = np.maximum(degrees, 1e-12)
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    return inv_sqrt[:, None] * matrix * inv_sqrt[None, :]
+
+
+def distance_adjacency(grid, scale: float = 1.0, threshold: float = 0.0) -> np.ndarray:
+    """Static, distance-based adjacency baseline (for the ablation study).
+
+    Cell ``i`` and ``j`` are connected with weight ``exp(-dist(i, j) / scale)``;
+    weights below ``threshold`` are zeroed.
+    """
+    n = grid.num_cells
+    adjacency = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            weight = float(np.exp(-grid.cell_distance(i, j) / max(scale, 1e-12)))
+            adjacency[i, j] = weight if weight >= threshold else 0.0
+    row_sums = adjacency.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0.0] = 1.0
+    return adjacency / row_sums

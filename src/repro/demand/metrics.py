@@ -1,0 +1,108 @@
+"""Prediction-quality metrics: precision, recall, Average Precision.
+
+The paper evaluates demand prediction with Average Precision computed from
+the precision-recall curve swept over thresholds 0.00, 0.01, ..., 1.00.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def precision_recall_at_threshold(
+    probabilities: np.ndarray, targets: np.ndarray, threshold: float
+) -> Tuple[float, float]:
+    """Precision and recall of ``probabilities >= threshold`` vs binary targets."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    if probabilities.shape != targets.shape:
+        raise ValueError("probabilities and targets must have the same shape")
+    predicted = probabilities >= threshold
+    actual = targets >= 0.5
+    true_positive = float(np.sum(predicted & actual))
+    false_positive = float(np.sum(predicted & ~actual))
+    false_negative = float(np.sum(~predicted & actual))
+    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) > 0 else 1.0
+    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) > 0 else 1.0
+    return precision, recall
+
+
+def precision_recall_curve(
+    probabilities: np.ndarray, targets: np.ndarray, step: float = 0.01
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision/recall at thresholds ``0, step, 2*step, ..., 1``.
+
+    Returns
+    -------
+    thresholds, precisions, recalls — arrays of equal length.
+    """
+    thresholds = np.arange(0.0, 1.0 + step / 2.0, step)
+    precisions = np.empty_like(thresholds)
+    recalls = np.empty_like(thresholds)
+    for i, threshold in enumerate(thresholds):
+        precisions[i], recalls[i] = precision_recall_at_threshold(probabilities, targets, threshold)
+    return thresholds, precisions, recalls
+
+
+def average_precision(probabilities: np.ndarray, targets: np.ndarray, step: float = 0.01) -> float:
+    """Area under the precision-recall curve.
+
+    Uses the standard interpolated form: for every recall level the
+    precision is the maximum precision achieved at any recall greater than
+    or equal to it, and the area is integrated stepwise over recall.  A
+    perfect ranking therefore scores exactly 1.0.
+    """
+    _, precisions, recalls = precision_recall_curve(probabilities, targets, step)
+    order = np.argsort(recalls)
+    recalls_sorted = recalls[order]
+    precisions_sorted = precisions[order]
+    # Interpolated precision: running maximum from high recall downwards.
+    interpolated = np.maximum.accumulate(precisions_sorted[::-1])[::-1]
+    area = 0.0
+    previous_recall = 0.0
+    for recall, precision in zip(recalls_sorted, interpolated):
+        if recall > previous_recall:
+            area += (recall - previous_recall) * precision
+            previous_recall = recall
+    return float(area)
+
+
+@dataclass
+class PredictionReport:
+    """Summary of a predictor's accuracy on a test set."""
+
+    average_precision: float
+    precision_at_default: float
+    recall_at_default: float
+    threshold: float
+    positives: int
+    total: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "average_precision": self.average_precision,
+            "precision": self.precision_at_default,
+            "recall": self.recall_at_default,
+            "threshold": self.threshold,
+            "positives": float(self.positives),
+            "total": float(self.total),
+        }
+
+
+def prediction_report(
+    probabilities: np.ndarray, targets: np.ndarray, threshold: float = 0.85
+) -> PredictionReport:
+    """Build a :class:`PredictionReport` at the paper's default threshold."""
+    precision, recall = precision_recall_at_threshold(probabilities, targets, threshold)
+    targets_flat = np.asarray(targets).ravel()
+    return PredictionReport(
+        average_precision=average_precision(probabilities, targets),
+        precision_at_default=precision,
+        recall_at_default=recall,
+        threshold=threshold,
+        positives=int(np.sum(targets_flat >= 0.5)),
+        total=int(targets_flat.size),
+    )

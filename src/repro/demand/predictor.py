@@ -1,0 +1,151 @@
+"""Turning model outputs into *predicted tasks* for the assignment stage.
+
+After the DDGNN forward pass, any (cell, sub-interval) probability exceeding
+a threshold (0.85 in the paper) is materialised as a predicted task located
+at the cell centre, published at the start of that sub-interval and expiring
+after a configurable valid duration.  Predicted and current tasks are then
+considered together by the task-assignment component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.task import Task
+from repro.spatial.grid import GridSpec
+
+
+@dataclass
+class PredictedDemand:
+    """Raw per-cell, per-interval occupancy probabilities for one window."""
+
+    probabilities: np.ndarray  # (M, k)
+    window_start: float
+    delta_t: float
+    grid: GridSpec
+
+    def __post_init__(self) -> None:
+        self.probabilities = np.asarray(self.probabilities, dtype=np.float64)
+        if self.probabilities.ndim != 2:
+            raise ValueError("probabilities must be a (cells, k) matrix")
+        if self.probabilities.shape[0] != self.grid.num_cells:
+            raise ValueError("probability rows must match the grid cell count")
+
+    @property
+    def k(self) -> int:
+        return self.probabilities.shape[1]
+
+    def hot_cells(self, threshold: float = 0.85) -> List[int]:
+        """Cells with at least one interval above ``threshold``."""
+        return list(np.nonzero((self.probabilities >= threshold).any(axis=1))[0])
+
+
+class DemandPredictor:
+    """Wraps a trained occupancy model and emits predicted :class:`Task`s.
+
+    Parameters
+    ----------
+    model:
+        A trained model exposing ``predict(windows) -> (M, k)`` (DDGNN or a
+        baseline).
+    grid:
+        Grid used for cell-centre locations.
+    delta_t:
+        Sub-interval length of the time series the model was trained on.
+    threshold:
+        Occupancy probability above which a predicted task is created
+        (paper default 0.85).
+    task_valid_duration:
+        Lifetime ``e - p`` given to predicted tasks.
+    historical_tasks:
+        Optional historical task stream.  When given, predicted tasks are
+        placed at the centroid of the historical tasks observed in their
+        cell rather than at the geometric cell centre, which keeps the
+        repositioning signal anchored to where demand actually occurs.
+    """
+
+    def __init__(
+        self,
+        model,
+        grid: GridSpec,
+        delta_t: float,
+        threshold: float = 0.85,
+        task_valid_duration: float = 40.0,
+        historical_tasks=None,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if task_valid_duration <= 0:
+            raise ValueError("task_valid_duration must be positive")
+        self.model = model
+        self.grid = grid
+        self.delta_t = delta_t
+        self.threshold = threshold
+        self.task_valid_duration = task_valid_duration
+        self._cell_anchor = self._build_anchors(historical_tasks or [])
+
+    def _build_anchors(self, historical_tasks) -> dict:
+        """Per-cell centroid of historical task locations."""
+        sums: dict = {}
+        for task in historical_tasks:
+            cell = self.grid.cell_index(task.location)
+            x, y, count = sums.get(cell, (0.0, 0.0, 0))
+            sums[cell] = (x + task.location.x, y + task.location.y, count + 1)
+        from repro.spatial.geometry import Point
+
+        return {cell: Point(x / count, y / count) for cell, (x, y, count) in sums.items() if count}
+
+    def _cell_location(self, cell: int):
+        return self._cell_anchor.get(cell, self.grid.cell_center(cell))
+
+    # ------------------------------------------------------------------ #
+    def predict_window(self, history_windows: np.ndarray, window_start: float) -> PredictedDemand:
+        """Run the model on ``(history, M, k)`` input for the next window."""
+        probabilities = self.model.predict(np.asarray(history_windows, dtype=np.float64))
+        return PredictedDemand(
+            probabilities=probabilities,
+            window_start=window_start,
+            delta_t=self.delta_t,
+            grid=self.grid,
+        )
+
+    def materialize_tasks(
+        self,
+        demand: PredictedDemand,
+        start_task_id: int,
+        threshold: Optional[float] = None,
+    ) -> List[Task]:
+        """Create predicted :class:`Task` objects from thresholded demand."""
+        threshold = self.threshold if threshold is None else threshold
+        tasks: List[Task] = []
+        next_id = start_task_id
+        for cell in range(demand.probabilities.shape[0]):
+            center = self._cell_location(cell)
+            for interval in range(demand.k):
+                if demand.probabilities[cell, interval] < threshold:
+                    continue
+                publication = demand.window_start + interval * demand.delta_t
+                tasks.append(
+                    Task(
+                        task_id=next_id,
+                        location=center,
+                        publication_time=publication,
+                        expiration_time=publication + self.task_valid_duration,
+                        predicted=True,
+                    )
+                )
+                next_id += 1
+        return tasks
+
+    def predict_tasks(
+        self,
+        history_windows: np.ndarray,
+        window_start: float,
+        start_task_id: int,
+    ) -> List[Task]:
+        """Convenience: model forward pass plus task materialisation."""
+        demand = self.predict_window(history_windows, window_start)
+        return self.materialize_tasks(demand, start_task_id)

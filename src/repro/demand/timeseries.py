@@ -1,0 +1,167 @@
+"""The task multivariate time series of Section III-A (Eq. 2).
+
+For every grid cell ``i`` the historical task stream is summarised as a
+sequence of vectors ``c_i^t`` of ``k`` binary dimensions; dimension ``j`` is
+1 iff at least one task was published in cell ``i`` during the ``j``-th
+sub-interval of length ``delta_t`` inside the window starting at ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.task import Task
+from repro.spatial.grid import GridSpec
+
+
+@dataclass
+class TaskMultivariateTimeSeries:
+    """Binary occupancy series for every grid cell.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(P, M, k)``: ``P`` windows, ``M`` grid cells,
+        ``k`` sub-intervals per window.
+    start_time:
+        ``t_0``, the left edge of the first window.
+    delta_t:
+        Sub-interval length ``delta_T``.
+    k:
+        Number of sub-intervals per window (the user-specified ``k > 1``).
+    grid:
+        The grid the cells refer to.
+    """
+
+    values: np.ndarray
+    start_time: float
+    delta_t: float
+    k: int
+    grid: GridSpec
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 3:
+            raise ValueError("values must have shape (windows, cells, k)")
+        if self.values.shape[1] != self.grid.num_cells:
+            raise ValueError("number of cells does not match the grid")
+        if self.values.shape[2] != self.k:
+            raise ValueError("third dimension must equal k")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_windows(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_cells(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def window_length(self) -> float:
+        """Length ``k * delta_T`` of each window."""
+        return self.k * self.delta_t
+
+    def window_start(self, index: int) -> float:
+        """Left time edge of window ``index``."""
+        return self.start_time + index * self.window_length
+
+    def cell_series(self, cell: int) -> np.ndarray:
+        """The paper's ``C_i``: all windows for a single cell, ``(P, k)``."""
+        return self.values[:, cell, :]
+
+    def occupancy_rate(self) -> float:
+        """Fraction of (window, cell, interval) slots containing a task."""
+        return float(self.values.mean()) if self.values.size else 0.0
+
+
+def build_time_series(
+    tasks: Iterable[Task],
+    grid: GridSpec,
+    start_time: float,
+    end_time: float,
+    delta_t: float,
+    k: int,
+) -> TaskMultivariateTimeSeries:
+    """Build the task multivariate time series from a task stream.
+
+    Tasks published outside ``[start_time, end_time)`` are ignored.  The
+    number of windows ``P`` is the largest integer such that
+    ``start_time + P * k * delta_t <= end_time`` (partial trailing windows
+    are dropped so that every window has exactly ``k`` sub-intervals).
+    """
+    if delta_t <= 0:
+        raise ValueError("delta_t must be positive")
+    if k < 2:
+        raise ValueError("k must be at least 2 (the paper requires k > 1)")
+    if end_time <= start_time:
+        raise ValueError("end_time must be after start_time")
+    window_length = k * delta_t
+    num_windows = int((end_time - start_time) // window_length)
+    if num_windows < 1:
+        raise ValueError("time range too short for a single window")
+    values = np.zeros((num_windows, grid.num_cells, k))
+    horizon = start_time + num_windows * window_length
+    for task in tasks:
+        t = task.publication_time
+        if not start_time <= t < horizon:
+            continue
+        offset = t - start_time
+        window = int(offset // window_length)
+        sub = int((offset - window * window_length) // delta_t)
+        sub = min(sub, k - 1)
+        cell = grid.cell_index(task.location)
+        values[window, cell, sub] = 1.0
+    return TaskMultivariateTimeSeries(values, start_time, delta_t, k, grid)
+
+
+def sliding_windows(
+    series: TaskMultivariateTimeSeries, history: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (input, target) pairs for supervised next-window prediction.
+
+    Parameters
+    ----------
+    series:
+        Full multivariate time series.
+    history:
+        Number of past windows ``P`` used to predict the next one.
+
+    Returns
+    -------
+    inputs:
+        ``(N, history, M, k)`` array of past windows.
+    targets:
+        ``(N, M, k)`` array of the windows to predict.
+    """
+    if history < 1:
+        raise ValueError("history must be at least 1")
+    total = series.num_windows
+    if total <= history:
+        raise ValueError(
+            f"series has {total} windows, need more than history={history}"
+        )
+    inputs: List[np.ndarray] = []
+    targets: List[np.ndarray] = []
+    for end in range(history, total):
+        inputs.append(series.values[end - history:end])
+        targets.append(series.values[end])
+    return np.stack(inputs), np.stack(targets)
+
+
+def train_test_split_windows(
+    inputs: np.ndarray, targets: np.ndarray, train_fraction: float = 0.8
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chronological train/test split of windowed samples.
+
+    The paper uses 80% of the data for training and 20% for testing; a
+    chronological split avoids look-ahead leakage.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    n = inputs.shape[0]
+    cut = max(1, min(n - 1, int(round(n * train_fraction))))
+    return inputs[:cut], targets[:cut], inputs[cut:], targets[cut:]

@@ -1,0 +1,28 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+* :mod:`repro.experiments.config` — the Table III parameter grid and the
+  scaled-down defaults used in CI-sized runs.
+* :mod:`repro.experiments.prediction_experiments` — Figures 5 and 6
+  (demand prediction quality and cost versus the time interval).
+* :mod:`repro.experiments.assignment_experiments` — Figures 7-11
+  (assigned tasks and CPU time under the parameter sweeps).
+* :mod:`repro.experiments.reporting` — plain-text tables mirroring the
+  paper's rows/series.
+"""
+
+from repro.experiments.config import ExperimentScale, PAPER_PARAMETERS, QUICK_PARAMETERS
+from repro.experiments.prediction_experiments import PredictionExperiment, PredictionRow
+from repro.experiments.assignment_experiments import AssignmentExperiment, AssignmentRow
+from repro.experiments.reporting import format_table, table2_rows
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_PARAMETERS",
+    "QUICK_PARAMETERS",
+    "PredictionExperiment",
+    "PredictionRow",
+    "AssignmentExperiment",
+    "AssignmentRow",
+    "format_table",
+    "table2_rows",
+]

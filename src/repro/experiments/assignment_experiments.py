@@ -1,0 +1,192 @@
+"""Figures 7-11: task-assignment performance under parameter sweeps.
+
+Each figure varies a single parameter (number of tasks, number of workers,
+reachable distance, worker availability window, task valid time) and
+compares the five methods on the number of assigned tasks and the CPU time
+per planning instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.assignment.planner import PlannerConfig
+from repro.core.problem import ATAInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.datasets.didi import generate_didi
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.datasets.yueche import generate_yueche
+from repro.demand.ddgnn import DDGNN
+from repro.demand.predictor import DemandPredictor
+from repro.demand.timeseries import build_time_series, sliding_windows
+from repro.demand.training import DemandTrainer
+from repro.experiments.config import ASSIGNMENT_METHODS, ExperimentScale
+from repro.simulation.platform import PlatformConfig
+from repro.simulation.runner import SimulationRunner
+from repro.spatial.grid import GridSpec
+
+
+@dataclass
+class AssignmentRow:
+    """One (parameter value, method) cell of Figures 7-11."""
+
+    dataset: str
+    parameter: str
+    value: float
+    method: str
+    assigned_tasks: int
+    mean_cpu_time: float
+
+    def as_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class AssignmentExperiment:
+    """Driver for one sweep (one figure) on one dataset."""
+
+    dataset: str = "yueche"
+    scale: ExperimentScale = field(default_factory=ExperimentScale.quick)
+    methods: Sequence[str] = tuple(ASSIGNMENT_METHODS)
+    seed: int = 0
+    k: int = 4
+    delta_t: float = 5.0
+    train_predictor: bool = True
+
+    def __post_init__(self) -> None:
+        self._workload: Optional[SyntheticWorkload] = None
+        self._predicted_tasks: Optional[List[Task]] = None
+
+    # ------------------------------------------------------------------ #
+    # Workload and prediction setup
+    # ------------------------------------------------------------------ #
+    def workload(self) -> SyntheticWorkload:
+        if self._workload is None:
+            if self.dataset.lower() == "yueche":
+                self._workload = generate_yueche(scale=self.scale.workload_scale, seed=self.seed + 11)
+            elif self.dataset.lower() == "didi":
+                self._workload = generate_didi(scale=self.scale.workload_scale, seed=self.seed + 23)
+            else:
+                raise ValueError(f"unknown dataset {self.dataset!r}")
+        return self._workload
+
+    def predicted_tasks(self) -> List[Task]:
+        """Predicted tasks used by DTA+TP and DATA-WA (trained DDGNN)."""
+        if self._predicted_tasks is not None:
+            return self._predicted_tasks
+        workload = self.workload()
+        grid = GridSpec(workload.city.bounds, rows=self.scale.grid_rows, cols=self.scale.grid_cols)
+        all_tasks = workload.historical_tasks + workload.instance.tasks
+        end = workload.config.history_horizon + workload.config.horizon
+        series = build_time_series(all_tasks, grid, 0.0, end, delta_t=self.delta_t, k=self.k)
+        history = self.scale.history
+
+        model = DDGNN(num_cells=grid.num_cells, k=self.k, history=history, seed=self.seed)
+        if self.train_predictor and series.num_windows > history + 2:
+            inputs, targets = sliding_windows(series, history=history)
+            trainer = DemandTrainer(model, epochs=max(2, self.scale.epochs // 2), seed=self.seed)
+            trainer.fit(inputs, targets)
+
+        predictor = DemandPredictor(
+            model,
+            grid,
+            delta_t=self.delta_t,
+            threshold=0.85,
+            task_valid_duration=workload.config.task_valid_time,
+            historical_tasks=workload.historical_tasks,
+        )
+        predicted: List[Task] = []
+        next_id = 5_000_000
+        eval_start_window = int(workload.config.history_horizon // series.window_length)
+        for window in range(max(eval_start_window, history), series.num_windows):
+            history_slice = series.values[window - history:window]
+            tasks = predictor.predict_tasks(history_slice, series.window_start(window), next_id)
+            next_id += len(tasks) + 1
+            predicted.extend(tasks)
+        self._predicted_tasks = predicted
+        return predicted
+
+    # ------------------------------------------------------------------ #
+    # Instance derivation for each sweep
+    # ------------------------------------------------------------------ #
+    def _base_instance(self) -> ATAInstance:
+        return self.workload().instance
+
+    def _with_num_tasks(self, value: int) -> ATAInstance:
+        base = self._base_instance()
+        return base.restrict(num_tasks=min(value, base.num_tasks), seed=self.seed)
+
+    def _with_num_workers(self, value: int) -> ATAInstance:
+        base = self._base_instance()
+        return base.restrict(num_workers=min(value, base.num_workers), seed=self.seed)
+
+    def _with_reachable_distance(self, value: float) -> ATAInstance:
+        base = self._base_instance()
+        workers = [dataclasses.replace(w, reachable_distance=float(value)) for w in base.workers]
+        return ATAInstance(workers, list(base.tasks), travel=base.travel, name=base.name)
+
+    def _with_available_time(self, hours: float) -> ATAInstance:
+        base = self._base_instance()
+        seconds = float(hours) * 3600.0
+        workers = [
+            dataclasses.replace(w, off_time=w.on_time + seconds, windows=())
+            for w in base.workers
+        ]
+        return ATAInstance(workers, list(base.tasks), travel=base.travel, name=base.name)
+
+    def _with_valid_time(self, seconds: float) -> ATAInstance:
+        base = self._base_instance()
+        tasks = [
+            dataclasses.replace(t, expiration_time=t.publication_time + float(seconds))
+            for t in base.tasks
+        ]
+        return ATAInstance(list(base.workers), tasks, travel=base.travel, name=base.name)
+
+    _SWEEPS = {
+        "num_tasks": "_with_num_tasks",
+        "num_workers": "_with_num_workers",
+        "reachable_distance": "_with_reachable_distance",
+        "available_time": "_with_available_time",
+        "valid_time": "_with_valid_time",
+    }
+
+    # ------------------------------------------------------------------ #
+    def run_single(self, parameter: str, value: float, methods: Optional[Sequence[str]] = None) -> List[AssignmentRow]:
+        """Run every method on the instance derived for one parameter value."""
+        if parameter not in self._SWEEPS:
+            raise ValueError(f"unknown sweep parameter {parameter!r}; choose from {sorted(self._SWEEPS)}")
+        methods = list(methods or self.methods)
+        instance = getattr(self, self._SWEEPS[parameter])(value)
+        needs_prediction = any(m.upper() in ("DTA+TP", "DATA-WA") for m in methods)
+        predicted = self.predicted_tasks() if needs_prediction else []
+
+        runner = SimulationRunner(
+            instance,
+            platform_config=PlatformConfig(replan_interval=self.scale.replan_interval),
+            planner_config=PlannerConfig(max_reachable=6, max_sequence_length=2, node_budget=4000),
+            predicted_tasks=predicted,
+        )
+        rows: List[AssignmentRow] = []
+        for method in methods:
+            report = runner.run_strategy(method)
+            rows.append(
+                AssignmentRow(
+                    dataset=self.dataset,
+                    parameter=parameter,
+                    value=float(value),
+                    method=method,
+                    assigned_tasks=report.assigned_tasks,
+                    mean_cpu_time=report.mean_cpu_time,
+                )
+            )
+        return rows
+
+    def run_sweep(self, parameter: str, values: Sequence[float], methods: Optional[Sequence[str]] = None) -> List[AssignmentRow]:
+        """Run a whole figure: every value of the sweep, every method."""
+        rows: List[AssignmentRow] = []
+        for value in values:
+            rows.extend(self.run_single(parameter, value, methods=methods))
+        return rows

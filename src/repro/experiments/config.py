@@ -1,0 +1,110 @@
+"""Experiment parameter grids (Table III) and run-time scaling.
+
+The paper's full sweeps replay two-hour traces with up to 11,000 tasks and
+training runs measured in hours.  ``ExperimentScale`` lets the same harness
+run at three sizes:
+
+* ``paper``  — the full Table III grid (hours of compute),
+* ``default`` — a faithful but reduced grid for local runs,
+* ``quick``  — the miniature grid used by the test-suite and the
+  pytest-benchmark targets so they finish in minutes.
+
+Whatever the scale, every figure keeps its sweep structure (same parameter
+being varied, same methods compared) so the *shape* of the results is
+directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+#: Table III, defaults underlined in the paper.
+PAPER_PARAMETERS: Dict[str, Dict] = {
+    "delta_t": {"values": [5, 6, 7, 8, 9], "default": 5},
+    "num_tasks_yueche": {"values": [7000, 8000, 9000, 10000, 11000], "default": 11000},
+    "num_tasks_didi": {"values": [5000, 6000, 7000, 8000, 9000], "default": 8869},
+    "num_workers_yueche": {"values": [200, 300, 400, 500, 600], "default": 600},
+    "num_workers_didi": {"values": [300, 400, 500, 600, 700], "default": 700},
+    "reachable_distance": {"values": [0.05, 0.1, 0.5, 1.0, 5.0], "default": 1.0},
+    "available_time_hours": {"values": [0.25, 0.5, 0.75, 1.0, 1.25], "default": 1.0},
+    "valid_time": {"values": [10, 20, 30, 40, 50], "default": 40},
+}
+
+#: Miniature grid with the same structure, used by tests and benchmarks.
+QUICK_PARAMETERS: Dict[str, Dict] = {
+    "delta_t": {"values": [5, 7, 9], "default": 5},
+    "num_tasks_yueche": {"values": [300, 400, 500], "default": 500},
+    "num_tasks_didi": {"values": [240, 320, 400], "default": 400},
+    "num_workers_yueche": {"values": [30, 45, 60], "default": 60},
+    "num_workers_didi": {"values": [40, 55, 70], "default": 70},
+    "reachable_distance": {"values": [0.1, 0.5, 1.0, 5.0], "default": 1.0},
+    "available_time_hours": {"values": [0.25, 0.75, 1.25], "default": 1.0},
+    "valid_time": {"values": [20, 40, 60], "default": 40},
+}
+
+#: The five assignment methods of Section V-B.2, in the paper's order.
+ASSIGNMENT_METHODS: List[str] = ["Greedy", "FTA", "DTA", "DTA+TP", "DATA-WA"]
+
+#: The three demand predictors of Section V-B.1.
+PREDICTION_METHODS: List[str] = ["LSTM", "Graph-Wavenet", "DDGNN"]
+
+
+@dataclass
+class ExperimentScale:
+    """Controls how large the generated workloads and sweeps are."""
+
+    name: str = "quick"
+    #: Fraction of the Table II worker / task counts to generate.
+    workload_scale: float = 0.05
+    #: Grid resolution used by the demand predictor.
+    grid_rows: int = 6
+    grid_cols: int = 6
+    #: History windows fed to the predictor and training epochs.
+    history: int = 6
+    epochs: int = 8
+    #: Replanning cadence of the simulation platform (simulated seconds).
+    replan_interval: float = 30.0
+    #: Parameter grid to sweep.
+    parameters: Dict[str, Dict] = field(default_factory=lambda: dict(QUICK_PARAMETERS))
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Miniature scale for tests and CI benchmarks."""
+        return cls()
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        """Medium scale for local experimentation."""
+        return cls(
+            name="default",
+            workload_scale=0.2,
+            grid_rows=8,
+            grid_cols=8,
+            history=8,
+            epochs=20,
+            replan_interval=15.0,
+            parameters=dict(QUICK_PARAMETERS),
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """Full paper-scale sweeps (expect long runtimes)."""
+        return cls(
+            name="paper",
+            workload_scale=1.0,
+            grid_rows=10,
+            grid_cols=10,
+            history=12,
+            epochs=50,
+            replan_interval=5.0,
+            parameters=dict(PAPER_PARAMETERS),
+        )
+
+    # ------------------------------------------------------------------ #
+    def parameter_values(self, key: str) -> Sequence:
+        return self.parameters[key]["values"]
+
+    def parameter_default(self, key: str):
+        return self.parameters[key]["default"]

@@ -1,0 +1,175 @@
+"""Figures 5 and 6: task-demand-prediction performance versus ``delta_T``.
+
+For every time interval the experiment builds the task multivariate time
+series from the dataset's historical hour plus the evaluation window,
+trains each predictor (LSTM, Graph-WaveNet, DDGNN), and reports
+
+* Average Precision on a chronological 80/20 test split (subfigure a),
+* the number of tasks assigned when DTA+TP plans with each predictor's
+  predicted tasks (subfigure b; optional because it replays the simulator),
+* training time (subfigure c) and testing time (subfigure d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.demand.baselines import GraphWaveNetDemandModel, LSTMDemandModel
+from repro.demand.ddgnn import DDGNN
+from repro.demand.predictor import DemandPredictor
+from repro.demand.timeseries import build_time_series, sliding_windows, train_test_split_windows
+from repro.demand.training import DemandTrainer
+from repro.experiments.config import ExperimentScale, PREDICTION_METHODS
+from repro.datasets.synthetic import SyntheticWorkload
+from repro.datasets.yueche import generate_yueche
+from repro.datasets.didi import generate_didi
+from repro.spatial.grid import GridSpec
+
+
+@dataclass
+class PredictionRow:
+    """One (delta_t, method) cell of Figure 5/6."""
+
+    dataset: str
+    delta_t: float
+    method: str
+    average_precision: float
+    training_time: float
+    testing_time: float
+    assigned_tasks: Optional[int] = None
+
+    def as_dict(self) -> Dict:
+        return {
+            "dataset": self.dataset,
+            "delta_t": self.delta_t,
+            "method": self.method,
+            "average_precision": self.average_precision,
+            "training_time": self.training_time,
+            "testing_time": self.testing_time,
+            "assigned_tasks": self.assigned_tasks,
+        }
+
+
+def _build_model(method: str, num_cells: int, k: int, history: int, seed: int = 0):
+    """Instantiate one of the three predictors by its paper name."""
+    key = method.strip().lower().replace("-", "").replace("_", "")
+    if key == "lstm":
+        return LSTMDemandModel(num_cells=num_cells, k=k, history=history, seed=seed)
+    if key in ("graphwavenet", "graphwavenetstyle"):
+        return GraphWaveNetDemandModel(num_cells=num_cells, k=k, history=history, seed=seed)
+    if key == "ddgnn":
+        return DDGNN(num_cells=num_cells, k=k, history=history, seed=seed)
+    raise ValueError(f"unknown prediction method {method!r}")
+
+
+@dataclass
+class PredictionExperiment:
+    """Driver regenerating Figure 5 (Yueche) or Figure 6 (DiDi)."""
+
+    dataset: str = "yueche"
+    scale: ExperimentScale = field(default_factory=ExperimentScale.quick)
+    k: int = 4
+    methods: Sequence[str] = tuple(PREDICTION_METHODS)
+    seed: int = 0
+    include_assignment: bool = False
+
+    # ------------------------------------------------------------------ #
+    def _generate_workload(self) -> SyntheticWorkload:
+        if self.dataset.lower() == "yueche":
+            return generate_yueche(scale=self.scale.workload_scale, seed=self.seed + 11)
+        if self.dataset.lower() == "didi":
+            return generate_didi(scale=self.scale.workload_scale, seed=self.seed + 23)
+        raise ValueError(f"unknown dataset {self.dataset!r}")
+
+    def _grid(self, workload: SyntheticWorkload) -> GridSpec:
+        return GridSpec(workload.city.bounds, rows=self.scale.grid_rows, cols=self.scale.grid_cols)
+
+    # ------------------------------------------------------------------ #
+    def run_for_delta_t(self, delta_t: float, workload: Optional[SyntheticWorkload] = None) -> List[PredictionRow]:
+        """Evaluate every method at one time interval."""
+        workload = workload or self._generate_workload()
+        grid = self._grid(workload)
+        all_tasks = workload.historical_tasks + workload.instance.tasks
+        start = 0.0
+        end = workload.config.history_horizon + workload.config.horizon
+        series = build_time_series(all_tasks, grid, start, end, delta_t=delta_t, k=self.k)
+        inputs, targets = sliding_windows(series, history=self.scale.history)
+        train_x, train_y, test_x, test_y = train_test_split_windows(inputs, targets, 0.8)
+
+        rows: List[PredictionRow] = []
+        for method in self.methods:
+            model = _build_model(method, grid.num_cells, self.k, self.scale.history, seed=self.seed)
+            trainer = DemandTrainer(model, epochs=self.scale.epochs, seed=self.seed)
+            result = trainer.fit(train_x, train_y)
+            evaluation = trainer.evaluate(test_x, test_y)
+            assigned = None
+            if self.include_assignment:
+                assigned = self._assignment_with_predictor(workload, grid, model, series, delta_t)
+            rows.append(
+                PredictionRow(
+                    dataset=self.dataset,
+                    delta_t=delta_t,
+                    method=method,
+                    average_precision=float(evaluation["average_precision"]),
+                    training_time=float(result.training_time),
+                    testing_time=float(evaluation["testing_time"]),
+                    assigned_tasks=assigned,
+                )
+            )
+        return rows
+
+    def run(self, delta_t_values: Optional[Sequence[float]] = None) -> List[PredictionRow]:
+        """Full sweep over the delta_T values of Table III."""
+        delta_t_values = delta_t_values or self.scale.parameter_values("delta_t")
+        workload = self._generate_workload()
+        rows: List[PredictionRow] = []
+        for delta_t in delta_t_values:
+            rows.extend(self.run_for_delta_t(float(delta_t), workload=workload))
+        return rows
+
+    # ------------------------------------------------------------------ #
+    def _assignment_with_predictor(
+        self,
+        workload: SyntheticWorkload,
+        grid: GridSpec,
+        model,
+        series,
+        delta_t: float,
+    ) -> int:
+        """Number of tasks assigned by DTA+TP using this predictor (Fig. 5b/6b)."""
+        from repro.assignment.planner import PlannerConfig
+        from repro.simulation.platform import PlatformConfig
+        from repro.simulation.runner import SimulationRunner
+
+        predictor = DemandPredictor(
+            model,
+            grid,
+            delta_t=delta_t,
+            threshold=0.85,
+            task_valid_duration=workload.config.task_valid_time,
+            historical_tasks=workload.historical_tasks,
+        )
+        history = self.scale.history
+        predicted_tasks = []
+        next_id = 5_000_000
+        # Predict every window of the evaluation horizon from the preceding
+        # `history` observed windows.
+        eval_start_window = int(workload.config.history_horizon // series.window_length)
+        for window in range(max(eval_start_window, history), series.num_windows):
+            history_slice = series.values[window - history:window]
+            window_start = series.window_start(window)
+            tasks = predictor.predict_tasks(history_slice, window_start, next_id)
+            next_id += len(tasks) + 1
+            predicted_tasks.extend(tasks)
+
+        runner = SimulationRunner(
+            workload.instance,
+            platform_config=PlatformConfig(replan_interval=self.scale.replan_interval),
+            planner_config=PlannerConfig(max_reachable=6, max_sequence_length=2, node_budget=4000),
+            predicted_tasks=predicted_tasks,
+        )
+        report = runner.run_strategy("DTA+TP")
+        return report.assigned_tasks

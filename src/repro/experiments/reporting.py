@@ -1,0 +1,71 @@
+"""Plain-text reporting helpers mirroring the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str], title: str = "") -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    header = [str(c) for c in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([_format_cell(row.get(column)) for column in columns])
+    widths = [len(h) for h in header]
+    for line in body:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 100 or value == int(value):
+            return f"{value:.1f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def table2_rows(workloads: Iterable) -> List[Dict]:
+    """Table II: dataset statistics for generated workloads."""
+    rows: List[Dict] = []
+    for workload in workloads:
+        instance = workload.instance
+        rows.append(
+            {
+                "Dataset": workload.name,
+                "|W|": instance.num_workers,
+                "|S|": instance.num_tasks,
+                "Time range (s)": f"{instance.start_time:.0f}-{instance.end_time:.0f}",
+                "Region": f"{workload.city.bounds.width:.0f}x{workload.city.bounds.height:.0f} km",
+            }
+        )
+    return rows
+
+
+def pivot_rows(rows: Sequence[Dict], index: str, column: str, value: str) -> List[Dict]:
+    """Pivot long-format experiment rows into one row per index value.
+
+    Useful to print figure series the way the paper plots them: one line
+    per x-axis value, one column per method.
+    """
+    columns = sorted({str(row[column]) for row in rows})
+    grouped: Dict = {}
+    for row in rows:
+        grouped.setdefault(row[index], {})[str(row[column])] = row[value]
+    out: List[Dict] = []
+    for key in sorted(grouped):
+        entry = {index: key}
+        for col in columns:
+            entry[col] = grouped[key].get(col)
+        out.append(entry)
+    return out

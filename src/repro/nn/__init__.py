@@ -1,0 +1,57 @@
+"""A small, dependency-free neural-network substrate built on NumPy.
+
+The DATA-WA paper relies on a deep-learning stack for its demand predictor
+(DDGNN and the Graph-WaveNet / LSTM baselines) and for the reinforcement-
+learning Task Value Function.  This package provides the minimal pieces of
+such a stack — a reverse-mode autograd :class:`Tensor`, common layers
+(linear, dilated causal convolution, LSTM/GRU), losses and optimizers — so
+the whole reproduction runs with NumPy alone.
+
+The public surface mirrors the conventional ``torch.nn`` layout closely
+enough that the model code in :mod:`repro.demand` and
+:mod:`repro.assignment.tvf` reads like ordinary deep-learning code.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, tensor
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Linear, Dropout, Embedding, LayerNorm
+from repro.nn.conv import Conv1d, CausalConv1d, GatedTCNBlock
+from repro.nn.recurrent import LSTMCell, LSTM, GRUCell, GRU
+from repro.nn import activations, functional, init
+from repro.nn.activations import ReLU, Tanh, Sigmoid, Softmax
+from repro.nn.losses import MSELoss, BCELoss, BCEWithLogitsLoss, HuberLoss
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "Conv1d",
+    "CausalConv1d",
+    "GatedTCNBlock",
+    "LSTMCell",
+    "LSTM",
+    "GRUCell",
+    "GRU",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "MSELoss",
+    "BCELoss",
+    "BCEWithLogitsLoss",
+    "HuberLoss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "activations",
+    "functional",
+    "init",
+]

@@ -1,0 +1,49 @@
+"""Activation modules built on top of :class:`repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Softmax(Module):
+    """Softmax along a configurable axis (default: last)."""
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.softmax(axis=self.axis)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with a configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu() - (-x).relu() * self.negative_slope

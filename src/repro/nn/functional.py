@@ -1,0 +1,82 @@
+"""Functional helpers shared by layers and models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, concatenate, stack
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error averaged over every element."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def bce_loss(prediction: Tensor, target: Tensor, eps: float = 1e-7,
+             pos_weight: float | None = None) -> Tensor:
+    """Binary cross-entropy on probabilities in ``(0, 1)``.
+
+    ``pos_weight`` multiplies the positive-class term, the usual remedy for
+    heavily imbalanced occupancy targets (most grid cells are empty in most
+    intervals): without it every prediction collapses towards the base rate
+    and never crosses a high decision threshold such as the paper's 0.85.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    clipped = prediction.clip(eps, 1.0 - eps)
+    positive_term = target * clipped.log()
+    if pos_weight is not None and pos_weight != 1.0:
+        positive_term = positive_term * float(pos_weight)
+    loss = -(positive_term + (1.0 - target) * (1.0 - clipped).log())
+    return loss.mean()
+
+
+def bce_with_logits_loss(logits: Tensor, target: Tensor) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits."""
+    return bce_loss(logits.sigmoid(), target)
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber (smooth L1) loss, useful for Q-learning targets."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    abs_diff = (diff * diff + 1e-12) ** 0.5
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - 0.5 * delta * delta
+    mask = Tensor((np.abs(diff.data) <= delta).astype(np.float64))
+    return (mask * quadratic + (1.0 - mask) * linear).mean()
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer array."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros((*indices.shape, num_classes))
+    np.put_along_axis(out.reshape(-1, num_classes), indices.reshape(-1, 1), 1.0, axis=1)
+    return out
+
+
+def cat(tensors, axis: int = 0) -> Tensor:
+    """Alias for :func:`repro.nn.tensor.concatenate`."""
+    return concatenate(tensors, axis=axis)
+
+
+def stack_tensors(tensors, axis: int = 0) -> Tensor:
+    """Alias for :func:`repro.nn.tensor.stack`."""
+    return stack(tensors, axis=axis)

@@ -1,0 +1,55 @@
+"""Weight initialisation schemes for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed: int | None = None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def xavier_uniform(shape: tuple, gain: float = 1.0, seed: int | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Suitable for tanh/sigmoid activations (used in the gated TCN and the
+    adjacency-learning embeddings).
+    """
+    fan_in, fan_out = _compute_fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(seed).uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple, seed: int | None = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation, suited for ReLU activations."""
+    fan_in, _ = _compute_fans(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return _rng(seed).uniform(-limit, limit, size=shape)
+
+
+def uniform(shape: tuple, low: float = -0.1, high: float = 0.1, seed: int | None = None) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high)``."""
+    return _rng(seed).uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-ones initialisation."""
+    return np.ones(shape)
+
+
+def _compute_fans(shape: tuple) -> tuple[int, int]:
+    """Compute fan-in and fan-out for a weight tensor shape."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Convolution kernels: (out_channels, in_channels, *kernel_dims)
+    receptive = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out

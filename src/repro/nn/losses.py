@@ -1,0 +1,47 @@
+"""Loss modules for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MSELoss(Module):
+    """Mean squared error — used for the TVF Q-learning regression (Eq. 12)."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.mse_loss(prediction, target)
+
+
+class BCELoss(Module):
+    """Binary cross entropy on probabilities — used for demand occurrence.
+
+    ``pos_weight`` up-weights the positive class to counter the sparsity of
+    task occupancy targets.
+    """
+
+    def __init__(self, pos_weight: float | None = None) -> None:
+        super().__init__()
+        self.pos_weight = pos_weight
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.bce_loss(prediction, target, pos_weight=self.pos_weight)
+
+
+class BCEWithLogitsLoss(Module):
+    """Binary cross entropy applied to raw logits."""
+
+    def forward(self, logits: Tensor, target: Tensor) -> Tensor:
+        return F.bce_with_logits_loss(logits, target)
+
+
+class HuberLoss(Module):
+    """Huber loss with configurable delta."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        super().__init__()
+        self.delta = delta
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.huber_loss(prediction, target, delta=self.delta)

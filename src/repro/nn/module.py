@@ -1,0 +1,150 @@
+"""Module and Parameter abstractions for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a learnable parameter."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` walks the attribute tree to collect every
+    learnable parameter, mirroring the familiar ``torch.nn.Module`` contract.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Parameter management
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """Return every learnable parameter reachable from this module."""
+        params: List[Parameter] = []
+        seen: set[int] = set()
+        self._collect_parameters(params, seen)
+        return params
+
+    def _collect_parameters(self, params: List[Parameter], seen: set) -> None:
+        for value in vars(self).values():
+            self._collect_from_value(value, params, seen)
+
+    def _collect_from_value(self, value, params: List[Parameter], seen: set) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                params.append(value)
+        elif isinstance(value, Module):
+            value._collect_parameters(params, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_from_value(item, params, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect_from_value(item, params, seen)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs for checkpointing and debugging."""
+        for name, value in vars(self).items():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the module."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Train / eval switches
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value.train(mode)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # State dict (plain NumPy arrays keyed by parameter name)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+    def append(self, module: Module) -> "Sequential":
+        self.modules.append(module)
+        return self

@@ -1,0 +1,514 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+The :class:`Tensor` class wraps a ``numpy.ndarray`` and records the
+operations applied to it so that gradients can be propagated backwards with
+:meth:`Tensor.backward`.  The implementation is intentionally small: it
+covers exactly the operations required by the models in this repository
+(element-wise arithmetic, matrix multiplication, reductions, reshaping,
+slicing, concatenation, and the usual nonlinearities) while keeping the
+semantics of broadcasting identical to NumPy's.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient tracking.
+
+    Used during evaluation / inference so that forward passes do not build a
+    computation graph.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient tracking is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` so that it has ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[], None]] = None
+        self._parents: tuple = tuple(_parents) if self.requires_grad or _parents else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying data as a (read-write) NumPy array."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    def _make(self, data, parents, op, backward):
+        requires = any(p.requires_grad for p in parents) and _GRAD_ENABLED
+        out = Tensor(data, requires_grad=requires, _parents=parents if requires else (), _op=op)
+        if requires:
+            out._backward = backward(out)
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad)
+                if other.requires_grad:
+                    other._accumulate(out.grad)
+            return fn
+
+        return self._make(data, (self, other), "add", backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(-out.grad)
+            return fn
+
+        return self._make(data, (self,), "neg", backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * other.data)
+                if other.requires_grad:
+                    other._accumulate(out.grad * self.data)
+            return fn
+
+        return self._make(data, (self, other), "mul", backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad / other.data)
+                if other.requires_grad:
+                    other._accumulate(-out.grad * self.data / (other.data ** 2))
+            return fn
+
+        return self._make(data, (self, other), "div", backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data ** exponent
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+            return fn
+
+        return self._make(data, (self,), "pow", backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other.data
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    if other.data.ndim == 1:
+                        grad = np.outer(out.grad, other.data) if out.grad.ndim == 1 else out.grad[..., None] * other.data
+                        if self.data.ndim == 1:
+                            grad = out.grad @ other.data.T if other.data.ndim > 1 else out.grad * other.data
+                        self._accumulate(np.asarray(grad).reshape(self.data.shape))
+                    else:
+                        grad = out.grad @ np.swapaxes(other.data, -1, -2)
+                        self._accumulate(_unbroadcast(grad, self.data.shape))
+                if other.requires_grad:
+                    if self.data.ndim == 1:
+                        grad = np.outer(self.data, out.grad)
+                        other._accumulate(_unbroadcast(grad, other.data.shape))
+                    else:
+                        grad = np.swapaxes(self.data, -1, -2) @ out.grad
+                        other._accumulate(_unbroadcast(grad, other.data.shape))
+            return fn
+
+        return self._make(data, (self, other), "matmul", backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(out):
+            def fn():
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                self._accumulate(np.broadcast_to(grad, self.data.shape))
+            return fn
+
+        return self._make(data, (self,), "sum", backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.mean(axis=axis, keepdims=keepdims)
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+
+        def backward(out):
+            def fn():
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                self._accumulate(np.broadcast_to(grad, self.data.shape) / count)
+            return fn
+
+        return self._make(data, (self,), "mean", backward)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(out):
+            def fn():
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                full = self.data.max(axis=axis, keepdims=True)
+                mask = (self.data == full).astype(np.float64)
+                mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                self._accumulate(np.broadcast_to(grad, self.data.shape) * mask)
+            return fn
+
+        return self._make(data, (self,), "max", backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad.reshape(self.data.shape))
+            return fn
+
+        return self._make(data, (self,), "reshape", backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad.transpose(inverse))
+            return fn
+
+        return self._make(data, (self,), "transpose", backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(out):
+            def fn():
+                if not self.requires_grad:
+                    return
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+            return fn
+
+        return self._make(data, (self,), "getitem", backward)
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * data)
+            return fn
+
+        return self._make(data, (self,), "exp", backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad / self.data)
+            return fn
+
+        return self._make(data, (self,), "log", backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * (1.0 - data ** 2))
+            return fn
+
+        return self._make(data, (self,), "tanh", backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * data * (1.0 - data))
+            return fn
+
+        return self._make(data, (self,), "sigmoid", backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        data = self.data * mask
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * mask)
+            return fn
+
+        return self._make(data, (self,), "relu", backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        data = exps / exps.sum(axis=axis, keepdims=True)
+
+        def backward(out):
+            def fn():
+                if not self.requires_grad:
+                    return
+                dot = (out.grad * data).sum(axis=axis, keepdims=True)
+                self._accumulate(data * (out.grad - dot))
+            return fn
+
+        return self._make(data, (self,), "softmax", backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+
+        def backward(out):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * mask)
+            return fn
+
+        return self._make(data, (self,), "clip", backward)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the loss with respect to this tensor.  Defaults to 1
+            for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float64).reshape(self.data.shape)
+
+        # Topological sort of the computation graph.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors) and _GRAD_ENABLED
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else (), _op="concat")
+    if requires:
+        sizes = [t.data.shape[axis] for t in tensors]
+
+        def fn():
+            start = 0
+            for t, size in zip(tensors, sizes):
+                if t.requires_grad:
+                    index = [slice(None)] * data.ndim
+                    index[axis] = slice(start, start + size)
+                    t._accumulate(out.grad[tuple(index)])
+                start += size
+
+        out._backward = fn
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors) and _GRAD_ENABLED
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else (), _op="stack")
+    if requires:
+        def fn():
+            for i, t in enumerate(tensors):
+                if t.requires_grad:
+                    t._accumulate(np.take(out.grad, i, axis=axis))
+
+        out._backward = fn
+    return out

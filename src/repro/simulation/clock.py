@@ -1,0 +1,43 @@
+"""A simple simulation clock with monotonicity checks."""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Tracks the current simulation time.
+
+    The clock only moves forward; attempts to move it backwards raise,
+    which catches ordering bugs in event processing early.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._time = float(start)
+        self._start = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    @property
+    def elapsed(self) -> float:
+        return self._time - self._start
+
+    def advance_to(self, time: float) -> float:
+        """Move the clock to ``time`` (must not be in the past)."""
+        if time < self._time - 1e-9:
+            raise ValueError(
+                f"cannot move the simulation clock backwards (now={self._time}, requested={time})"
+            )
+        self._time = max(self._time, float(time))
+        return self._time
+
+    def advance_by(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self._time += delta
+        return self._time
+
+    def reset(self, start: float = 0.0) -> None:
+        self._time = float(start)
+        self._start = float(start)

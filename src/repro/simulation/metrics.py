@@ -1,0 +1,57 @@
+"""Metric collection for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimulationMetrics:
+    """Counters and timers accumulated during one simulation run.
+
+    ``cpu_times`` records the wall-clock cost of every planning call so
+    that the paper's "CPU time" metric (average cost of performing task
+    assignment at each time instance) can be reported.
+    """
+
+    assigned_tasks: int = 0
+    dispatched_tasks: int = 0
+    expired_tasks: int = 0
+    replans: int = 0
+    cpu_times: List[float] = field(default_factory=list)
+    assigned_per_worker: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def record_dispatch(self, worker_id: int) -> None:
+        self.dispatched_tasks += 1
+        self.assigned_tasks += 1
+        self.assigned_per_worker[worker_id] = self.assigned_per_worker.get(worker_id, 0) + 1
+
+    def record_expiry(self, count: int = 1) -> None:
+        self.expired_tasks += count
+
+    def record_plan(self, cpu_time: float) -> None:
+        self.replans += 1
+        self.cpu_times.append(cpu_time)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cpu_time(self) -> float:
+        return float(sum(self.cpu_times))
+
+    @property
+    def mean_cpu_time(self) -> float:
+        """Average planning cost per time instance (the paper's CPU time)."""
+        return self.total_cpu_time / len(self.cpu_times) if self.cpu_times else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "assigned_tasks": float(self.assigned_tasks),
+            "dispatched_tasks": float(self.dispatched_tasks),
+            "expired_tasks": float(self.expired_tasks),
+            "replans": float(self.replans),
+            "total_cpu_time": self.total_cpu_time,
+            "mean_cpu_time": self.mean_cpu_time,
+            "active_workers": float(len(self.assigned_per_worker)),
+        }

@@ -1,0 +1,108 @@
+"""High-level runner comparing assignment strategies on an instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.assignment.planner import PlannerConfig
+from repro.assignment.strategies import AssignmentStrategy, make_strategy
+from repro.assignment.tvf import TaskValueFunction
+from repro.core.problem import ATAInstance
+from repro.core.task import Task
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.platform import PlatformConfig, SCPlatform
+
+
+@dataclass
+class SimulationReport:
+    """Result of running one strategy on one instance."""
+
+    strategy: str
+    instance: str
+    assigned_tasks: int
+    mean_cpu_time: float
+    total_cpu_time: float
+    replans: int
+    expired_tasks: int
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_metrics(cls, strategy: str, instance: str, metrics: SimulationMetrics) -> "SimulationReport":
+        return cls(
+            strategy=strategy,
+            instance=instance,
+            assigned_tasks=metrics.assigned_tasks,
+            mean_cpu_time=metrics.mean_cpu_time,
+            total_cpu_time=metrics.total_cpu_time,
+            replans=metrics.replans,
+            expired_tasks=metrics.expired_tasks,
+            details=metrics.as_dict(),
+        )
+
+
+class SimulationRunner:
+    """Run one or several strategies over an ATA instance.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance to replay.
+    platform_config:
+        Replanning cadence and limits.
+    planner_config:
+        Shared planner knobs passed to search-based strategies.
+    predicted_tasks:
+        Optional list of predicted tasks made available to prediction-aware
+        strategies (DTA+TP, DATA-WA).
+    tvf:
+        Optional pre-trained Task Value Function for DATA-WA.
+    """
+
+    def __init__(
+        self,
+        instance: ATAInstance,
+        platform_config: Optional[PlatformConfig] = None,
+        planner_config: Optional[PlannerConfig] = None,
+        predicted_tasks: Optional[Sequence[Task]] = None,
+        tvf: Optional[TaskValueFunction] = None,
+    ) -> None:
+        self.instance = instance
+        self.platform_config = platform_config or PlatformConfig()
+        self.planner_config = planner_config or PlannerConfig()
+        self.predicted_tasks = list(predicted_tasks or [])
+        self.tvf = tvf
+
+    # ------------------------------------------------------------------ #
+    def _predicted_task_provider(self):
+        predicted = self.predicted_tasks
+
+        def provider(now: float) -> List[Task]:
+            return [task for task in predicted if not task.is_expired(now)]
+
+        return provider
+
+    def build_strategy(self, name: str) -> AssignmentStrategy:
+        """Instantiate a strategy by its paper name with shared settings."""
+        import copy
+
+        return make_strategy(
+            name,
+            config=copy.deepcopy(self.planner_config),
+            travel=self.instance.travel,
+            predicted_task_provider=self._predicted_task_provider(),
+            tvf=self.tvf,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_strategy(self, strategy) -> SimulationReport:
+        """Run one strategy (by name or instance) and return its report."""
+        if isinstance(strategy, str):
+            strategy = self.build_strategy(strategy)
+        platform = SCPlatform(self.instance, strategy, self.platform_config)
+        metrics = platform.run()
+        return SimulationReport.from_metrics(strategy.name, self.instance.name, metrics)
+
+    def compare(self, strategy_names: Sequence[str]) -> List[SimulationReport]:
+        """Run several strategies on fresh platforms and collect reports."""
+        return [self.run_strategy(name) for name in strategy_names]

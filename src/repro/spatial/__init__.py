@@ -1,0 +1,33 @@
+"""Spatial substrate: geometry, uniform grids, spatial index, travel models.
+
+The assignment component of DATA-WA reasons about worker reachability
+(travel distance and travel time between locations) and the prediction
+component partitions the study region into disjoint uniform grid cells.
+This package provides both, plus a grid-bucket spatial index so that the
+reachable-task computation scales to thousands of tasks.
+"""
+
+from repro.spatial.geometry import (
+    BoundingBox,
+    Point,
+    euclidean_distance,
+    haversine_distance,
+    manhattan_distance,
+)
+from repro.spatial.grid import GridCell, GridSpec
+from repro.spatial.index import SpatialIndex
+from repro.spatial.travel import TravelModel, EuclideanTravelModel, ManhattanTravelModel
+
+__all__ = [
+    "Point",
+    "BoundingBox",
+    "euclidean_distance",
+    "manhattan_distance",
+    "haversine_distance",
+    "GridSpec",
+    "GridCell",
+    "SpatialIndex",
+    "TravelModel",
+    "EuclideanTravelModel",
+    "ManhattanTravelModel",
+]

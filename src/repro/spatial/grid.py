@@ -1,0 +1,117 @@
+"""Uniform grid partition of the study region.
+
+Section III of the paper partitions the study area into disjoint uniform
+grid cells; each cell's task stream becomes one variable of the task
+multivariate time series.  :class:`GridSpec` maps locations to cell indices
+and back, and enumerates cell adjacency for distance-based adjacency
+baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.spatial.geometry import BoundingBox, Point
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """A single grid cell identified by its (row, col) position."""
+
+    index: int
+    row: int
+    col: int
+    bounds: BoundingBox
+
+    @property
+    def center(self) -> Point:
+        return self.bounds.center
+
+
+class GridSpec:
+    """A uniform ``rows x cols`` partition of a bounding box.
+
+    Parameters
+    ----------
+    bounds:
+        Study region.
+    rows, cols:
+        Number of grid rows and columns; the paper's ``M`` equals
+        ``rows * cols``.
+    """
+
+    def __init__(self, bounds: BoundingBox, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must have at least one row and one column")
+        self.bounds = bounds
+        self.rows = rows
+        self.cols = cols
+        self.cell_width = bounds.width / cols
+        self.cell_height = bounds.height / rows
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells (the paper's ``M``)."""
+        return self.rows * self.cols
+
+    def __len__(self) -> int:
+        return self.num_cells
+
+    # ------------------------------------------------------------------ #
+    def cell_index(self, point: Point) -> int:
+        """Return the flat index of the cell containing ``point``.
+
+        Points outside the bounding box are clamped onto its boundary so
+        that slightly-out-of-range coordinates (GPS noise) still map to a
+        border cell.
+        """
+        clamped = self.bounds.clamp(point)
+        col = int((clamped.x - self.bounds.min_x) / self.cell_width) if self.cell_width > 0 else 0
+        row = int((clamped.y - self.bounds.min_y) / self.cell_height) if self.cell_height > 0 else 0
+        col = min(col, self.cols - 1)
+        row = min(row, self.rows - 1)
+        return row * self.cols + col
+
+    def cell(self, index: int) -> GridCell:
+        """Return the :class:`GridCell` for a flat index."""
+        if not 0 <= index < self.num_cells:
+            raise IndexError(f"cell index {index} out of range [0, {self.num_cells})")
+        row, col = divmod(index, self.cols)
+        bounds = BoundingBox(
+            self.bounds.min_x + col * self.cell_width,
+            self.bounds.min_y + row * self.cell_height,
+            self.bounds.min_x + (col + 1) * self.cell_width,
+            self.bounds.min_y + (row + 1) * self.cell_height,
+        )
+        return GridCell(index=index, row=row, col=col, bounds=bounds)
+
+    def cells(self) -> Iterator[GridCell]:
+        """Iterate over every cell in row-major order."""
+        for index in range(self.num_cells):
+            yield self.cell(index)
+
+    def cell_center(self, index: int) -> Point:
+        """Center point of the cell with flat index ``index``."""
+        return self.cell(index).center
+
+    # ------------------------------------------------------------------ #
+    def neighbors(self, index: int, diagonal: bool = True) -> List[int]:
+        """Indices of cells adjacent to ``index`` (8- or 4-connectivity)."""
+        row, col = divmod(index, self.cols)
+        out: List[int] = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                if not diagonal and abs(dr) + abs(dc) == 2:
+                    continue
+                r, c = row + dr, col + dc
+                if 0 <= r < self.rows and 0 <= c < self.cols:
+                    out.append(r * self.cols + c)
+        return out
+
+    def cell_distance(self, a: int, b: int) -> float:
+        """Euclidean distance between the centers of cells ``a`` and ``b``."""
+        return self.cell_center(a).distance_to(self.cell_center(b))

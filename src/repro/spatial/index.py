@@ -1,0 +1,131 @@
+"""A grid-bucket spatial index supporting range and nearest queries.
+
+The adaptive algorithm recomputes reachable tasks for every worker at every
+arrival event, so the reachable-task query (all items within radius ``d`` of
+a point) must be cheap.  A uniform bucket index gives expected O(1) insertion
+and O(k) range queries for the densities we deal with, without external
+dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.spatial.geometry import Point, euclidean_distance
+
+T = TypeVar("T", bound=Hashable)
+
+
+class SpatialIndex(Generic[T]):
+    """Hash-grid index mapping items to 2-D points.
+
+    Parameters
+    ----------
+    cell_size:
+        Bucket edge length, in the same units as the point coordinates.
+        A good default is the typical query radius.
+    """
+
+    def __init__(self, cell_size: float = 1.0) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._buckets: Dict[Tuple[int, int], set] = defaultdict(set)
+        self._locations: Dict[T, Point] = {}
+
+    # ------------------------------------------------------------------ #
+    def _key(self, point: Point) -> Tuple[int, int]:
+        return (math.floor(point.x / self.cell_size), math.floor(point.y / self.cell_size))
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._locations
+
+    # ------------------------------------------------------------------ #
+    def insert(self, item: T, location: Point) -> None:
+        """Insert ``item`` at ``location`` (moving it if already present)."""
+        if item in self._locations:
+            self.remove(item)
+        self._locations[item] = location
+        self._buckets[self._key(location)].add(item)
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raises ``KeyError`` if it is not indexed."""
+        location = self._locations.pop(item)
+        key = self._key(location)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(item)
+            if not bucket:
+                del self._buckets[key]
+
+    def discard(self, item: T) -> None:
+        """Remove ``item`` if present; no-op otherwise."""
+        if item in self._locations:
+            self.remove(item)
+
+    def location_of(self, item: T) -> Point:
+        """Return the indexed location of ``item``."""
+        return self._locations[item]
+
+    def items(self) -> Iterable[Tuple[T, Point]]:
+        return self._locations.items()
+
+    # ------------------------------------------------------------------ #
+    def query_radius(self, center: Point, radius: float) -> List[T]:
+        """Return every item within Euclidean ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        min_kx, min_ky = self._key(Point(center.x - radius, center.y - radius))
+        max_kx, max_ky = self._key(Point(center.x + radius, center.y + radius))
+        out: List[T] = []
+        for kx in range(min_kx, max_kx + 1):
+            for ky in range(min_ky, max_ky + 1):
+                bucket = self._buckets.get((kx, ky))
+                if not bucket:
+                    continue
+                for item in bucket:
+                    if euclidean_distance(self._locations[item], center) <= radius:
+                        out.append(item)
+        return out
+
+    def nearest(self, center: Point, k: int = 1) -> List[Tuple[T, float]]:
+        """Return up to ``k`` nearest items as ``(item, distance)`` pairs."""
+        if k <= 0:
+            return []
+        if not self._locations:
+            return []
+        # Expanding ring search over buckets; falls back to full scan for
+        # very sparse indexes, which is still correct.
+        best: List[Tuple[T, float]] = []
+        radius = self.cell_size
+        max_radius = self._max_extent() + self.cell_size
+        seen: set = set()
+        while True:
+            candidates = self.query_radius(center, radius)
+            for item in candidates:
+                if item in seen:
+                    continue
+                seen.add(item)
+                best.append((item, euclidean_distance(self._locations[item], center)))
+            if len(best) >= k or radius > max_radius:
+                break
+            radius *= 2.0
+        best.sort(key=lambda pair: pair[1])
+        return best[:k]
+
+    def _max_extent(self) -> float:
+        xs = [p.x for p in self._locations.values()]
+        ys = [p.y for p in self._locations.values()]
+        if not xs:
+            return self.cell_size
+        return max(max(xs) - min(xs), max(ys) - min(ys), self.cell_size)
+
+    def clear(self) -> None:
+        """Remove every item from the index."""
+        self._buckets.clear()
+        self._locations.clear()

@@ -1,0 +1,44 @@
+"""Travel-cost models: the paper's ``td(a, b)`` and ``c(a, b)`` functions.
+
+Definition 3 and the reachability constraints use two primitives: travel
+*distance* ``td(a, b)`` and travel *time* ``c(a, b)``.  The paper treats the
+road network abstractly, so we model travel time as distance divided by a
+constant worker speed; a Manhattan variant approximates street grids.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.spatial.geometry import Point, euclidean_distance, manhattan_distance
+
+
+class TravelModel(ABC):
+    """Abstract travel model exposing distance and time between locations."""
+
+    def __init__(self, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.speed = speed
+
+    @abstractmethod
+    def distance(self, origin: Point, destination: Point) -> float:
+        """Travel distance ``td(a, b)``."""
+
+    def time(self, origin: Point, destination: Point) -> float:
+        """Travel time ``c(a, b) = td(a, b) / speed``."""
+        return self.distance(origin, destination) / self.speed
+
+
+class EuclideanTravelModel(TravelModel):
+    """Straight-line travel at constant speed (the paper's default)."""
+
+    def distance(self, origin: Point, destination: Point) -> float:
+        return euclidean_distance(origin, destination)
+
+
+class ManhattanTravelModel(TravelModel):
+    """City-block travel at constant speed, approximating a street grid."""
+
+    def distance(self, origin: Point, destination: Point) -> float:
+        return manhattan_distance(origin, destination)

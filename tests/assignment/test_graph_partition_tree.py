@@ -1,0 +1,141 @@
+"""Tests for the worker dependency graph, MCS partition and RTC tree."""
+
+import networkx as nx
+import pytest
+
+from repro.assignment.dependency_graph import (
+    are_independent,
+    build_worker_dependency_graph,
+    dependency_components,
+)
+from repro.assignment.partition import (
+    chordal_cliques,
+    chordal_completion,
+    maximum_cardinality_search,
+    partition_quality,
+)
+from repro.assignment.tree import (
+    build_partition_tree,
+    sibling_independence_violations,
+)
+from repro.core.task import Task
+from repro.spatial.geometry import Point
+
+
+def _task(task_id):
+    return Task(task_id, Point(0, 0), 0.0, 10.0)
+
+
+class TestWorkerDependencyGraph:
+    def test_shared_task_creates_edge(self):
+        shared = _task(1)
+        graph = build_worker_dependency_graph({1: [shared], 2: [shared], 3: [_task(2)]})
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(1, 3)
+        assert set(graph.nodes) == {1, 2, 3}
+
+    def test_isolated_workers_kept_as_nodes(self):
+        graph = build_worker_dependency_graph({1: [], 2: []})
+        assert set(graph.nodes) == {1, 2}
+        assert graph.number_of_edges() == 0
+
+    def test_components_and_independence(self):
+        a, b = _task(1), _task(2)
+        graph = build_worker_dependency_graph({1: [a], 2: [a], 3: [b], 4: [b]})
+        components = dependency_components(graph)
+        assert sorted(map(tuple, components)) == [(1, 2), (3, 4)]
+        assert are_independent(graph, 1, 3)
+        assert not are_independent(graph, 1, 2)
+        assert not are_independent(graph, 1, 1)
+
+
+class TestMCSAndChordal:
+    def test_mcs_order_covers_all_nodes(self):
+        graph = nx.cycle_graph(6)
+        order = maximum_cardinality_search(graph)
+        assert sorted(order) == list(range(6))
+
+    def test_chordal_completion_is_chordal(self):
+        # A 5-cycle is the classic non-chordal graph.
+        graph = nx.cycle_graph(5)
+        chordal, _ = chordal_completion(graph)
+        assert nx.is_chordal(chordal)
+        # Completion only adds edges, never removes.
+        assert set(graph.edges) <= set(chordal.edges)
+
+    def test_chordal_graph_unchanged(self):
+        graph = nx.complete_graph(4)
+        chordal, _ = chordal_completion(graph)
+        assert set(chordal.edges) == set(graph.edges)
+
+    def test_cliques_cover_all_nodes(self):
+        graph = nx.cycle_graph(7)
+        cliques = chordal_cliques(graph)
+        covered = set().union(*cliques)
+        assert covered == set(graph.nodes)
+
+    def test_cliques_are_maximal(self):
+        graph = nx.complete_graph(5)
+        cliques = chordal_cliques(graph)
+        assert len(cliques) == 1
+        assert cliques[0] == set(range(5))
+
+    def test_empty_graph(self):
+        assert chordal_cliques(nx.Graph()) == []
+
+    def test_partition_quality_diagnostics(self):
+        graph = nx.path_graph(4)
+        cliques = chordal_cliques(graph)
+        quality = partition_quality(graph, cliques)
+        assert quality["coverage"] == pytest.approx(1.0)
+        assert quality["num_cliques"] >= 1
+
+
+class TestPartitionTree:
+    def test_tree_covers_every_worker_exactly_once(self):
+        graph = nx.path_graph(9)
+        tree = build_partition_tree(graph)
+        workers = tree.all_workers()
+        assert sorted(workers) == list(range(9))
+        assert len(workers) == len(set(workers))
+
+    def test_sibling_independence(self):
+        # Star-like structure: removing the hub separates the leaves.
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)])
+        tree = build_partition_tree(graph)
+        assert sibling_independence_violations(tree, graph) == []
+
+    def test_forest_for_disconnected_graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        graph.add_node(4)
+        tree = build_partition_tree(graph)
+        assert len(tree.roots) == 3
+        assert sorted(tree.all_workers()) == [0, 1, 2, 3, 4]
+
+    def test_single_node_graph(self):
+        graph = nx.Graph()
+        graph.add_node(42)
+        tree = build_partition_tree(graph)
+        assert tree.roots[0].workers == [42]
+        assert tree.depth == 1
+
+    def test_clique_graph_single_node_tree(self):
+        graph = nx.complete_graph(4)
+        tree = build_partition_tree(graph)
+        assert tree.num_nodes == 1
+        assert sorted(tree.roots[0].workers) == [0, 1, 2, 3]
+
+    def test_path_graph_produces_multiple_levels(self):
+        graph = nx.path_graph(15)
+        tree = build_partition_tree(graph)
+        assert tree.depth >= 2
+        assert sibling_independence_violations(tree, graph) == []
+
+    def test_node_helpers(self):
+        graph = nx.path_graph(5)
+        tree = build_partition_tree(graph)
+        root = tree.roots[0]
+        assert set(root.all_workers()) == set(range(5))
+        assert set(root.descendant_workers()) == set(range(5)) - set(root.workers)

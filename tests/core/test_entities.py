@@ -1,0 +1,155 @@
+"""Tests for tasks, workers, availability windows and assignments."""
+
+import pytest
+
+from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import AvailabilityWindow, Worker
+from repro.spatial.geometry import Point
+
+
+class TestTask:
+    def test_valid_duration(self):
+        task = Task(1, Point(0, 0), publication_time=5.0, expiration_time=45.0)
+        assert task.valid_duration == 40.0
+
+    def test_expiration_must_follow_publication(self):
+        with pytest.raises(ValueError):
+            Task(1, Point(0, 0), publication_time=10.0, expiration_time=10.0)
+
+    def test_availability_window(self):
+        task = Task(1, Point(0, 0), publication_time=10.0, expiration_time=20.0)
+        assert not task.is_available(5.0)
+        assert task.is_available(10.0)
+        assert task.is_available(19.9)
+        assert not task.is_available(20.0)
+        assert task.is_expired(20.0)
+
+    def test_equality_and_hash_by_id(self):
+        a = Task(7, Point(0, 0), 0.0, 1.0)
+        b = Task(7, Point(5, 5), 0.5, 2.0)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_predicted_flag_not_part_of_equality(self):
+        a = Task(7, Point(0, 0), 0.0, 1.0, predicted=True)
+        b = Task(7, Point(0, 0), 0.0, 1.0, predicted=False)
+        assert a == b
+
+
+class TestAvailabilityWindow:
+    def test_duration_and_contains(self):
+        window = AvailabilityWindow(10.0, 20.0)
+        assert window.duration == 10.0
+        assert window.contains(10.0)
+        assert not window.contains(20.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AvailabilityWindow(5.0, 5.0)
+
+    def test_remaining(self):
+        window = AvailabilityWindow(10.0, 20.0)
+        assert window.remaining(15.0) == 5.0
+        assert window.remaining(25.0) == 0.0
+        assert window.remaining(0.0) == 10.0
+
+    def test_overlaps(self):
+        assert AvailabilityWindow(0, 10).overlaps(AvailabilityWindow(5, 15))
+        assert not AvailabilityWindow(0, 10).overlaps(AvailabilityWindow(10, 20))
+
+
+class TestWorker:
+    def test_available_time(self, simple_worker):
+        assert simple_worker.available_time == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Worker(1, Point(0, 0), reachable_distance=1.0, on_time=10.0, off_time=5.0)
+        with pytest.raises(ValueError):
+            Worker(1, Point(0, 0), reachable_distance=0.0, on_time=0.0, off_time=5.0)
+        with pytest.raises(ValueError):
+            Worker(1, Point(0, 0), reachable_distance=1.0, on_time=0.0, off_time=5.0, speed=0.0)
+
+    def test_windows_must_fit_within_shift(self):
+        with pytest.raises(ValueError):
+            Worker(
+                1, Point(0, 0), 1.0, on_time=0.0, off_time=10.0,
+                windows=(AvailabilityWindow(5.0, 20.0),),
+            )
+
+    def test_default_availability_is_full_shift(self, simple_worker):
+        windows = simple_worker.availability_windows()
+        assert len(windows) == 1
+        assert windows[0].start == 0.0 and windows[0].end == 100.0
+
+    def test_explicit_windows_control_availability(self):
+        worker = Worker(
+            1, Point(0, 0), 1.0, on_time=0.0, off_time=100.0,
+            windows=(AvailabilityWindow(0.0, 10.0), AvailabilityWindow(50.0, 60.0)),
+        )
+        assert worker.is_available(5.0)
+        assert not worker.is_available(30.0)   # between windows: on a break
+        assert worker.is_available(55.0)
+        assert not worker.is_available(90.0)
+
+    def test_availability_remaining(self):
+        worker = Worker(
+            1, Point(0, 0), 1.0, on_time=0.0, off_time=100.0,
+            windows=(AvailabilityWindow(0.0, 10.0),),
+        )
+        assert worker.availability_remaining(4.0) == 6.0
+        assert worker.availability_remaining(50.0) == 0.0
+
+    def test_moved_to_preserves_identity(self, simple_worker):
+        moved = simple_worker.moved_to(Point(9, 9))
+        assert moved.worker_id == simple_worker.worker_id
+        assert moved.location == Point(9, 9)
+        assert moved == simple_worker  # equality is id-based
+
+    def test_with_windows(self, simple_worker):
+        updated = simple_worker.with_windows([AvailabilityWindow(0.0, 50.0)])
+        assert updated.availability_windows()[0].end == 50.0
+
+
+class TestAssignment:
+    def test_single_task_assignment_mode(self, simple_worker, nearby_tasks):
+        other = Worker(2, Point(5, 5), 5.0, 0.0, 100.0)
+        assignment = Assignment()
+        assignment.assign(simple_worker, nearby_tasks[:2])
+        with pytest.raises(ValueError):
+            assignment.assign(other, [nearby_tasks[0]])
+
+    def test_num_assigned_tasks(self, simple_worker, nearby_tasks):
+        assignment = Assignment()
+        assignment.assign(simple_worker, nearby_tasks)
+        assert assignment.num_assigned_tasks == 3
+        assert assignment.assigned_tasks == set(nearby_tasks)
+
+    def test_replacing_a_plan_releases_tasks(self, simple_worker, nearby_tasks):
+        assignment = Assignment()
+        assignment.assign(simple_worker, nearby_tasks[:2])
+        assignment.assign(simple_worker, [nearby_tasks[2]])
+        assert assignment.num_assigned_tasks == 1
+        assert assignment.owner_of(nearby_tasks[0].task_id) is None
+
+    def test_remove_worker(self, simple_worker, nearby_tasks):
+        assignment = Assignment()
+        assignment.assign(simple_worker, nearby_tasks)
+        assignment.remove_worker(simple_worker.worker_id)
+        assert assignment.num_assigned_tasks == 0
+        assert len(assignment) == 0
+
+    def test_plan_requires_matching_worker(self, simple_worker, nearby_tasks):
+        other = Worker(99, Point(0, 0), 1.0, 0.0, 10.0)
+        sequence = TaskSequence(other, (nearby_tasks[0],))
+        with pytest.raises(ValueError):
+            WorkerPlan(simple_worker, sequence)
+
+    def test_summary(self, simple_worker, nearby_tasks):
+        assignment = Assignment()
+        assignment.assign(simple_worker, nearby_tasks[:2])
+        summary = assignment.summary()
+        assert summary["assigned_tasks"] == 2.0
+        assert summary["max_sequence_length"] == 2.0

@@ -1,0 +1,130 @@
+"""Tests for task sequences (Eq. 1, Def. 4), events and the ATA instance."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.events import EventKind, build_event_stream
+from repro.core.problem import ATAInstance
+from repro.core.sequence import TaskSequence, arrival_times, is_valid_sequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.geometry import Point
+from repro.spatial.travel import EuclideanTravelModel
+
+
+class TestArrivalTimes:
+    def test_eq1_chained_arrivals(self, simple_worker, unit_travel):
+        tasks = [
+            Task(1, Point(3, 0), 0.0, 100.0),
+            Task(2, Point(3, 4), 0.0, 100.0),
+        ]
+        times = arrival_times(simple_worker, tasks, now=10.0, travel=unit_travel)
+        assert times[0] == pytest.approx(13.0)   # 10 + distance 3
+        assert times[1] == pytest.approx(17.0)   # 13 + distance 4
+
+    def test_empty_sequence(self, simple_worker, unit_travel):
+        assert arrival_times(simple_worker, [], 5.0, unit_travel) == []
+
+    def test_completion_time_of_empty_sequence_is_now(self, simple_worker):
+        sequence = TaskSequence(simple_worker, ())
+        assert sequence.completion_time(42.0) == 42.0
+
+
+class TestValiditiy:
+    def test_valid_sequence(self, simple_worker, nearby_tasks, unit_travel):
+        assert is_valid_sequence(simple_worker, nearby_tasks, 0.0, unit_travel)
+
+    def test_expiration_violation(self, simple_worker, unit_travel):
+        late = Task(9, Point(4, 0), 0.0, 2.0)   # travel takes 4 > deadline 2
+        assert not is_valid_sequence(simple_worker, [late], 0.0, unit_travel)
+
+    def test_offline_violation(self, unit_travel):
+        worker = Worker(1, Point(0, 0), 10.0, 0.0, 3.0)
+        task = Task(1, Point(4, 0), 0.0, 100.0)  # arrival 4 > off 3
+        assert not is_valid_sequence(worker, [task], 0.0, unit_travel)
+
+    def test_reachable_distance_violation(self, unit_travel):
+        worker = Worker(1, Point(0, 0), 1.0, 0.0, 100.0)
+        task = Task(1, Point(5, 0), 0.0, 100.0)
+        assert not is_valid_sequence(worker, [task], 0.0, unit_travel)
+
+    def test_order_matters(self, simple_worker, unit_travel):
+        urgent = Task(1, Point(1, 0), 0.0, 3.0)
+        relaxed = Task(2, Point(2, 0), 0.0, 100.0)
+        assert is_valid_sequence(simple_worker, [urgent, relaxed], 0.0, unit_travel)
+        # Visiting the relaxed task first misses the urgent deadline.
+        assert not is_valid_sequence(simple_worker, [relaxed, urgent], 0.0, unit_travel)
+
+    def test_duplicate_tasks_rejected(self, simple_worker, nearby_tasks):
+        with pytest.raises(ValueError):
+            TaskSequence(simple_worker, (nearby_tasks[0], nearby_tasks[0]))
+
+    def test_sequence_helpers(self, simple_worker, nearby_tasks):
+        sequence = TaskSequence(simple_worker, tuple(nearby_tasks))
+        assert len(sequence) == 3
+        assert sequence.task_ids == (1, 2, 3)
+        assert len(sequence.without_first()) == 2
+        assert len(sequence.appended(Task(99, Point(0, 1), 0.0, 10.0))) == 4
+        restricted = sequence.restricted_to(nearby_tasks[:1])
+        assert restricted.task_ids == (1,)
+
+
+class TestEventStream:
+    def test_events_sorted_and_typed(self, paper_example_instance):
+        events = paper_example_instance.event_stream()
+        assert len(events) == 12
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        kinds = {event.kind for event in events}
+        assert kinds == {EventKind.WORKER, EventKind.TASK}
+
+    def test_worker_before_task_on_tie(self):
+        worker = Worker(1, Point(0, 0), 1.0, 5.0, 10.0)
+        task = Task(1, Point(0, 0), 5.0, 9.0)
+        events = build_event_stream([worker], [task])
+        assert events[0].is_worker and events[1].is_task
+
+
+class TestATAInstance:
+    def test_duplicate_ids_rejected(self, simple_worker):
+        task = Task(1, Point(0, 0), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ATAInstance([simple_worker, simple_worker], [task])
+        with pytest.raises(ValueError):
+            ATAInstance([simple_worker], [task, Task(1, Point(1, 1), 0.0, 2.0)])
+
+    def test_time_extent_and_lookup(self, paper_example_instance):
+        assert paper_example_instance.start_time == 1.0
+        assert paper_example_instance.end_time == 10.0
+        assert paper_example_instance.worker(3).location == Point(4.0, 2.2)
+        assert paper_example_instance.task(7).expiration_time == 9.0
+
+    def test_bounding_box_contains_everything(self, paper_example_instance):
+        box = paper_example_instance.bounding_box()
+        for worker in paper_example_instance.workers:
+            assert box.contains(worker.location)
+        for task in paper_example_instance.tasks:
+            assert box.contains(task.location)
+
+    def test_validate_assignment_accepts_fig1_fta_solution(self, paper_example_instance):
+        """The FTA solution described in the introduction is feasible."""
+        instance = paper_example_instance
+        assignment = Assignment()
+        assignment.assign(instance.worker(1), [instance.task(1), instance.task(3)])
+        assignment.assign(instance.worker(2), [instance.task(2), instance.task(4)])
+        problems = instance.validate_assignment(assignment, now=1.0)
+        assert problems == []
+        assert assignment.num_assigned_tasks == 4
+
+    def test_validate_assignment_flags_invalid_sequence(self, paper_example_instance):
+        instance = paper_example_instance
+        assignment = Assignment()
+        # Task 7 is far outside worker 1's reachable distance.
+        assignment.assign(instance.worker(1), [instance.task(7)])
+        problems = instance.validate_assignment(assignment, now=1.0)
+        assert problems
+
+    def test_restrict_subsamples(self, paper_example_instance):
+        smaller = paper_example_instance.restrict(num_workers=2, num_tasks=4, seed=1)
+        assert smaller.num_workers == 2
+        assert smaller.num_tasks == 4

@@ -1,0 +1,160 @@
+"""Tests for the synthetic workload generators and CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.didi import didi_config, generate_didi
+from repro.datasets.loader import load_instance_csv, save_instance_csv
+from repro.datasets.splits import split_tasks_at, split_tasks_by_time
+from repro.datasets.synthetic import (
+    CityModel,
+    DemandFlow,
+    Hotspot,
+    SyntheticWorkloadGenerator,
+    WorkloadConfig,
+    default_city,
+)
+from repro.datasets.yueche import generate_yueche, yueche_config
+from repro.spatial.geometry import Point
+
+
+class TestCityModel:
+    def test_default_city_structure(self):
+        city = default_city()
+        assert len(city.hotspots) == 4
+        assert len(city.flows) == 2
+        assert city.total_base_rate() > 0
+        assert city.hotspot("university").name == "university"
+        with pytest.raises(KeyError):
+            city.hotspot("nowhere")
+
+    def test_hotspot_intensity_interpolation(self):
+        hotspot = Hotspot("h", Point(0, 0), 1.0, base_rate=2.0, profile=(1.0, 3.0))
+        assert hotspot.intensity(0.0) == pytest.approx(2.0)
+        assert hotspot.intensity(1.0) == pytest.approx(6.0)
+        assert hotspot.intensity(0.5) == pytest.approx(4.0)
+
+    def test_intensity_clamps_out_of_range(self):
+        hotspot = Hotspot("h", Point(0, 0), 1.0, base_rate=1.0, profile=(1.0, 2.0))
+        assert hotspot.intensity(-1.0) == pytest.approx(1.0)
+        assert hotspot.intensity(2.0) == pytest.approx(2.0)
+
+
+class TestSyntheticGenerator:
+    def test_generates_requested_counts(self):
+        config = WorkloadConfig(num_workers=20, num_tasks=150, horizon=600.0, history_horizon=300.0, seed=1)
+        workload = SyntheticWorkloadGenerator(config=config).generate()
+        assert workload.instance.num_workers == 20
+        assert workload.instance.num_tasks == 150
+        assert len(workload.historical_tasks) > 0
+
+    def test_tasks_within_bounds_and_horizon(self):
+        config = WorkloadConfig(num_workers=5, num_tasks=80, horizon=600.0, history_horizon=300.0, seed=2)
+        workload = SyntheticWorkloadGenerator(config=config).generate()
+        bounds = workload.city.bounds
+        start = config.history_horizon
+        for task in workload.instance.tasks:
+            assert bounds.contains(task.location)
+            assert start <= task.publication_time < start + config.horizon
+            assert task.valid_duration == pytest.approx(config.task_valid_time)
+
+    def test_workers_respect_config(self):
+        config = WorkloadConfig(num_workers=15, num_tasks=30, worker_available_time=900.0,
+                                reachable_distance=2.0, seed=3)
+        workload = SyntheticWorkloadGenerator(config=config).generate()
+        for worker in workload.instance.workers:
+            assert worker.reachable_distance == 2.0
+            assert worker.available_time <= 900.0 + 1e-9
+            assert worker.speed == config.worker_speed
+
+    def test_deterministic_for_same_seed(self):
+        config = WorkloadConfig(num_workers=10, num_tasks=40, seed=5)
+        a = SyntheticWorkloadGenerator(config=config).generate()
+        b = SyntheticWorkloadGenerator(config=WorkloadConfig(num_workers=10, num_tasks=40, seed=5)).generate()
+        assert [t.publication_time for t in a.instance.tasks] == [t.publication_time for t in b.instance.tasks]
+
+    def test_demand_flows_create_cross_region_correlation(self):
+        """Induced tasks appear at the flow target after the lag."""
+        city = CityModel(
+            bounds=default_city().bounds,
+            hotspots=[
+                Hotspot("source", Point(2, 2), 0.2, 1.0),
+                Hotspot("target", Point(8, 8), 0.2, 0.001),
+            ],
+            flows=[DemandFlow("source", "target", lag=100.0, strength=0.8)],
+        )
+        config = WorkloadConfig(num_workers=1, num_tasks=400, horizon=2000.0, history_horizon=0.0, seed=7)
+        generator = SyntheticWorkloadGenerator(city=city, config=config)
+        tasks = generator.generate_tasks(400, 0.0, 2000.0)
+        near_target = [t for t in tasks if t.location.distance_to(Point(8, 8)) < 1.5]
+        assert len(near_target) > 10  # induced demand showed up at the target
+
+    def test_zero_tasks(self):
+        generator = SyntheticWorkloadGenerator(config=WorkloadConfig(num_tasks=0))
+        assert generator.generate_tasks(0, 0.0, 100.0) == []
+
+
+class TestCalibratedDatasets:
+    def test_yueche_table2_defaults(self):
+        config = yueche_config()
+        assert config.num_workers == 624
+        assert config.num_tasks == 11052
+        assert config.horizon == 7200.0
+
+    def test_didi_table2_defaults(self):
+        config = didi_config()
+        assert config.num_workers == 760
+        assert config.num_tasks == 8869
+
+    def test_scaling(self):
+        workload = generate_yueche(scale=0.01, seed=1)
+        assert workload.instance.num_workers == round(624 * 0.01)
+        assert workload.instance.num_tasks == round(11052 * 0.01)
+        didi = generate_didi(scale=0.01, seed=1)
+        assert didi.instance.num_workers == round(760 * 0.01)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            yueche_config(scale=0.0)
+        with pytest.raises(ValueError):
+            didi_config(scale=1.5)
+
+    def test_instances_produce_valid_event_streams(self):
+        workload = generate_didi(scale=0.01, seed=2)
+        events = workload.instance.event_stream()
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert len(events) == workload.instance.num_workers + workload.instance.num_tasks
+
+
+class TestLoaderAndSplits:
+    def test_csv_roundtrip(self, tmp_path, tiny_workload):
+        instance = tiny_workload.instance
+        worker_path, task_path = save_instance_csv(instance, tmp_path)
+        loaded = load_instance_csv(worker_path, task_path, name=instance.name,
+                                   speed=instance.travel.speed)
+        assert loaded.num_workers == instance.num_workers
+        assert loaded.num_tasks == instance.num_tasks
+        original = {t.task_id: t for t in instance.tasks}
+        for task in loaded.tasks:
+            assert task.publication_time == pytest.approx(original[task.task_id].publication_time)
+            assert task.location.x == pytest.approx(original[task.task_id].location.x)
+
+    def test_split_by_fraction(self, tiny_workload):
+        tasks = tiny_workload.instance.tasks
+        early, late = split_tasks_by_time(tasks, fraction=0.8)
+        assert len(early) + len(late) == len(tasks)
+        assert len(early) == int(round(len(tasks) * 0.8))
+        if early and late:
+            assert max(t.publication_time for t in early) <= min(t.publication_time for t in late)
+
+    def test_split_fraction_validation(self, tiny_workload):
+        with pytest.raises(ValueError):
+            split_tasks_by_time(tiny_workload.instance.tasks, fraction=1.0)
+
+    def test_split_at_time(self, tiny_workload):
+        tasks = tiny_workload.instance.tasks
+        cut = tasks[len(tasks) // 2].publication_time
+        before, after = split_tasks_at(tasks, cut)
+        assert all(t.publication_time < cut for t in before)
+        assert all(t.publication_time >= cut for t in after)

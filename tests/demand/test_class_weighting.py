@@ -1,0 +1,98 @@
+"""Tests for positive-class weighting and predicted-task placement anchors."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.task import Task
+from repro.demand.predictor import DemandPredictor
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import GridSpec
+
+
+class TestWeightedBCE:
+    def test_pos_weight_increases_positive_term(self):
+        prediction = Tensor([0.2])
+        target = Tensor([1.0])
+        plain = F.bce_loss(prediction, target).item()
+        weighted = F.bce_loss(prediction, target, pos_weight=5.0).item()
+        assert weighted == pytest.approx(plain * 5.0)
+
+    def test_pos_weight_leaves_negatives_untouched(self):
+        prediction = Tensor([0.2])
+        target = Tensor([0.0])
+        plain = F.bce_loss(prediction, target).item()
+        weighted = F.bce_loss(prediction, target, pos_weight=5.0).item()
+        assert weighted == pytest.approx(plain)
+
+    def test_bce_module_carries_pos_weight(self):
+        loss = nn.BCELoss(pos_weight=3.0)
+        value = loss(Tensor([0.3]), Tensor([1.0])).item()
+        assert value == pytest.approx(F.bce_loss(Tensor([0.3]), Tensor([1.0]), pos_weight=3.0).item())
+
+    def test_trainer_sets_pos_weight_from_imbalance(self):
+        from repro.demand.baselines import LSTMDemandModel
+        from repro.demand.training import DemandTrainer
+
+        model = LSTMDemandModel(num_cells=4, k=3, history=3, hidden=4, seed=0)
+        trainer = DemandTrainer(model, epochs=1, balance_classes=True, seed=0)
+        inputs = np.zeros((6, 3, 4, 3))
+        targets = np.zeros((6, 4, 3))
+        targets[:, 0, 0] = 1.0   # 6 positives out of 72 slots
+        trainer.fit(inputs, targets)
+        assert trainer.criterion.pos_weight is not None
+        assert trainer.criterion.pos_weight > 1.0
+
+    def test_trainer_can_disable_balancing(self):
+        from repro.demand.baselines import LSTMDemandModel
+        from repro.demand.training import DemandTrainer
+
+        model = LSTMDemandModel(num_cells=4, k=3, history=3, hidden=4, seed=0)
+        trainer = DemandTrainer(model, epochs=1, balance_classes=False, seed=0)
+        inputs = np.zeros((4, 3, 4, 3))
+        targets = np.zeros((4, 4, 3))
+        targets[:, 0, 0] = 1.0
+        trainer.fit(inputs, targets)
+        assert trainer.criterion.pos_weight is None
+
+
+class TestPredictedTaskAnchors:
+    def _grid(self):
+        return GridSpec(BoundingBox(0, 0, 10, 10), 2, 2)
+
+    def _stub_model(self, grid):
+        class _Stub:
+            def predict(self, windows):
+                out = np.zeros((grid.num_cells, 2))
+                out[0, 0] = 1.0
+                return out
+
+        return _Stub()
+
+    def test_anchor_uses_historical_centroid(self):
+        grid = self._grid()
+        history = [
+            Task(1, Point(1.0, 1.0), 0.0, 10.0),
+            Task(2, Point(2.0, 2.0), 0.0, 10.0),
+        ]
+        predictor = DemandPredictor(self._stub_model(grid), grid, delta_t=5.0,
+                                    historical_tasks=history)
+        tasks = predictor.predict_tasks(np.zeros((2, grid.num_cells, 2)), 0.0, 100)
+        assert len(tasks) == 1
+        assert tasks[0].location == Point(1.5, 1.5)
+
+    def test_without_history_falls_back_to_cell_center(self):
+        grid = self._grid()
+        predictor = DemandPredictor(self._stub_model(grid), grid, delta_t=5.0)
+        tasks = predictor.predict_tasks(np.zeros((2, grid.num_cells, 2)), 0.0, 100)
+        assert tasks[0].location == grid.cell_center(0)
+
+    def test_history_in_other_cells_does_not_affect_anchor(self):
+        grid = self._grid()
+        history = [Task(1, Point(9.0, 9.0), 0.0, 10.0)]   # a different cell
+        predictor = DemandPredictor(self._stub_model(grid), grid, delta_t=5.0,
+                                    historical_tasks=history)
+        tasks = predictor.predict_tasks(np.zeros((2, grid.num_cells, 2)), 0.0, 100)
+        assert tasks[0].location == grid.cell_center(0)

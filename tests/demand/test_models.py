@@ -1,0 +1,227 @@
+"""Tests for the dependency learner, APPNP, DDGNN and the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.demand.appnp import APPNP
+from repro.demand.baselines import GraphWaveNetDemandModel, LSTMDemandModel
+from repro.demand.ddgnn import DDGNN
+from repro.demand.dependency import DemandDependencyLearner, distance_adjacency, normalized_adjacency
+from repro.demand.predictor import DemandPredictor, PredictedDemand
+from repro.demand.training import DemandTrainer
+from repro.nn.tensor import Tensor
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid import GridSpec
+
+M, K, HISTORY = 9, 3, 4
+
+
+def synthetic_occupancy_dataset(num_samples=24, num_cells=M, k=K, history=HISTORY, seed=0):
+    """Occupancy data with a learnable pattern: cell i active iff a 'source'
+    cell was active in the previous window (a one-step demand dependency)."""
+    rng = np.random.default_rng(seed)
+    inputs = np.zeros((num_samples, history, num_cells, k))
+    targets = np.zeros((num_samples, num_cells, k))
+    for n in range(num_samples):
+        windows = rng.random((history, num_cells, k)) < 0.25
+        inputs[n] = windows.astype(float)
+        # Target: cell j is active where cell (j-1) was active in the last window.
+        last = windows[-1]
+        targets[n] = np.roll(last, shift=1, axis=0).astype(float)
+    return inputs, targets
+
+
+class TestDependencyLearner:
+    def test_adjacency_shape_and_normalisation(self):
+        learner = DemandDependencyLearner(feature_dim=K, embedding_dim=8, seed=0)
+        adjacency = learner(Tensor(np.random.default_rng(0).random((M, K))))
+        assert adjacency.shape == (M, M)
+        np.testing.assert_allclose(adjacency.data.sum(axis=1), np.ones(M), atol=1e-8)
+        assert (adjacency.data >= 0).all()
+
+    def test_rejects_wrong_feature_dim(self):
+        learner = DemandDependencyLearner(feature_dim=K)
+        with pytest.raises(ValueError):
+            learner(Tensor(np.zeros((M, K + 1))))
+
+    def test_normalized_adjacency_symmetric_rows(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        normalized = normalized_adjacency(adjacency)
+        assert normalized.shape == (2, 2)
+        np.testing.assert_allclose(normalized, normalized.T)
+
+    def test_normalized_adjacency_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_distance_adjacency_rows_sum_to_one(self):
+        grid = GridSpec(BoundingBox(0, 0, 3, 3), 3, 3)
+        adjacency = distance_adjacency(grid, scale=1.0)
+        np.testing.assert_allclose(adjacency.sum(axis=1), np.ones(9), atol=1e-9)
+        assert np.allclose(np.diag(adjacency), 0.0)
+
+
+class TestAPPNP:
+    def test_alpha_one_returns_input(self):
+        appnp = APPNP(alpha=1.0, iterations=3, apply_relu=False)
+        features = np.random.default_rng(0).random((5, 4))
+        adjacency = np.full((5, 5), 0.2)
+        out = appnp(Tensor(features), Tensor(adjacency))
+        np.testing.assert_allclose(out.data, features)
+
+    def test_propagation_mixes_neighbours(self):
+        appnp = APPNP(alpha=0.0, iterations=1, apply_relu=False)
+        features = np.array([[1.0], [0.0]])
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = appnp(Tensor(features), Tensor(adjacency))
+        np.testing.assert_allclose(out.data, [[0.0], [1.0]])
+
+    def test_shape_validation(self):
+        appnp = APPNP()
+        with pytest.raises(ValueError):
+            appnp(Tensor(np.zeros((3, 2))), Tensor(np.zeros((4, 4))))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            APPNP(alpha=2.0)
+        with pytest.raises(ValueError):
+            APPNP(iterations=0)
+
+
+class TestDDGNN:
+    def test_forward_shape_and_range(self):
+        model = DDGNN(num_cells=M, k=K, history=HISTORY, hidden=8, seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((HISTORY, M, K))))
+        assert out.shape == (M, K)
+        assert (out.data >= 0).all() and (out.data <= 1).all()
+
+    def test_batched_forward(self):
+        model = DDGNN(num_cells=M, k=K, history=HISTORY, hidden=8, seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((2, HISTORY, M, K))))
+        assert out.shape == (2, M, K)
+
+    def test_input_validation(self):
+        model = DDGNN(num_cells=M, k=K, history=HISTORY)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((HISTORY, M + 1, K))))
+
+    def test_static_adjacency_override(self):
+        grid = GridSpec(BoundingBox(0, 0, 3, 3), 3, 3)
+        static = distance_adjacency(grid)
+        model = DDGNN(num_cells=9, k=K, history=HISTORY, static_adjacency=static, seed=0)
+        out = model.predict(np.random.default_rng(0).random((HISTORY, 9, K)))
+        assert out.shape == (9, K)
+
+    def test_training_reduces_loss(self):
+        inputs, targets = synthetic_occupancy_dataset(num_samples=16)
+        model = DDGNN(num_cells=M, k=K, history=HISTORY, hidden=8, seed=0)
+        trainer = DemandTrainer(model, learning_rate=0.02, epochs=6, batch_size=8, patience=None, seed=0)
+        result = trainer.fit(inputs, targets)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_learns_persistent_demand_better_than_chance(self):
+        """DDGNN must learn a simple persistence pattern (demand repeats)."""
+        rng = np.random.default_rng(3)
+        num_samples = 40
+        inputs = np.zeros((num_samples, HISTORY, M, K))
+        targets = np.zeros((num_samples, M, K))
+        for n in range(num_samples):
+            windows = (rng.random((HISTORY, M, K)) < 0.3).astype(float)
+            inputs[n] = windows
+            targets[n] = windows[-1]          # next window repeats the last one
+        model = DDGNN(num_cells=M, k=K, history=HISTORY, hidden=12, seed=1)
+        trainer = DemandTrainer(model, learning_rate=0.03, epochs=15, batch_size=8, patience=None, seed=1)
+        trainer.fit(inputs[:32], targets[:32])
+        evaluation = trainer.evaluate(inputs[32:], targets[32:])
+        assert evaluation["average_precision"] > 0.5  # chance level is ~0.3
+
+
+class TestBaselines:
+    def test_lstm_shapes(self):
+        model = LSTMDemandModel(num_cells=M, k=K, history=HISTORY, hidden=8, seed=0)
+        out = model.predict(np.random.default_rng(0).random((HISTORY, M, K)))
+        assert out.shape == (M, K)
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_graph_wavenet_shapes(self):
+        model = GraphWaveNetDemandModel(num_cells=M, k=K, history=HISTORY, hidden=8, seed=0)
+        out = model.predict(np.random.default_rng(0).random((HISTORY, M, K)))
+        assert out.shape == (M, K)
+
+    def test_graph_wavenet_adaptive_adjacency_rows_normalised(self):
+        model = GraphWaveNetDemandModel(num_cells=M, k=K, history=HISTORY, seed=0)
+        adjacency = model.adaptive_adjacency()
+        np.testing.assert_allclose(adjacency.data.sum(axis=1), np.ones(M), atol=1e-8)
+
+    def test_lstm_training_reduces_loss(self):
+        inputs, targets = synthetic_occupancy_dataset(num_samples=16)
+        model = LSTMDemandModel(num_cells=M, k=K, history=HISTORY, hidden=8, seed=0)
+        trainer = DemandTrainer(model, learning_rate=0.03, epochs=5, batch_size=8, patience=None, seed=0)
+        result = trainer.fit(inputs, targets)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_trainer_input_validation(self):
+        model = LSTMDemandModel(num_cells=M, k=K, history=HISTORY)
+        trainer = DemandTrainer(model, epochs=1)
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((0, HISTORY, M, K)), np.zeros((0, M, K)))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((3, HISTORY, M, K)), np.zeros((2, M, K)))
+
+
+class TestDemandPredictor:
+    def _grid(self):
+        return GridSpec(BoundingBox(0, 0, 3, 3), 3, 3)
+
+    def test_materialize_tasks_above_threshold(self):
+        grid = self._grid()
+        probabilities = np.zeros((9, K))
+        probabilities[4, 1] = 0.9     # one hot cell/interval
+        probabilities[2, 0] = 0.5     # below threshold
+        demand = PredictedDemand(probabilities, window_start=100.0, delta_t=5.0, grid=grid)
+
+        class _Stub:
+            def predict(self, windows):
+                return probabilities
+
+        predictor = DemandPredictor(_Stub(), grid, delta_t=5.0, threshold=0.85, task_valid_duration=40.0)
+        tasks = predictor.materialize_tasks(demand, start_task_id=1000)
+        assert len(tasks) == 1
+        task = tasks[0]
+        assert task.predicted
+        assert task.task_id == 1000
+        assert task.publication_time == pytest.approx(105.0)   # window start + 1 * delta_t
+        assert task.expiration_time == pytest.approx(145.0)
+        assert grid.cell_index(task.location) == 4
+
+    def test_hot_cells(self):
+        grid = self._grid()
+        probabilities = np.zeros((9, K))
+        probabilities[3, 2] = 0.99
+        demand = PredictedDemand(probabilities, 0.0, 1.0, grid)
+        assert demand.hot_cells(0.85) == [3]
+
+    def test_predict_tasks_end_to_end(self):
+        grid = self._grid()
+
+        class _Stub:
+            def predict(self, windows):
+                out = np.zeros((9, K))
+                out[0, 0] = 1.0
+                return out
+
+        predictor = DemandPredictor(_Stub(), grid, delta_t=2.0, threshold=0.85, task_valid_duration=10.0)
+        tasks = predictor.predict_tasks(np.zeros((HISTORY, 9, K)), window_start=50.0, start_task_id=7)
+        assert len(tasks) == 1 and tasks[0].task_id == 7
+
+    def test_invalid_parameters(self):
+        grid = self._grid()
+
+        class _Stub:
+            def predict(self, windows):
+                return np.zeros((9, K))
+
+        with pytest.raises(ValueError):
+            DemandPredictor(_Stub(), grid, delta_t=1.0, threshold=0.0)
+        with pytest.raises(ValueError):
+            DemandPredictor(_Stub(), grid, delta_t=1.0, task_valid_duration=0.0)

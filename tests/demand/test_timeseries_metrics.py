@@ -1,0 +1,143 @@
+"""Tests for the task multivariate time series (Eq. 2) and prediction metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.task import Task
+from repro.demand.metrics import (
+    average_precision,
+    precision_recall_at_threshold,
+    precision_recall_curve,
+    prediction_report,
+)
+from repro.demand.timeseries import (
+    TaskMultivariateTimeSeries,
+    build_time_series,
+    sliding_windows,
+    train_test_split_windows,
+)
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import GridSpec
+
+
+@pytest.fixture
+def grid2x2():
+    return GridSpec(BoundingBox(0, 0, 10, 10), rows=2, cols=2)
+
+
+class TestBuildTimeSeries:
+    def test_paper_example_vector(self, grid2x2):
+        """Reproduce the Fig. 3 example: tasks in intervals 1 and 2 give <1,1,0>."""
+        tasks = [
+            Task(1, Point(1, 1), publication_time=0.5, expiration_time=100.0),
+            Task(2, Point(1, 1), publication_time=1.5, expiration_time=100.0),
+        ]
+        series = build_time_series(tasks, grid2x2, start_time=0.0, end_time=3.0, delta_t=1.0, k=3)
+        cell = grid2x2.cell_index(Point(1, 1))
+        np.testing.assert_allclose(series.values[0, cell], [1.0, 1.0, 0.0])
+
+    def test_binary_even_with_many_tasks(self, grid2x2):
+        tasks = [Task(i, Point(1, 1), 0.1, 10.0) for i in range(5)]
+        series = build_time_series(tasks, grid2x2, 0.0, 3.0, delta_t=1.0, k=3)
+        cell = grid2x2.cell_index(Point(1, 1))
+        assert series.values[0, cell, 0] == 1.0
+        assert series.values.max() <= 1.0
+
+    def test_tasks_outside_range_ignored(self, grid2x2):
+        tasks = [Task(1, Point(1, 1), publication_time=100.0, expiration_time=140.0)]
+        series = build_time_series(tasks, grid2x2, 0.0, 6.0, delta_t=1.0, k=3)
+        assert series.values.sum() == 0.0
+
+    def test_partial_trailing_window_dropped(self, grid2x2):
+        series = build_time_series([], grid2x2, 0.0, 10.0, delta_t=1.0, k=3)
+        assert series.num_windows == 3  # 10 // 3
+
+    def test_window_start_times(self, grid2x2):
+        series = build_time_series([], grid2x2, 5.0, 17.0, delta_t=1.0, k=3)
+        assert series.window_start(0) == 5.0
+        assert series.window_start(1) == 8.0
+
+    def test_cell_series_shape(self, grid2x2):
+        series = build_time_series([], grid2x2, 0.0, 12.0, delta_t=1.0, k=3)
+        assert series.cell_series(0).shape == (4, 3)
+
+    def test_validation_errors(self, grid2x2):
+        with pytest.raises(ValueError):
+            build_time_series([], grid2x2, 0.0, 10.0, delta_t=0.0, k=3)
+        with pytest.raises(ValueError):
+            build_time_series([], grid2x2, 0.0, 10.0, delta_t=1.0, k=1)
+        with pytest.raises(ValueError):
+            build_time_series([], grid2x2, 0.0, 1.0, delta_t=1.0, k=3)
+
+    def test_occupancy_rate(self, grid2x2):
+        tasks = [Task(1, Point(1, 1), 0.5, 10.0)]
+        series = build_time_series(tasks, grid2x2, 0.0, 3.0, delta_t=1.0, k=3)
+        assert series.occupancy_rate() == pytest.approx(1.0 / (4 * 3))
+
+    def test_wrong_shape_rejected(self, grid2x2):
+        with pytest.raises(ValueError):
+            TaskMultivariateTimeSeries(np.zeros((2, 3, 3)), 0.0, 1.0, 3, grid2x2)
+
+
+class TestSlidingWindows:
+    def test_shapes(self, grid2x2):
+        series = build_time_series([], grid2x2, 0.0, 30.0, delta_t=1.0, k=3)
+        inputs, targets = sliding_windows(series, history=4)
+        assert inputs.shape == (6, 4, 4, 3)
+        assert targets.shape == (6, 4, 3)
+
+    def test_target_is_next_window(self, grid2x2):
+        tasks = [Task(1, Point(1, 1), publication_time=9.5, expiration_time=30.0)]
+        series = build_time_series(tasks, grid2x2, 0.0, 30.0, delta_t=1.0, k=3)
+        inputs, targets = sliding_windows(series, history=2)
+        # The task lands in window 3, interval 0 (time 9.5).
+        cell = grid2x2.cell_index(Point(1, 1))
+        assert targets[1, cell, 0] == 1.0
+
+    def test_insufficient_history_rejected(self, grid2x2):
+        series = build_time_series([], grid2x2, 0.0, 9.0, delta_t=1.0, k=3)
+        with pytest.raises(ValueError):
+            sliding_windows(series, history=5)
+
+    def test_train_test_split_chronological(self):
+        inputs = np.arange(10)[:, None, None, None] * np.ones((10, 2, 3, 4))
+        targets = np.arange(10)[:, None, None] * np.ones((10, 3, 4))
+        tr_x, tr_y, te_x, te_y = train_test_split_windows(inputs, targets, 0.8)
+        assert tr_x.shape[0] == 8 and te_x.shape[0] == 2
+        assert te_x[0, 0, 0, 0] == 8.0  # later samples go to the test set
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        probs = np.array([0.9, 0.95, 0.05, 0.1])
+        targets = np.array([1.0, 1.0, 0.0, 0.0])
+        precision, recall = precision_recall_at_threshold(probs, targets, 0.5)
+        assert precision == 1.0 and recall == 1.0
+        assert average_precision(probs, targets) > 0.95
+
+    def test_random_predictions_have_lower_ap(self):
+        rng = np.random.default_rng(0)
+        targets = (rng.random(500) < 0.3).astype(float)
+        random_probs = rng.random(500)
+        informed_probs = targets * 0.8 + rng.random(500) * 0.2
+        assert average_precision(informed_probs, targets) > average_precision(random_probs, targets)
+
+    def test_threshold_sweep_monotone_recall(self):
+        rng = np.random.default_rng(1)
+        targets = (rng.random(200) < 0.4).astype(float)
+        probs = rng.random(200)
+        _, _, recalls = precision_recall_curve(probs, targets, step=0.1)
+        # Recall can only drop as the threshold rises.
+        assert all(recalls[i] >= recalls[i + 1] - 1e-12 for i in range(len(recalls) - 1))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_at_threshold(np.zeros(3), np.zeros(4), 0.5)
+
+    def test_prediction_report_fields(self):
+        report = prediction_report(np.array([0.9, 0.2]), np.array([1.0, 0.0]))
+        data = report.as_dict()
+        assert data["threshold"] == 0.85
+        assert data["positives"] == 1.0
+        assert data["total"] == 2.0
+        assert 0.0 <= data["average_precision"] <= 1.0

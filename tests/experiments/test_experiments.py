@@ -1,0 +1,137 @@
+"""Tests for the experiment harness (configs, reporting, figure drivers)."""
+
+import pytest
+
+from repro.experiments.assignment_experiments import AssignmentExperiment, AssignmentRow
+from repro.experiments.config import (
+    ASSIGNMENT_METHODS,
+    PAPER_PARAMETERS,
+    PREDICTION_METHODS,
+    QUICK_PARAMETERS,
+    ExperimentScale,
+)
+from repro.experiments.prediction_experiments import PredictionExperiment
+from repro.experiments.reporting import format_table, pivot_rows, table2_rows
+
+
+class TestConfig:
+    def test_paper_grid_matches_table3(self):
+        assert PAPER_PARAMETERS["delta_t"]["values"] == [5, 6, 7, 8, 9]
+        assert PAPER_PARAMETERS["reachable_distance"]["values"] == [0.05, 0.1, 0.5, 1.0, 5.0]
+        assert PAPER_PARAMETERS["valid_time"]["default"] == 40
+        assert PAPER_PARAMETERS["available_time_hours"]["default"] == 1.0
+
+    def test_method_lists(self):
+        assert ASSIGNMENT_METHODS == ["Greedy", "FTA", "DTA", "DTA+TP", "DATA-WA"]
+        assert PREDICTION_METHODS == ["LSTM", "Graph-Wavenet", "DDGNN"]
+
+    def test_quick_grid_structure_mirrors_paper(self):
+        assert set(QUICK_PARAMETERS) == set(PAPER_PARAMETERS)
+
+    def test_scales(self):
+        quick = ExperimentScale.quick()
+        paper = ExperimentScale.paper()
+        assert quick.workload_scale < paper.workload_scale
+        assert paper.parameters["num_tasks_yueche"]["values"][-1] == 11000
+        assert quick.parameter_default("delta_t") == 5
+        assert list(quick.parameter_values("delta_t"))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        text = format_table(rows, ["a", "b"], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_table2_rows(self, tiny_workload):
+        rows = table2_rows([tiny_workload])
+        assert rows[0]["Dataset"] == "yueche"
+        assert rows[0]["|W|"] == tiny_workload.instance.num_workers
+
+    def test_pivot_rows(self):
+        rows = [
+            {"x": 1, "method": "A", "value": 10},
+            {"x": 1, "method": "B", "value": 20},
+            {"x": 2, "method": "A", "value": 30},
+        ]
+        pivoted = pivot_rows(rows, index="x", column="method", value="value")
+        assert pivoted[0] == {"x": 1, "A": 10, "B": 20}
+        assert pivoted[1]["A"] == 30 and pivoted[1]["B"] is None
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """A very small scale so experiment drivers run in seconds."""
+    return ExperimentScale(
+        name="micro",
+        workload_scale=0.01,
+        grid_rows=4,
+        grid_cols=4,
+        history=4,
+        epochs=2,
+        replan_interval=120.0,
+    )
+
+
+class TestPredictionExperiment:
+    def test_single_delta_t_produces_all_methods(self, micro_scale):
+        experiment = PredictionExperiment(dataset="yueche", scale=micro_scale, k=3,
+                                          methods=("LSTM", "DDGNN"))
+        rows = experiment.run_for_delta_t(30.0)
+        assert {row.method for row in rows} == {"LSTM", "DDGNN"}
+        for row in rows:
+            assert 0.0 <= row.average_precision <= 1.0
+            assert row.training_time > 0.0
+            assert row.testing_time >= 0.0
+            assert row.dataset == "yueche"
+
+    def test_unknown_dataset_rejected(self, micro_scale):
+        with pytest.raises(ValueError):
+            PredictionExperiment(dataset="unknown", scale=micro_scale).run_for_delta_t(30.0)
+
+    def test_unknown_method_rejected(self, micro_scale):
+        experiment = PredictionExperiment(dataset="didi", scale=micro_scale, methods=("bogus",))
+        with pytest.raises(ValueError):
+            experiment.run_for_delta_t(30.0)
+
+    def test_row_as_dict(self):
+        from repro.experiments.prediction_experiments import PredictionRow
+
+        row = PredictionRow("yueche", 5.0, "DDGNN", 0.9, 1.0, 0.1, assigned_tasks=100)
+        data = row.as_dict()
+        assert data["method"] == "DDGNN" and data["assigned_tasks"] == 100
+
+
+class TestAssignmentExperiment:
+    def test_single_point_sweep(self, micro_scale):
+        experiment = AssignmentExperiment(dataset="yueche", scale=micro_scale,
+                                          methods=("Greedy", "DTA"), train_predictor=False)
+        rows = experiment.run_single("reachable_distance", 1.0)
+        assert {row.method for row in rows} == {"Greedy", "DTA"}
+        for row in rows:
+            assert row.assigned_tasks >= 0
+            assert row.mean_cpu_time >= 0.0
+            assert isinstance(row, AssignmentRow)
+
+    def test_unknown_parameter_rejected(self, micro_scale):
+        experiment = AssignmentExperiment(dataset="yueche", scale=micro_scale)
+        with pytest.raises(ValueError):
+            experiment.run_single("bogus", 1.0)
+
+    def test_valid_time_sweep_increases_or_keeps_assigned(self, micro_scale):
+        """Longer task valid times must not reduce assigned tasks (Fig. 11 trend)."""
+        experiment = AssignmentExperiment(dataset="yueche", scale=micro_scale,
+                                          methods=("Greedy",), train_predictor=False)
+        short = experiment.run_single("valid_time", 20.0, methods=("Greedy",))[0]
+        long = experiment.run_single("valid_time", 120.0, methods=("Greedy",))[0]
+        assert long.assigned_tasks >= short.assigned_tasks
+
+    def test_worker_sweep_uses_subsets(self, micro_scale):
+        experiment = AssignmentExperiment(dataset="didi", scale=micro_scale,
+                                          methods=("Greedy",), train_predictor=False)
+        few = experiment.run_single("num_workers", 2, methods=("Greedy",))[0]
+        many = experiment.run_single("num_workers", 7, methods=("Greedy",))[0]
+        assert many.assigned_tasks >= few.assigned_tasks

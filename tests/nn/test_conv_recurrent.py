@@ -1,0 +1,138 @@
+"""Tests for the convolutional and recurrent layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestConv1d:
+    def test_output_shape_no_padding(self):
+        conv = nn.Conv1d(2, 4, kernel_size=3)
+        out = conv(Tensor(np.zeros((5, 2, 10))))
+        assert out.shape == (5, 4, 8)
+
+    def test_output_shape_with_padding(self):
+        conv = nn.Conv1d(2, 4, kernel_size=3, padding=1)
+        out = conv(Tensor(np.zeros((5, 2, 10))))
+        assert out.shape == (5, 4, 10)
+
+    def test_dilation_receptive_field(self):
+        conv = nn.Conv1d(1, 1, kernel_size=3, dilation=2)
+        assert conv.receptive_field == 5
+
+    def test_known_convolution_values(self):
+        """Identity-like kernel must reproduce a shifted input."""
+        conv = nn.Conv1d(1, 1, kernel_size=2, bias=False)
+        conv.weight.data = np.array([[[1.0]], [[0.0]]])  # picks x[t]
+        x = np.arange(5.0).reshape(1, 1, 5)
+        out = conv(Tensor(x))
+        np.testing.assert_allclose(out.data[0, 0], [0.0, 1.0, 2.0, 3.0])
+
+    def test_rejects_wrong_channels(self):
+        conv = nn.Conv1d(3, 1, kernel_size=2)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 2, 5))))
+
+    def test_rejects_too_short_input(self):
+        conv = nn.Conv1d(1, 1, kernel_size=5)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 3))))
+
+    def test_gradients_flow_to_weights(self):
+        conv = nn.Conv1d(2, 3, kernel_size=3)
+        out = conv(Tensor(np.random.default_rng(0).standard_normal((2, 2, 6))))
+        out.sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+
+class TestCausalConv1d:
+    def test_preserves_length(self):
+        conv = nn.CausalConv1d(2, 4, kernel_size=3, dilation=2)
+        out = conv(Tensor(np.zeros((3, 2, 7))))
+        assert out.shape == (3, 4, 7)
+
+    def test_causality(self):
+        """Changing a future input must not change earlier outputs."""
+        conv = nn.CausalConv1d(1, 1, kernel_size=3, dilation=1, seed=0)
+        x = np.random.default_rng(0).standard_normal((1, 1, 8))
+        base = conv(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 0, 5] += 10.0
+        out = conv(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, 0, :5], base[0, 0, :5])
+        assert not np.allclose(out[0, 0, 5:], base[0, 0, 5:])
+
+
+class TestGatedTCNBlock:
+    def test_output_shape(self):
+        block = nn.GatedTCNBlock(4, 4, kernel_size=3, dilation=1, seed=0)
+        out = block(Tensor(np.zeros((2, 4, 6))))
+        assert out.shape == (2, 4, 6)
+
+    def test_output_is_bounded_by_gate(self):
+        """tanh * sigmoid output must lie in (-1, 1)."""
+        block = nn.GatedTCNBlock(3, 5, seed=0)
+        out = block(Tensor(np.random.default_rng(0).standard_normal((2, 3, 10)) * 5))
+        assert np.all(np.abs(out.data) < 1.0)
+
+
+class TestLSTM:
+    def test_lstm_cell_shapes(self):
+        cell = nn.LSTMCell(4, 6, seed=0)
+        h, c = cell(Tensor(np.zeros((3, 4))))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_lstm_sequence_shapes(self):
+        lstm = nn.LSTM(4, 6, num_layers=2, seed=0)
+        outputs, last = lstm(Tensor(np.zeros((3, 5, 4))))
+        assert outputs.shape == (3, 5, 6)
+        assert last.shape == (3, 6)
+
+    def test_lstm_rejects_bad_rank(self):
+        lstm = nn.LSTM(4, 6)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((3, 4))))
+
+    def test_lstm_learns_last_step_identity(self):
+        """A tiny LSTM should learn to output the last input value."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(64, 4, 1))
+        y = x[:, -1, :]
+        lstm = nn.LSTM(1, 8, seed=0)
+        head = nn.Linear(8, 1, seed=1)
+        params = lstm.parameters() + head.parameters()
+        optimizer = nn.Adam(params, lr=0.02)
+        loss_fn = nn.MSELoss()
+        first = None
+        for step in range(60):
+            optimizer.zero_grad()
+            _, hidden = lstm(Tensor(x))
+            loss = loss_fn(head(hidden), Tensor(y))
+            loss.backward()
+            optimizer.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first * 0.5
+
+
+class TestGRU:
+    def test_gru_cell_shape(self):
+        cell = nn.GRUCell(3, 5, seed=0)
+        h = cell(Tensor(np.zeros((2, 3))))
+        assert h.shape == (2, 5)
+
+    def test_gru_sequence_shapes(self):
+        gru = nn.GRU(3, 5, seed=0)
+        outputs, last = gru(Tensor(np.zeros((2, 7, 3))))
+        assert outputs.shape == (2, 7, 5)
+        assert last.shape == (2, 5)
+
+    def test_gru_gradients_reach_parameters(self):
+        gru = nn.GRU(2, 3, seed=0)
+        outputs, last = gru(Tensor(np.random.default_rng(0).standard_normal((2, 4, 2))))
+        last.sum().backward()
+        assert all(p.grad is not None for p in gru.parameters())

@@ -1,0 +1,143 @@
+"""Tests for Module mechanics and the dense/utility layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestModuleMechanics:
+    def test_parameters_collected_recursively(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        params = model.parameters()
+        # 2 weights + 2 biases
+        assert len(params) == 4
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_parameters_unique_names(self):
+        model = nn.Sequential(nn.Linear(3, 3), nn.Linear(3, 1))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+
+    def test_zero_grad_clears_gradients(self):
+        layer = nn.Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        source = nn.Sequential(nn.Linear(3, 4, seed=1), nn.Linear(4, 2, seed=2))
+        target = nn.Sequential(nn.Linear(3, 4, seed=7), nn.Linear(4, 2, seed=8))
+        target.load_state_dict(source.state_dict())
+        x = np.random.default_rng(0).standard_normal((5, 3))
+        np.testing.assert_allclose(source(Tensor(x)).data, target(Tensor(x)).data)
+
+    def test_load_state_dict_rejects_wrong_keys(self):
+        model = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros((2, 2))})
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert not model.modules[0].training
+        model.train()
+        assert model.modules[0].training
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(5, 3)
+        out = layer(Tensor(np.zeros((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias_option(self):
+        layer = nn.Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_linear_fits_linear_function(self):
+        """A single Linear layer should recover a known linear mapping."""
+        rng = np.random.default_rng(0)
+        true_w = rng.standard_normal((3, 1))
+        x = rng.standard_normal((200, 3))
+        y = x @ true_w + 0.5
+        layer = nn.Linear(3, 1, seed=0)
+        optimizer = nn.Adam(layer.parameters(), lr=0.05)
+        loss_fn = nn.MSELoss()
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = loss_fn(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+        np.testing.assert_allclose(layer.bias.data, [0.5], atol=0.05)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = nn.Dropout(0.5, seed=0)
+        layer.eval()
+        x = np.random.default_rng(0).standard_normal((4, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_training_mode_zeroes_some_entries(self):
+        layer = nn.Dropout(0.5, seed=0)
+        x = np.ones((100, 10))
+        out = layer(Tensor(x)).data
+        assert (out == 0.0).any()
+        # Inverted dropout keeps the expectation roughly constant.
+        assert abs(out.mean() - 1.0) < 0.2
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestEmbeddingAndLayerNorm:
+    def test_embedding_lookup_shape(self):
+        emb = nn.Embedding(10, 4, seed=0)
+        out = emb(np.array([1, 2, 3]))
+        assert out.shape == (3, 4)
+
+    def test_embedding_out_of_range(self):
+        emb = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([7]))
+
+    def test_layernorm_normalises_last_axis(self):
+        ln = nn.LayerNorm(8)
+        x = np.random.default_rng(0).standard_normal((3, 8)) * 5 + 2
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(3), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(3), atol=1e-2)
+
+
+class TestActivationsAndInit:
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor([-1.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_softmax_module(self):
+        out = nn.Softmax()(Tensor([[0.0, 0.0]]))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_leaky_relu(self):
+        out = nn.activations.LeakyReLU(0.1)(Tensor([-2.0, 3.0]))
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+    def test_xavier_bounds(self):
+        w = nn.init.xavier_uniform((100, 100), seed=0)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit + 1e-12
+
+    def test_kaiming_shape_and_fans(self):
+        w = nn.init.kaiming_uniform((16, 8, 3), seed=0)
+        assert w.shape == (16, 8, 3)

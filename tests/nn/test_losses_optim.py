@@ -1,0 +1,117 @@
+"""Tests for loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = nn.MSELoss()(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx((1.0 + 4.0) / 2.0)
+
+    def test_mse_zero_for_perfect_prediction(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 2)))
+        assert nn.MSELoss()(x, Tensor(x.data.copy())).item() == pytest.approx(0.0)
+
+    def test_bce_value_matches_formula(self):
+        p = np.array([0.9, 0.1])
+        y = np.array([1.0, 0.0])
+        expected = float(np.mean(-(y * np.log(p) + (1 - y) * np.log(1 - p))))
+        assert nn.BCELoss()(Tensor(p), Tensor(y)).item() == pytest.approx(expected)
+
+    def test_bce_handles_extreme_probabilities(self):
+        loss = nn.BCELoss()(Tensor([1.0, 0.0]), Tensor([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_bce_with_logits_matches_manual_sigmoid(self):
+        logits = np.array([2.0, -1.0])
+        y = np.array([1.0, 0.0])
+        a = nn.BCEWithLogitsLoss()(Tensor(logits), Tensor(y)).item()
+        b = nn.BCELoss()(Tensor(logits).sigmoid(), Tensor(y)).item()
+        assert a == pytest.approx(b)
+
+    def test_huber_is_quadratic_for_small_errors(self):
+        loss = nn.HuberLoss(delta=1.0)(Tensor([0.5]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(0.125, abs=1e-5)
+
+    def test_huber_is_linear_for_large_errors(self):
+        loss = nn.HuberLoss(delta=1.0)(Tensor([10.0]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(10.0 - 0.5, abs=1e-5)
+
+    def test_functional_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        param = nn.Parameter(np.zeros(2))
+        return param, target
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = nn.SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_sgd_with_momentum_converges(self):
+        param, target = self._quadratic_problem()
+        optimizer = nn.SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            ((param - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = nn.Adam([param], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            ((param - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = nn.Parameter(np.array([10.0]))
+        optimizer = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            # Zero data gradient; only weight decay acts.
+            (param * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_clip_grad_norm(self):
+        param = nn.Parameter(np.array([1.0, 1.0]))
+        optimizer = nn.SGD([param], lr=0.1)
+        (param * 100.0).sum().backward()
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(np.sqrt(2) * 100.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_negative_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([nn.Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        a = nn.Parameter(np.array([1.0]))
+        b = nn.Parameter(np.array([2.0]))
+        optimizer = nn.SGD([a, b], lr=0.5)
+        (a * 3.0).sum().backward()
+        optimizer.step()
+        assert a.data[0] != 1.0
+        assert b.data[0] == 2.0

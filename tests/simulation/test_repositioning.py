@@ -1,0 +1,91 @@
+"""Tests for prediction-guided, interruptible worker repositioning."""
+
+import pytest
+
+from repro.assignment.planner import PlannerConfig
+from repro.assignment.strategies import DTAPlusTPStrategy
+from repro.core.problem import ATAInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.simulation.platform import PlatformConfig, SCPlatform, _WorkerRuntime
+from repro.spatial.geometry import Point
+from repro.spatial.travel import EuclideanTravelModel
+
+
+class TestWorkerRuntimeReposition:
+    def _runtime(self):
+        worker = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        return _WorkerRuntime(worker=worker, busy_until=0.0)
+
+    def test_advance_interpolates_linearly(self):
+        runtime = self._runtime()
+        runtime.reposition = (0.0, Point(0, 0), Point(10, 0), 10.0)
+        runtime.advance_reposition(5.0)
+        assert runtime.worker.location.x == pytest.approx(5.0)
+        assert runtime.reposition is not None
+
+    def test_advance_completes_at_arrival(self):
+        runtime = self._runtime()
+        runtime.reposition = (0.0, Point(0, 0), Point(10, 0), 10.0)
+        runtime.advance_reposition(12.0)
+        assert runtime.worker.location == Point(10, 0)
+        assert runtime.reposition is None
+
+    def test_repositioning_worker_stays_idle(self):
+        runtime = self._runtime()
+        runtime.reposition = (0.0, Point(0, 0), Point(10, 0), 10.0)
+        assert runtime.is_idle(5.0)
+
+    def test_no_reposition_is_noop(self):
+        runtime = self._runtime()
+        runtime.advance_reposition(5.0)
+        assert runtime.worker.location == Point(0, 0)
+
+
+class TestPredictionGuidedRepositioning:
+    def test_worker_moves_towards_predicted_demand_and_serves_it(self):
+        """A predicted task pulls the idle worker close enough to catch a
+        short-lived real task it could not otherwise have reached in time."""
+        travel = EuclideanTravelModel(speed=1.0)
+        worker = Worker(1, Point(0, 0), 15.0, 0.0, 200.0)
+        # The real task appears at t=20 far from the worker's start and lives
+        # only 12 time units: reachable only if the worker pre-positions.
+        real = Task(1, Point(14, 0), 20.0, 32.0)
+        instance = ATAInstance([worker], [real], travel=travel, name="reposition")
+
+        predicted = Task(900, Point(14, 0), 0.0, 60.0, predicted=True)
+        strategy = DTAPlusTPStrategy(
+            config=PlannerConfig(max_reachable=5, max_sequence_length=1),
+            travel=travel,
+            predicted_task_provider=lambda now: [predicted],
+        )
+        metrics = SCPlatform(instance, strategy, PlatformConfig(replan_interval=0.0)).run()
+        assert metrics.assigned_tasks == 1
+
+    def test_without_prediction_the_same_task_is_missed(self):
+        travel = EuclideanTravelModel(speed=1.0)
+        worker = Worker(1, Point(0, 0), 15.0, 0.0, 200.0)
+        real = Task(1, Point(14, 0), 20.0, 32.0)
+        instance = ATAInstance([worker], [real], travel=travel, name="no-reposition")
+        from repro.assignment.strategies import DTAStrategy
+
+        strategy = DTAStrategy(config=PlannerConfig(max_reachable=5, max_sequence_length=1),
+                               travel=travel)
+        metrics = SCPlatform(instance, strategy, PlatformConfig(replan_interval=0.0)).run()
+        assert metrics.assigned_tasks == 0
+
+    def test_repositioning_is_interrupted_by_real_work(self):
+        """A real task published mid-reposition is still served promptly."""
+        travel = EuclideanTravelModel(speed=1.0)
+        worker = Worker(1, Point(0, 0), 20.0, 0.0, 200.0)
+        real = Task(1, Point(2, 0), 5.0, 40.0)
+        instance = ATAInstance([worker], [real], travel=travel, name="interrupt")
+
+        predicted = Task(900, Point(18, 0), 0.0, 100.0, predicted=True)
+        strategy = DTAPlusTPStrategy(
+            config=PlannerConfig(max_reachable=5, max_sequence_length=1),
+            travel=travel,
+            predicted_task_provider=lambda now: [predicted],
+        )
+        metrics = SCPlatform(instance, strategy, PlatformConfig(replan_interval=0.0)).run()
+        assert metrics.assigned_tasks == 1

@@ -1,0 +1,143 @@
+"""Tests for geometry primitives, grids and travel models."""
+
+import math
+
+import pytest
+
+from repro.spatial.geometry import (
+    BoundingBox,
+    Point,
+    euclidean_distance,
+    haversine_distance,
+    manhattan_distance,
+)
+from repro.spatial.grid import GridSpec
+from repro.spatial.travel import EuclideanTravelModel, ManhattanTravelModel
+
+
+class TestPointAndDistances:
+    def test_euclidean_distance(self):
+        assert euclidean_distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan_distance(self):
+        assert manhattan_distance(Point(0, 0), Point(3, 4)) == pytest.approx(7.0)
+
+    def test_haversine_known_value(self):
+        # Chengdu city centre to a point ~1 degree east: ~90 km at that latitude.
+        a = Point(104.06, 30.67)
+        b = Point(105.06, 30.67)
+        distance = haversine_distance(a, b)
+        assert 90.0 < distance < 100.0
+
+    def test_haversine_zero_for_same_point(self):
+        p = Point(104.0, 30.0)
+        assert haversine_distance(p, p) == pytest.approx(0.0)
+
+    def test_point_translate_and_iter(self):
+        p = Point(1.0, 2.0).translate(0.5, -0.5)
+        assert tuple(p) == (1.5, 1.5)
+        assert p.as_tuple() == (1.5, 1.5)
+
+    def test_distance_symmetry(self):
+        a, b = Point(1, 2), Point(-3, 7)
+        assert euclidean_distance(a, b) == pytest.approx(euclidean_distance(b, a))
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.width == 4
+        assert box.height == 2
+        assert box.area == 8
+        assert box.center == Point(2, 1)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_contains_boundary(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(1, 1))
+        assert not box.contains(Point(1.01, 0.5))
+
+    def test_clamp_projects_outside_points(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.clamp(Point(5, -3)) == Point(1, 0)
+        assert box.clamp(Point(0.5, 0.5)) == Point(0.5, 0.5)
+
+    def test_expand(self):
+        box = BoundingBox(0, 0, 1, 1).expand(1)
+        assert box.min_x == -1 and box.max_y == 2
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        assert a.intersects(BoundingBox(1, 1, 3, 3))
+        assert not a.intersects(BoundingBox(3, 3, 4, 4))
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1, 5), Point(-2, 0), Point(3, 2)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 0, 3, 5)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+
+class TestGridSpec:
+    def test_num_cells(self, small_grid):
+        assert small_grid.num_cells == 16
+        assert len(small_grid) == 16
+
+    def test_cell_index_corners(self, small_grid):
+        assert small_grid.cell_index(Point(0.1, 0.1)) == 0
+        assert small_grid.cell_index(Point(9.9, 9.9)) == 15
+
+    def test_points_outside_are_clamped(self, small_grid):
+        assert small_grid.cell_index(Point(-5, -5)) == 0
+        assert small_grid.cell_index(Point(50, 50)) == 15
+
+    def test_cell_roundtrip(self, small_grid):
+        for index in range(small_grid.num_cells):
+            cell = small_grid.cell(index)
+            assert cell.index == index
+            assert small_grid.cell_index(cell.center) == index
+
+    def test_cell_bounds_partition_area(self, small_grid):
+        total = sum(cell.bounds.area for cell in small_grid.cells())
+        assert total == pytest.approx(small_grid.bounds.area)
+
+    def test_neighbors_interior_and_corner(self, small_grid):
+        # Interior cell has 8 neighbours with diagonals, 4 without.
+        interior = 1 * small_grid.cols + 1
+        assert len(small_grid.neighbors(interior)) == 8
+        assert len(small_grid.neighbors(interior, diagonal=False)) == 4
+        assert len(small_grid.neighbors(0)) == 3
+
+    def test_cell_distance_symmetry(self, small_grid):
+        assert small_grid.cell_distance(0, 5) == pytest.approx(small_grid.cell_distance(5, 0))
+
+    def test_invalid_cell_index(self, small_grid):
+        with pytest.raises(IndexError):
+            small_grid.cell(99)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(BoundingBox(0, 0, 1, 1), rows=0, cols=3)
+
+
+class TestTravelModels:
+    def test_euclidean_time_scales_with_speed(self):
+        slow = EuclideanTravelModel(speed=1.0)
+        fast = EuclideanTravelModel(speed=2.0)
+        a, b = Point(0, 0), Point(0, 10)
+        assert slow.time(a, b) == pytest.approx(10.0)
+        assert fast.time(a, b) == pytest.approx(5.0)
+
+    def test_manhattan_distance_used(self):
+        model = ManhattanTravelModel(speed=1.0)
+        assert model.distance(Point(0, 0), Point(2, 3)) == pytest.approx(5.0)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanTravelModel(speed=0.0)

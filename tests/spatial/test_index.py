@@ -1,0 +1,89 @@
+"""Tests for the grid-bucket spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import Point, euclidean_distance
+from repro.spatial.index import SpatialIndex
+
+
+class TestSpatialIndexBasics:
+    def test_insert_contains_len(self):
+        index = SpatialIndex(cell_size=1.0)
+        index.insert("a", Point(0, 0))
+        index.insert("b", Point(5, 5))
+        assert len(index) == 2
+        assert "a" in index and "b" in index
+
+    def test_insert_moves_existing_item(self):
+        index = SpatialIndex(cell_size=1.0)
+        index.insert("a", Point(0, 0))
+        index.insert("a", Point(10, 10))
+        assert len(index) == 1
+        assert index.location_of("a") == Point(10, 10)
+        assert index.query_radius(Point(0, 0), 1.0) == []
+
+    def test_remove_and_discard(self):
+        index = SpatialIndex()
+        index.insert(1, Point(0, 0))
+        index.remove(1)
+        assert 1 not in index
+        with pytest.raises(KeyError):
+            index.remove(1)
+        index.discard(1)  # no-op
+
+    def test_clear(self):
+        index = SpatialIndex()
+        index.insert(1, Point(0, 0))
+        index.clear()
+        assert len(index) == 0
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialIndex(cell_size=0.0)
+
+    def test_negative_radius_rejected(self):
+        index = SpatialIndex()
+        with pytest.raises(ValueError):
+            index.query_radius(Point(0, 0), -1.0)
+
+
+class TestQueries:
+    def test_query_radius_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        points = {i: Point(float(x), float(y)) for i, (x, y) in enumerate(rng.uniform(0, 20, (200, 2)))}
+        index = SpatialIndex(cell_size=2.0)
+        for item, point in points.items():
+            index.insert(item, point)
+        center = Point(10.0, 10.0)
+        for radius in (0.5, 2.0, 5.0):
+            expected = {i for i, p in points.items() if euclidean_distance(p, center) <= radius}
+            assert set(index.query_radius(center, radius)) == expected
+
+    def test_query_radius_boundary_inclusive(self):
+        index = SpatialIndex(cell_size=1.0)
+        index.insert("edge", Point(3.0, 0.0))
+        assert index.query_radius(Point(0, 0), 3.0) == ["edge"]
+
+    def test_nearest_returns_sorted_by_distance(self):
+        index = SpatialIndex(cell_size=1.0)
+        index.insert("near", Point(1, 0))
+        index.insert("far", Point(8, 0))
+        index.insert("mid", Point(3, 0))
+        result = index.nearest(Point(0, 0), k=3)
+        assert [item for item, _ in result] == ["near", "mid", "far"]
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+    def test_nearest_k_larger_than_population(self):
+        index = SpatialIndex()
+        index.insert("only", Point(2, 2))
+        assert len(index.nearest(Point(0, 0), k=10)) == 1
+
+    def test_nearest_on_empty_index(self):
+        assert SpatialIndex().nearest(Point(0, 0), k=1) == []
+
+    def test_nearest_zero_k(self):
+        index = SpatialIndex()
+        index.insert("x", Point(0, 0))
+        assert index.nearest(Point(0, 0), k=0) == []
