@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_planning.json against a committed baseline.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py BASELINE CANDIDATE [--factor 2.0]
+
+Fails (exit 1) when the candidate regresses by more than ``factor`` on any
+guarded metric.  The guarded metrics are the **same-run speedup ratios**
+(vectorized vs scalar, per scale) — scalar and vectorized paths run on the
+same machine in the same session, so the ratio is machine-invariant and
+safe to compare across a dev laptop and a CI runner:
+
+* snapshot replan-latency speedup (per scale),
+* batched TVF scoring speedup (per batch size).
+
+Absolute wall-clock numbers (latencies, events/sec) are printed for
+context but never fail the check — they are not comparable across
+machines.  A ratio fails when ``candidate < baseline / factor``.  Missing
+sections are skipped with a note so partial baselines stay usable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _iter_metrics(data):
+    """Yield (name, value, kind); kind 'ratio' metrics gate, 'info' do not."""
+    for scale, entry in data.get("snapshot_replan", {}).items():
+        yield f"snapshot_replan.{scale}.speedup", entry["speedup"], "ratio"
+        yield f"snapshot_replan.{scale}.vector_mean_ms", entry["vector_mean_ms"], "info"
+    for scale, entry in data.get("tvf_scoring", {}).items():
+        yield f"tvf_scoring.{scale}.speedup", entry["speedup"], "ratio"
+    for scale, entry in data.get("streaming", {}).items():
+        yield (
+            f"streaming.{scale}.vector.events_per_sec",
+            entry["vector"]["events_per_sec"],
+            "info",
+        )
+
+
+def compare(baseline: dict, candidate: dict, factor: float):
+    """Return (failures, report_rows) for candidate vs baseline."""
+    candidate_metrics = {
+        name: (value, kind) for name, value, kind in _iter_metrics(candidate)
+    }
+    failures = []
+    rows = []
+    for name, base_value, kind in _iter_metrics(baseline):
+        if name not in candidate_metrics:
+            rows.append((name, base_value, None, "missing in candidate (skipped)"))
+            continue
+        cand_value, _ = candidate_metrics[name]
+        if kind == "info":
+            rows.append((name, base_value, cand_value, "info (not gated)"))
+            continue
+        regressed = cand_value < base_value / factor
+        ratio = base_value / cand_value if cand_value else float("inf")
+        status = "FAIL" if regressed else "ok"
+        rows.append((name, base_value, cand_value, f"{status} (x{ratio:.2f})"))
+        if regressed:
+            failures.append(name)
+    return failures, rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="maximum tolerated regression ratio (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    failures, rows = compare(baseline, candidate, args.factor)
+
+    width = max(len(name) for name, *_ in rows) if rows else 20
+    print(f"{'metric'.ljust(width)}  baseline      candidate     verdict")
+    for name, base_value, cand_value, verdict in rows:
+        cand_text = "-" if cand_value is None else f"{cand_value:<12}"
+        print(f"{name.ljust(width)}  {str(base_value):<12}  {cand_text}  {verdict}")
+
+    if failures:
+        print(
+            f"\n{len(failures)} metric(s) regressed more than {args.factor}x:",
+            ", ".join(failures),
+        )
+        return 1
+    print(f"\nno metric regressed more than {args.factor}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Module map
 :mod:`dependency_graph`      worker dependency graph construction (IV-A.2)
 :mod:`partition`             MCS graph partition into cliques (IV-A.3)
 :mod:`tree`                  recursive tree construction, RTC (IV-A.4)
+:mod:`fast_partition`        IV-A.2 – IV-A.4 on plain adjacency (hot path)
 :mod:`dfsearch`              exact DFSearch, Alg. 1 (also collects RL data)
 :mod:`tvf`                   Task Value Function, Eq. 11–12
 :mod:`dfsearch_tvf`          TVF-guided search, Alg. 2
@@ -20,13 +21,29 @@ Module map
 ==========================  ====================================================
 """
 
-from repro.assignment.reachability import reachable_tasks
+from repro.assignment.reachability import (
+    reachable_tasks,
+    reachable_tasks_indexed,
+    reachable_tasks_matrix,
+    mutual_reachability,
+)
 from repro.assignment.sequences import maximal_valid_sequences, best_order_for_subset
 from repro.assignment.dependency_graph import build_worker_dependency_graph
+from repro.assignment.fast_partition import (
+    build_adjacency,
+    build_partition_tree_fast,
+    connected_components,
+)
 from repro.assignment.partition import chordal_cliques, maximum_cardinality_search
 from repro.assignment.tree import PartitionTree, PartitionNode, build_partition_tree
 from repro.assignment.dfsearch import DFSearchResult, dfsearch, collect_training_experience
-from repro.assignment.tvf import TaskValueFunction, Experience, featurize_state_action
+from repro.assignment.tvf import (
+    TaskValueFunction,
+    Experience,
+    featurize_state_action,
+    featurize_state,
+    featurize_actions_batch,
+)
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
 from repro.assignment.planner import TaskPlanner, PlannerConfig
 from repro.assignment.adaptive import AdaptiveAssigner
@@ -43,9 +60,15 @@ from repro.assignment.strategies import (
 
 __all__ = [
     "reachable_tasks",
+    "reachable_tasks_indexed",
+    "reachable_tasks_matrix",
+    "mutual_reachability",
     "maximal_valid_sequences",
     "best_order_for_subset",
     "build_worker_dependency_graph",
+    "build_adjacency",
+    "build_partition_tree_fast",
+    "connected_components",
     "chordal_cliques",
     "maximum_cardinality_search",
     "PartitionTree",
@@ -57,6 +80,8 @@ __all__ = [
     "TaskValueFunction",
     "Experience",
     "featurize_state_action",
+    "featurize_state",
+    "featurize_actions_batch",
     "dfsearch_tvf",
     "TaskPlanner",
     "PlannerConfig",

@@ -23,6 +23,7 @@ from repro.core.events import ArrivalEvent
 from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.spatial.index import SpatialIndex
 from repro.spatial.travel import EuclideanTravelModel, TravelModel
 
 
@@ -68,6 +69,27 @@ class AdaptiveAssigner:
         self._predicted_tasks: Dict[int, Task] = {}
         self._assigned_task_ids: set = set()
         self._replans = 0
+        # Persistent incremental index of open real tasks (insert on
+        # arrival, discard on assignment/expiry) shared with the planner.
+        # The bucket size is re-derived from the first worker's reach (the
+        # typical query radius); until then a unit grid is used.
+        self._task_index: SpatialIndex = SpatialIndex(cell_size=1.0)
+        self._index_sized = False
+        self.planner.attach_task_index(self._task_index)
+
+    def _size_index_for(self, worker: Worker) -> None:
+        """Rebuild the task index with buckets sized to worker reach."""
+        if self._index_sized:
+            return
+        self._index_sized = True
+        cell = max(worker.reachable_distance, 1e-6)
+        if cell == self._task_index.cell_size:
+            return
+        resized: SpatialIndex = SpatialIndex(cell_size=cell)
+        for item, location in self._task_index.items():
+            resized.insert(item, location)
+        self._task_index = resized
+        self.planner.attach_task_index(self._task_index)
 
     # ------------------------------------------------------------------ #
     # State inspection helpers
@@ -103,10 +125,12 @@ class AdaptiveAssigner:
         if event.is_worker:
             worker: Worker = event.payload
             self._workers[worker.worker_id] = _WorkerState(worker=worker, busy_until=now)
+            self._size_index_for(worker)
         else:
             task: Task = event.payload
             if not task.predicted:
                 self._pending_tasks[task.task_id] = task
+                self._task_index.insert(task.task_id, task.location)
 
         plan = self._replan(now)
         self._dispatch(plan, now)
@@ -150,6 +174,7 @@ class AdaptiveAssigner:
             # Commit: task assigned, worker busy and relocated.
             self._assigned_task_ids.add(first_real.task_id)
             self._pending_tasks.pop(first_real.task_id, None)
+            self._task_index.discard(first_real.task_id)
             state.busy_until = completion
             state.completed += 1
             state.worker = state.worker.moved_to(first_real.location)
@@ -171,6 +196,7 @@ class AdaptiveAssigner:
         expired_tasks = [tid for tid, task in self._pending_tasks.items() if task.is_expired(now)]
         for tid in expired_tasks:
             del self._pending_tasks[tid]
+            self._task_index.discard(tid)
         expired_predicted = [
             tid for tid, task in self._predicted_tasks.items() if task.is_expired(now)
         ]

@@ -131,7 +131,7 @@ def _search(
 
     if not context.out_of_budget():
         for sequence in candidate_sequences:
-            sequence_ids = frozenset(sequence.task_ids)
+            sequence_ids = sequence.task_id_set
             if not sequence_ids or not sequence_ids <= task_ids:
                 continue
             sub_opt, sub_selection = _search(node, task_ids - sequence_ids, rest_tuple, context)

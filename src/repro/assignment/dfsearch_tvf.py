@@ -14,7 +14,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.assignment.dfsearch import _action_snapshot, _state_snapshot, DFSearchResult, SearchContext
 from repro.assignment.tree import PartitionNode
-from repro.assignment.tvf import TaskValueFunction
+from repro.assignment.tvf import StateFeatureCache, TaskValueFunction
 from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
@@ -29,6 +29,7 @@ def _guided(
     tasks_by_id: Dict[int, Task],
     tvf: TaskValueFunction,
     nodes_expanded: List[int],
+    state_cache: Optional[StateFeatureCache] = None,
 ) -> Tuple[int, List[Tuple[int, Tuple[int, ...]]], FrozenSet[int]]:
     """Recursive core of Algorithm 2; returns (assigned, selections, remaining tasks)."""
     nodes_expanded[0] += 1
@@ -47,6 +48,7 @@ def _guided(
                 tasks_by_id,
                 tvf,
                 nodes_expanded,
+                state_cache,
             )
             total += child_total
             selections.extend(child_sel)
@@ -57,7 +59,7 @@ def _guided(
     candidates = [
         sequence
         for sequence in sequences_by_worker.get(worker_id, [])
-        if sequence.task_ids and frozenset(sequence.task_ids) <= task_ids
+        if sequence.task_ids and sequence.task_id_set <= task_ids
     ]
 
     chosen: Optional[TaskSequence] = None
@@ -66,7 +68,10 @@ def _guided(
         state = _state_snapshot(list(pending_workers) + descendant, task_ids, None)
         actions = [_action_snapshot(worker, sequence) for sequence in candidates]
         if tvf.is_fitted:
-            scores = tvf.values(state, actions, workers_by_id, tasks_by_id)
+            state_features = state_cache.features(state) if state_cache else None
+            scores = tvf.values(
+                state, actions, workers_by_id, tasks_by_id, state_features=state_features
+            )
             best_index = int(scores.argmax())
         else:
             # Untrained TVF: fall back to the longest / earliest sequence,
@@ -92,6 +97,7 @@ def _guided(
         tasks_by_id,
         tvf,
         nodes_expanded,
+        state_cache,
     )
     return assigned + sub_assigned, selections + sub_selections, remaining
 
@@ -107,6 +113,7 @@ def dfsearch_tvf(
     tasks_by_id = {task.task_id: task for task in tasks}
     task_ids = frozenset(tasks_by_id.keys())
     nodes_expanded = [0]
+    state_cache = StateFeatureCache(tasks_by_id) if tvf.is_fitted else None
     assigned, selections, _ = _guided(
         node,
         task_ids,
@@ -116,6 +123,7 @@ def dfsearch_tvf(
         tasks_by_id,
         tvf,
         nodes_expanded,
+        state_cache,
     )
     return DFSearchResult(
         opt=assigned,

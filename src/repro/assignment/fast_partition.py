@@ -1,0 +1,211 @@
+"""Allocation-light worker-dependency partitioning for the hot replan path.
+
+The planner rebuilds the worker dependency graph, its chordal-clique
+partition and the RTC tree (Sections IV-A.2 – IV-A.4) at **every** replan
+epoch.  The reference implementations in :mod:`dependency_graph`,
+:mod:`partition` and :mod:`tree` are written against :mod:`networkx`,
+whose per-call graph copies and filtered subgraph views dominate replan
+latency long before the search does.  This module reimplements the same
+three steps on plain ``dict``/``set`` adjacency with zero graph copies:
+
+* :func:`build_adjacency` — the WDG as ``{worker_id: set(neighbours)}``,
+* :func:`connected_components` — BFS components, deterministic order,
+* :func:`chordal_cliques_fast` — MCS ordering + elimination-game fill-in +
+  perfect-elimination-ordering clique extraction,
+* :func:`build_partition_tree_fast` — the RTC recursion.
+
+The algorithms are the same as the reference modules (MCS with the same
+``(weight, -id)`` tie-break, fill-in in reverse MCS order, RTC choosing
+the clique whose removal yields the most components, smaller cliques
+preferred on ties); only the data structures differ.  Output is fully
+deterministic: cliques are ordered by (size desc, sorted members) and
+every node list is sorted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.assignment.tree import PartitionNode, PartitionTree
+
+Adjacency = Dict[int, Set[int]]
+
+
+def build_adjacency(reachable_by_worker: Dict[int, Sequence]) -> Adjacency:
+    """Worker dependency adjacency: an edge iff reachable sets intersect.
+
+    Same inversion trick as :func:`~repro.assignment.dependency_graph.
+    build_worker_dependency_graph` — task → workers, then connect all pairs
+    sharing a task — but into plain sets instead of a networkx graph.
+    """
+    adjacency: Adjacency = {worker_id: set() for worker_id in reachable_by_worker}
+    task_to_workers: Dict[int, List[int]] = {}
+    for worker_id, tasks in reachable_by_worker.items():
+        for task in tasks:
+            task_to_workers.setdefault(task.task_id, []).append(worker_id)
+    for workers in task_to_workers.values():
+        if len(workers) < 2:
+            continue
+        for i, a in enumerate(workers):
+            for b in workers[i + 1:]:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return adjacency
+
+
+def connected_components(adjacency: Adjacency) -> List[List[int]]:
+    """Connected components (each sorted), in order of smallest member."""
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in adjacency:
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        component = [start]
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.append(neighbor)
+                    queue.append(neighbor)
+        components.append(sorted(component))
+    components.sort(key=lambda c: c[0])
+    return components
+
+
+def _mcs_order(adjacency: Adjacency, nodes: Sequence[int]) -> List[int]:
+    """Maximum-cardinality-search ordering, ties broken by smallest id."""
+    weights = {node: 0 for node in nodes}
+    order: List[int] = []
+    unvisited = set(nodes)
+    node_set = unvisited.copy()
+    while unvisited:
+        candidate = max(unvisited, key=lambda node: (weights[node], -node))
+        order.append(candidate)
+        unvisited.discard(candidate)
+        for neighbor in adjacency[candidate]:
+            if neighbor in unvisited and neighbor in node_set:
+                weights[neighbor] += 1
+    return order
+
+
+def chordal_cliques_fast(adjacency: Adjacency, nodes: Sequence[int]) -> List[Set[int]]:
+    """Maximal cliques of the chordal completion of the induced subgraph.
+
+    Runs the elimination game in reverse MCS order to fill the graph into
+    a chordal one, then reads the maximal cliques straight off the perfect
+    elimination ordering (``{v} ∪ earlier-ordered neighbours of v``,
+    containment-filtered) — no chordality re-check, no graph copies.
+    """
+    nodes = list(nodes)
+    if not nodes:
+        return []
+    node_set = set(nodes)
+    working: Adjacency = {
+        node: {n for n in adjacency[node] if n in node_set} for node in nodes
+    }
+    order = _mcs_order(working, nodes)
+    position = {node: i for i, node in enumerate(order)}
+    for node in reversed(order):
+        earlier = [n for n in working[node] if position[n] < position[node]]
+        for i, a in enumerate(earlier):
+            for b in earlier[i + 1:]:
+                working[a].add(b)
+                working[b].add(a)
+
+    cliques: List[Set[int]] = []
+    for node in reversed(order):
+        clique = {n for n in working[node] if position[n] < position[node]}
+        clique.add(node)
+        cliques.append(clique)
+    # Deduplicate and drop cliques fully contained in another (deterministic
+    # order: larger first, then lexicographic members).
+    cliques.sort(key=lambda c: (-len(c), sorted(c)))
+    maximal: List[Set[int]] = []
+    for clique in cliques:
+        if not any(clique <= other for other in maximal):
+            maximal.append(clique)
+    return maximal
+
+
+def _components_without(
+    adjacency: Adjacency, nodes: Set[int], removed: Set[int]
+) -> List[Set[int]]:
+    """Connected components of the induced subgraph minus ``removed``."""
+    remaining = nodes - removed
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in sorted(remaining):
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        component = {start}
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor in remaining and neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def _build_subtree_fast(
+    adjacency: Adjacency, nodes: Set[int], max_depth: int
+) -> PartitionNode:
+    """RTC on one connected node set (Section IV-A.4), copy-free."""
+    if len(nodes) == 1 or max_depth <= 1:
+        return PartitionNode(workers=sorted(nodes))
+
+    cliques = chordal_cliques_fast(adjacency, sorted(nodes))
+    if not cliques:
+        return PartitionNode(workers=sorted(nodes))
+
+    best_clique: Set[int] = set()
+    best_components: List[Set[int]] = []
+    best_score = -1
+    for clique in cliques:
+        components = _components_without(adjacency, nodes, clique)
+        score = len(components)
+        if score > best_score or (
+            score == best_score and best_clique and len(clique) < len(best_clique)
+        ):
+            best_score = score
+            best_clique = clique
+            best_components = components
+
+    if not best_clique or len(best_clique) == len(nodes):
+        return PartitionNode(workers=sorted(nodes))
+
+    root = PartitionNode(workers=sorted(best_clique))
+    for component in best_components:
+        root.children.append(_build_subtree_fast(adjacency, component, max_depth - 1))
+    return root
+
+
+def build_partition_tree_fast(adjacency: Adjacency, max_depth: int = 12) -> PartitionTree:
+    """Build the RTC partition forest straight from a plain adjacency dict.
+
+    Semantically equivalent to :func:`~repro.assignment.tree.
+    build_partition_tree` (same MCS / fill-in / clique-selection rules) but
+    with no networkx graphs, copies or subgraph views on the hot path.
+    """
+    roots = [
+        _build_subtree_fast(adjacency, set(component), max_depth)
+        for component in connected_components(adjacency)
+    ]
+    tree = PartitionTree(roots=roots)
+    # Property i of the paper (same guard as tree._validate_tree): every
+    # worker appears in the forest exactly once — fail fast rather than
+    # silently skip workers if the clique extraction ever has a bug.
+    covered = tree.all_workers()
+    if len(covered) != len(set(covered)):
+        raise RuntimeError("partition tree assigned a worker to multiple nodes")
+    if set(covered) != set(adjacency):
+        raise RuntimeError("partition tree does not cover every worker")
+    return tree

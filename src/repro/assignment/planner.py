@@ -17,10 +17,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.assignment.dependency_graph import build_worker_dependency_graph
 from repro.assignment.dfsearch import dfsearch
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
-from repro.assignment.reachability import reachable_tasks
+from repro.assignment.fast_partition import (
+    build_adjacency,
+    build_partition_tree_fast,
+    connected_components,
+)
+from repro.assignment.reachability import (
+    VECTOR_MIN_TASKS,
+    reachable_tasks,
+    reachable_tasks_indexed,
+    reachable_tasks_matrix,
+)
 from repro.assignment.sequences import maximal_valid_sequences
 from repro.assignment.tree import PartitionNode, build_partition_tree
 from repro.assignment.tvf import TaskValueFunction
@@ -28,7 +37,14 @@ from repro.core.assignment import Assignment, WorkerPlan
 from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.spatial.index import SpatialIndex
 from repro.spatial.travel import EuclideanTravelModel, TravelModel
+from repro.spatial.travel_matrix import TravelMatrix
+
+#: Above this many open tasks the spatial-index radius query (which prunes
+#: candidates to the worker's neighbourhood) beats even the vectorized
+#: full-row mask, whose cost stays O(T) per worker.
+INDEX_MIN_TASKS = 1024
 
 
 @dataclass
@@ -54,6 +70,10 @@ class PlannerConfig:
     use_partition:
         Apply worker dependency separation; disabling it (ablation) puts
         every worker of a connected component into one flat cluster.
+    use_travel_matrix:
+        Build a per-epoch :class:`TravelMatrix` and run reachability /
+        sequence feasibility as vectorized array lookups.  Disabling it
+        falls back to the scalar reference path (same assignments, slower).
     """
 
     max_reachable: int = 10
@@ -63,6 +83,7 @@ class PlannerConfig:
     use_tvf: bool = False
     tvf_min_workers: int = 4
     use_partition: bool = True
+    use_travel_matrix: bool = True
 
 
 @dataclass
@@ -90,6 +111,73 @@ class TaskPlanner:
         self.tvf = tvf
         if self.config.use_tvf and self.tvf is None:
             self.tvf = TaskValueFunction()
+        #: Optional persistent index of open tasks (attached by the platform)
+        #: used to pre-filter reachability candidates by radius query.
+        self.task_index: Optional[SpatialIndex] = None
+
+    # ------------------------------------------------------------------ #
+    def attach_task_index(self, index: Optional[SpatialIndex]) -> None:
+        """Use ``index`` (task id -> location) as the reachability pre-filter."""
+        self.task_index = index
+
+    def _reachable_for_worker(
+        self,
+        worker: Worker,
+        tasks: Sequence[Task],
+        now: float,
+        matrix: Optional[TravelMatrix],
+        index: Optional[SpatialIndex],
+        tasks_by_id: Optional[Dict[int, Task]],
+        cols=None,
+        positions: Optional[Dict[int, int]] = None,
+    ) -> List[Task]:
+        """Reachable set via the fastest applicable path.
+
+        All paths return the identical task list; they differ only in cost:
+
+        * very large snapshots — radius query on the persistent index prunes
+          candidates to the worker's neighbourhood before any checks run;
+        * moderate snapshots — one vectorized mask over the travel-matrix
+          row beats the per-candidate Python loop;
+        * tiny snapshots — the plain scalar loop has the least overhead.
+        """
+        num_tasks = len(tasks)
+        if (
+            index is not None
+            and tasks_by_id is not None
+            and num_tasks >= INDEX_MIN_TASKS
+        ):
+            return reachable_tasks_indexed(
+                worker,
+                index,
+                tasks_by_id,
+                now,
+                self.travel,
+                max_tasks=self.config.max_reachable,
+                matrix=matrix,
+                positions=positions,
+            )
+        if matrix is not None and num_tasks >= VECTOR_MIN_TASKS:
+            return reachable_tasks_matrix(
+                worker, tasks, now, matrix, max_tasks=self.config.max_reachable, cols=cols
+            )
+        if (
+            index is not None
+            and tasks_by_id is not None
+            and num_tasks >= VECTOR_MIN_TASKS
+        ):
+            return reachable_tasks_indexed(
+                worker,
+                index,
+                tasks_by_id,
+                now,
+                self.travel,
+                max_tasks=self.config.max_reachable,
+                positions=positions,
+            )
+        return reachable_tasks(
+            worker, tasks, now, self.travel, max_tasks=self.config.max_reachable
+        )
 
     # ------------------------------------------------------------------ #
     def plan(
@@ -127,14 +215,46 @@ class TaskPlanner:
         # serve (repositioning towards future demand), which is how the
         # paper uses the prediction signal.
         real_tasks = [task for task in active_tasks if not task.predicted]
+        # Tiny snapshots are cheaper scalar: the matrix only pays for itself
+        # once enough (worker, task) pairs share it.
+        matrix = (
+            TravelMatrix(workers, active_tasks, self.travel)
+            if config.use_travel_matrix and len(active_tasks) >= VECTOR_MIN_TASKS // 2
+            else None
+        )
+        index = self.task_index
+        # The persistent platform index only tracks real open tasks; use it
+        # only when it covers every real task of this snapshot (a strategy
+        # may plan over a filtered subset, which is still fine — the query
+        # result is intersected with the given tasks).
+        use_index = index is not None and all(
+            task.task_id in index for task in real_tasks
+        )
+        real_tasks_by_id = (
+            {task.task_id: task for task in real_tasks} if use_index else None
+        )
+        real_positions = (
+            {task.task_id: i for i, task in enumerate(real_tasks)} if use_index else None
+        )
+        real_cols = matrix.task_cols(real_tasks) if matrix is not None else None
+        active_cols = None
+        if matrix is not None and len(real_tasks) != len(active_tasks):
+            active_cols = matrix.task_cols(active_tasks)
         reachable_by_worker: Dict[int, List] = {}
         for worker in workers:
-            reachable = reachable_tasks(
-                worker, real_tasks, now, self.travel, max_tasks=config.max_reachable
+            reachable = self._reachable_for_worker(
+                worker,
+                real_tasks,
+                now,
+                matrix,
+                index if use_index else None,
+                real_tasks_by_id,
+                cols=real_cols,
+                positions=real_positions,
             )
             if not reachable and len(real_tasks) != len(active_tasks):
-                reachable = reachable_tasks(
-                    worker, active_tasks, now, self.travel, max_tasks=config.max_reachable
+                reachable = self._reachable_for_worker(
+                    worker, active_tasks, now, matrix, None, None, cols=active_cols
                 )
             reachable_by_worker[worker.worker_id] = reachable
         sequences_by_worker: Dict[int, List[TaskSequence]] = {
@@ -145,23 +265,23 @@ class TaskPlanner:
                 self.travel,
                 max_length=config.max_sequence_length,
                 max_sequences=config.max_sequences,
+                matrix=matrix,
             )
             for worker in workers
         }
 
-        # Line 6: worker dependency graph.
-        graph = build_worker_dependency_graph(reachable_by_worker)
+        # Line 6: worker dependency graph (plain adjacency sets — the
+        # networkx-based reference builders stay available for the ablation
+        # benchmarks but are too allocation-heavy for the per-event path).
+        adjacency = build_adjacency(reachable_by_worker)
 
         # Lines 7-10: per-component partition, tree and search.
         if config.use_partition:
-            tree = build_partition_tree(graph)
-            roots = tree.roots
+            roots = build_partition_tree_fast(adjacency).roots
         else:
-            import networkx as nx
-
             roots = [
-                PartitionNode(workers=sorted(component))
-                for component in nx.connected_components(graph)
+                PartitionNode(workers=component)
+                for component in connected_components(adjacency)
             ]
 
         assignment = Assignment()

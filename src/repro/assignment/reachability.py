@@ -2,22 +2,42 @@
 
 A task ``s`` is *reachable* for worker ``w`` at time ``t_now`` iff
 
-i.   the worker can arrive before the task expires:
-     ``c(w.l, s.l) <= s.e - t_now``,
+i.   the worker can arrive strictly before the task expires:
+     ``c(w.l, s.l) < s.e - t_now``,
 ii.  the trip fits in the worker's remaining availability window ``T_w``:
-     ``c(w.l, s.l) <= T_w``, and
+     ``c(w.l, s.l) < T_w``, and
 iii. the task lies within the worker's reachable range:
      ``td(w.l, s.l) <= w.d``.
+
+Constraints i and ii are strict to match Definition 4's validity checks
+(``arrival >= expiration`` invalidates a sequence): a task whose arrival
+would coincide exactly with its expiration is *not* reachable, so the
+reachable set never contains tasks that no valid sequence could serve.
+
+Two equivalent implementations are provided: a scalar reference path and a
+vectorized path over a :class:`~repro.spatial.travel_matrix.TravelMatrix`.
+They apply identical predicates to identical floats and therefore return
+identical task lists.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.spatial.index import SpatialIndex
 from repro.spatial.travel import EuclideanTravelModel, TravelModel
+from repro.spatial.travel_matrix import TravelMatrix
+
+#: Tolerance on the reachable-distance constraint (matches sequence checks).
+_REACH_EPS = 1e-9
+
+#: Below this many candidate tasks the scalar loop beats NumPy's per-call
+#: overhead; the paths return bit-identical results, so switching is free.
+VECTOR_MIN_TASKS = 32
 
 
 def is_reachable(
@@ -31,12 +51,12 @@ def is_reachable(
     if task.is_expired(now):
         return False
     distance = travel.distance(worker.location, task.location)
-    if distance > worker.reachable_distance + 1e-9:
+    if distance > worker.reachable_distance + _REACH_EPS:
         return False
     travel_time = travel.time(worker.location, task.location)
-    if travel_time > task.expiration_time - now:
+    if travel_time >= task.expiration_time - now:
         return False
-    if travel_time > worker.availability_remaining(now):
+    if travel_time >= worker.availability_remaining(now):
         return False
     return True
 
@@ -62,52 +82,141 @@ def reachable_tasks(
         Number of transitive-expansion rounds.  The paper's running example
         has worker ``w1`` perform ``(s1, s3)`` although ``s3`` is farther
         than ``w.d`` from ``w1``'s start — ``s3`` becomes reachable *via*
-        ``s1``.  Each round therefore adds unexpired tasks within ``w.d`` of
-        an already-reachable task; the per-leg time/distance feasibility is
-        enforced later during sequence generation.
+        ``s1``.  Each round adds the unexpired tasks within ``w.d`` of a
+        task discovered in the *previous* round (breadth-first levels, so
+        no anchor is ever rescanned); the per-leg time/distance feasibility
+        is enforced later during sequence generation.
     """
     travel = travel or EuclideanTravelModel(speed=worker.speed)
+    tasks = list(tasks)
     found = [task for task in tasks if is_reachable(worker, task, now, travel)]
-    reachable_set = {task.task_id for task in found}
+    reach = worker.reachable_distance + _REACH_EPS
+    frontier = found
+    found_ids = {task.task_id for task in found}
+    remaining = [
+        task
+        for task in tasks
+        if not task.is_expired(now) and task.task_id not in found_ids
+    ]
     for _ in range(max(hops, 0)):
-        added = False
-        for task in tasks:
-            if task.task_id in reachable_set or task.is_expired(now):
-                continue
-            for anchor in found:
-                if travel.distance(anchor.location, task.location) <= worker.reachable_distance + 1e-9:
-                    found.append(task)
-                    reachable_set.add(task.task_id)
-                    added = True
-                    break
+        if not frontier or not remaining:
+            break
+        added: List[Task] = []
+        still_remaining: List[Task] = []
+        for task in remaining:
+            if any(travel.distance(anchor.location, task.location) <= reach for anchor in frontier):
+                added.append(task)
+            else:
+                still_remaining.append(task)
         if not added:
             break
+        found.extend(added)
+        frontier = added
+        remaining = still_remaining
     if max_tasks is not None and len(found) > max_tasks:
         found.sort(key=lambda task: travel.distance(worker.location, task.location))
         found = found[:max_tasks]
     return found
 
 
+def reachable_tasks_matrix(
+    worker: Worker,
+    tasks: Sequence[Task],
+    now: float,
+    matrix: TravelMatrix,
+    max_tasks: Optional[int] = None,
+    hops: int = 1,
+    cols: Optional[np.ndarray] = None,
+) -> List[Task]:
+    """Vectorized :func:`reachable_tasks` over a cached :class:`TravelMatrix`.
+
+    Every feasibility check is an array lookup; the transitive expansion is
+    a boolean-mask sweep over the task→task distance matrix.  Produces the
+    exact same task list (same order, same cap tie-breaking) as the scalar
+    reference.  ``cols`` may carry precomputed matrix columns for ``tasks``
+    (callers iterating many workers over one task list compute them once).
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if cols is None:
+        cols = matrix.task_cols(tasks)
+    row = matrix.worker_row(worker.worker_id)
+    mask = matrix.reachability_mask(worker, cols, now)
+
+    alive = now < matrix.expirations[cols]
+    reach = worker.reachable_distance + _REACH_EPS
+    in_found = mask.copy()
+    frontier = np.flatnonzero(mask)
+    # Same output order as the scalar path: directly-reachable tasks first
+    # (input order), then each breadth-first level in input order.
+    found = [tasks[i] for i in frontier]
+    for _ in range(max(hops, 0)):
+        candidates = np.flatnonzero(alive & ~in_found)
+        if frontier.size == 0 or candidates.size == 0:
+            break
+        near = (
+            matrix.tt_dist_block(cols[frontier], cols[candidates]) <= reach
+        ).any(axis=0)
+        added = candidates[near]
+        if added.size == 0:
+            break
+        found.extend(tasks[i] for i in added)
+        in_found[added] = True
+        frontier = added
+
+    if max_tasks is not None and len(found) > max_tasks:
+        dist = matrix.wt_dist[row, matrix.task_cols(found)]
+        order = np.argsort(dist, kind="stable")
+        found = [found[i] for i in order[:max_tasks]]
+    return found
+
+
 def reachable_tasks_indexed(
     worker: Worker,
     index: SpatialIndex,
-    tasks_by_id: dict,
+    tasks_by_id: Dict[int, Task],
     now: float,
     travel: Optional[TravelModel] = None,
     max_tasks: Optional[int] = None,
+    matrix: Optional[TravelMatrix] = None,
+    hops: int = 1,
+    positions: Optional[Dict[int, int]] = None,
 ) -> List[Task]:
     """Reachable tasks using a spatial index for the radius pre-filter.
 
     ``index`` maps task ids to locations; ``tasks_by_id`` resolves ids back
-    to :class:`Task` objects.  Only candidates within the worker's reachable
-    distance are examined in detail, which keeps per-event replanning cheap
-    on large instances.
+    to :class:`Task` objects.  Only candidates within ``(hops + 1)`` reach
+    radii are examined in detail (each transitive hop extends the horizon by
+    one worker reach), which keeps per-event replanning cheap on large
+    instances.  Candidates keep the iteration order of ``tasks_by_id``, so
+    the result is exactly what the full scan over ``tasks_by_id.values()``
+    would return — independent of index-bucket iteration order.  Callers
+    looping over many workers should pass ``positions`` (task id -> position
+    in ``tasks_by_id``, computed once); the order is then recovered with a
+    sort over the few candidates instead of a scan over every open task.
     """
     travel = travel or EuclideanTravelModel(speed=worker.speed)
-    # Widen the pre-filter to two reach radii so one transitive hop is covered.
-    candidate_ids = index.query_radius(worker.location, 2.0 * worker.reachable_distance)
-    candidates = [tasks_by_id[task_id] for task_id in candidate_ids if task_id in tasks_by_id]
-    return reachable_tasks(worker, candidates, now, travel, max_tasks=max_tasks)
+    radius = (hops + 1.0) * worker.reachable_distance + 1e-6
+    candidate_ids = index.query_radius(worker.location, radius)
+    if positions is not None:
+        in_scope = [tid for tid in candidate_ids if tid in positions]
+        in_scope.sort(key=positions.__getitem__)
+        candidates = [tasks_by_id[tid] for tid in in_scope]
+    else:
+        id_set = set(candidate_ids)
+        candidates = [
+            task for task_id, task in tasks_by_id.items() if task_id in id_set
+        ]
+    if (
+        matrix is not None
+        and len(candidates) >= VECTOR_MIN_TASKS
+        and all(task.task_id in matrix for task in candidates)
+    ):
+        return reachable_tasks_matrix(
+            worker, candidates, now, matrix, max_tasks=max_tasks, hops=hops
+        )
+    return reachable_tasks(worker, candidates, now, travel, max_tasks=max_tasks, hops=hops)
 
 
 def mutual_reachability(
@@ -116,9 +225,41 @@ def mutual_reachability(
     now: float,
     travel: Optional[TravelModel] = None,
     max_tasks_per_worker: Optional[int] = None,
+    index: Optional[SpatialIndex] = None,
+    matrix: Optional[TravelMatrix] = None,
 ) -> dict:
-    """Reachable-task sets for every worker, keyed by worker id."""
+    """Reachable-task sets for every worker, keyed by worker id.
+
+    With ``index`` the per-worker candidate set comes from a radius query
+    instead of an all-pairs scan; with ``matrix`` the feasibility checks are
+    vectorized array lookups.  Both options preserve the scalar result.
+    """
+    if index is not None:
+        tasks_by_id = {task.task_id: task for task in tasks}
+        positions = {task.task_id: i for i, task in enumerate(tasks)}
+        return {
+            worker.worker_id: reachable_tasks_indexed(
+                worker,
+                index,
+                tasks_by_id,
+                now,
+                travel,
+                max_tasks=max_tasks_per_worker,
+                matrix=matrix,
+                positions=positions,
+            )
+            for worker in workers
+        }
+    if matrix is not None:
+        return {
+            worker.worker_id: reachable_tasks_matrix(
+                worker, tasks, now, matrix, max_tasks=max_tasks_per_worker
+            )
+            for worker in workers
+        }
     return {
-        worker.worker_id: reachable_tasks(worker, tasks, now, travel, max_tasks=max_tasks_per_worker)
+        worker.worker_id: reachable_tasks(
+            worker, tasks, now, travel, max_tasks=max_tasks_per_worker
+        )
         for worker in workers
     }

@@ -8,16 +8,30 @@ that cannot be extended by any further reachable task are *maximal*.
 The enumeration is exponential in the worst case; ``max_length`` bounds the
 sequence length (workers rarely chain more than a handful of tasks inside
 one availability window) and ``max_sequences`` bounds the output size.
+
+The search runs on an explicit stack over precomputed leg-time arrays
+(:class:`~repro.spatial.travel_matrix.LegTimes`): every worker→task and
+task→task leg is evaluated exactly once per call — sliced out of a shared
+:class:`~repro.spatial.travel_matrix.TravelMatrix` when one is supplied,
+or computed scalar-by-scalar otherwise.  Both sources yield bit-identical
+floats, so the enumeration result does not depend on which path fed it.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.sequence import TaskSequence, arrival_times
 from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.spatial.travel import EuclideanTravelModel, TravelModel
+from repro.spatial.travel_matrix import LegTimes, TravelMatrix
+
+#: Below this many reachable tasks the scalar leg precompute is cheaper
+#: than matrix slicing; both sources yield bit-identical leg times.
+_MATRIX_MIN_TASKS = 5
 
 
 def best_order_for_subset(
@@ -91,6 +105,7 @@ def maximal_valid_sequences(
     travel: Optional[TravelModel] = None,
     max_length: int = 3,
     max_sequences: int = 64,
+    matrix: Optional[TravelMatrix] = None,
 ) -> List[TaskSequence]:
     """Generate the maximal valid task sequence set ``Q_w``.
 
@@ -102,59 +117,127 @@ def maximal_valid_sequences(
 
     The empty sequence is never returned; a worker with no feasible task
     yields an empty list.
+
+    Parameters
+    ----------
+    matrix:
+        Optional shared :class:`TravelMatrix`; when given (and covering the
+        worker and every reachable task) the leg times are array slices
+        instead of per-pair travel-model calls.
     """
     if max_length < 1:
         raise ValueError("max_length must be at least 1")
-    travel = travel or EuclideanTravelModel(speed=worker.speed)
     reachable = list(reachable)
-    # best ordering per task subset: subset -> (completion_time, ordered tasks)
-    best_by_subset: Dict[FrozenSet[int], Tuple[float, Tuple[Task, ...]]] = {}
+    if not reachable:
+        return []
 
-    def explore(prefix: Tuple[Task, ...], location, time: float) -> None:
-        if len(best_by_subset) >= max_sequences * 8:
-            return
-        for task in reachable:
-            if task in prefix:
+    if (
+        matrix is not None
+        and len(reachable) >= _MATRIX_MIN_TASKS
+        and matrix.has_worker(worker.worker_id)
+        and all(task.task_id in matrix for task in reachable)
+    ):
+        legs = matrix.leg_times(worker, reachable)
+    else:
+        travel = travel or EuclideanTravelModel(speed=worker.speed)
+        legs = LegTimes.from_scalar(worker, reachable, travel)
+
+    n = len(reachable)
+    expirations = [task.expiration_time for task in reachable]
+    off_time = worker.off_time
+    reach = worker.reachable_distance + 1e-9
+    budget = max_sequences * 8
+
+    # Best ordering per task subset, keyed by the subset's index bitmask
+    # (bijective with the task-id frozenset, far cheaper to build and hash):
+    # mask -> (completion_time, index order).
+    best_by_subset: Dict[int, Tuple[float, Tuple[int, ...]]] = {}
+
+    # Depth-first search on an explicit stack.  A frame is
+    # (prefix, used_bitmask, arrival_at_last, next_candidate, is_entry):
+    # ``is_entry`` marks the first visit of a search node (where the budget
+    # bailout applies); resumed frames continue the candidate loop after a
+    # deeper exploration returned.
+    worker_time = legs.worker_time
+    worker_dist = legs.worker_dist
+    task_time = legs.task_time
+    task_dist = legs.task_dist
+    stack: List[Tuple[Tuple[int, ...], int, float, int, bool]] = [((), 0, now, 0, True)]
+    while stack:
+        prefix, used, time, start, is_entry = stack.pop()
+        if is_entry and len(best_by_subset) >= budget:
+            continue
+        if prefix:
+            time_row = task_time[prefix[-1]]
+            dist_row = task_dist[prefix[-1]]
+        else:
+            time_row = worker_time
+            dist_row = worker_dist
+        for i in range(start, n):
+            if used >> i & 1:
                 continue
-            arrive = time + travel.time(location, task.location)
-            if arrive >= task.expiration_time or arrive >= worker.off_time:
+            arrive = time + time_row[i]
+            if arrive >= expirations[i] or arrive >= off_time:
                 continue
-            if travel.distance(location, task.location) > worker.reachable_distance + 1e-9:
+            if dist_row[i] > reach:
                 continue
-            new_prefix = prefix + (task,)
-            key = frozenset(t.task_id for t in new_prefix)
+            key = used | (1 << i)
             existing = best_by_subset.get(key)
+            new_prefix = prefix + (i,)
             if existing is None or arrive < existing[0]:
                 best_by_subset[key] = (arrive, new_prefix)
             # Only continue extending from the best-known order of this
             # subset to curb redundant exploration.
             if len(new_prefix) < max_length and (existing is None or arrive <= existing[0]):
-                explore(new_prefix, task.location, arrive)
-
-    explore((), worker.location, now)
+                stack.append((prefix, used, time, i + 1, False))
+                stack.append((new_prefix, key, arrive, 0, True))
+                break
 
     if not best_by_subset:
         return []
 
-    # Keep only maximal subsets: no other stored subset strictly contains them.
-    subsets = list(best_by_subset.keys())
-    subsets.sort(key=len, reverse=True)
-    maximal: List[FrozenSet[int]] = []
-    for subset in subsets:
-        if any(subset < other for other in maximal):
-            continue
-        if any(subset < other for other in subsets if len(other) > len(subset)):
-            continue
-        maximal.append(subset)
+    # Keep only maximal subsets: no other stored subset strictly contains
+    # them.  An inverted member -> subsets index narrows each containment
+    # check to the subsets sharing at least one member (the all-pairs scan
+    # was quadratic in |best_by_subset| and dominated dense instances).
+    masks = list(best_by_subset.keys())
+    sizes = [mask.bit_count() for mask in masks]
+    max_size = max(sizes)
+    positions_by_member: Dict[int, List[int]] = {}
+    for position, mask in enumerate(masks):
+        bits = mask
+        while bits:
+            low = bits & -bits
+            positions_by_member.setdefault(low, []).append(position)
+            bits ^= low
+    maximal: List[int] = []
+    for position, mask in enumerate(masks):
+        size = sizes[position]
+        if size < max_size:
+            shortest = None
+            bits = mask
+            while bits:
+                low = bits & -bits
+                members = positions_by_member[low]
+                if shortest is None or len(members) < len(shortest):
+                    shortest = members
+                bits ^= low
+            if any(
+                sizes[p] > size and masks[p] & mask == mask for p in shortest
+            ):
+                continue
+        maximal.append(mask)
 
-    sequences = [
-        TaskSequence(worker, best_by_subset[subset][1]) for subset in maximal
-    ]
     # Rank by (more tasks, earlier completion) and bound the output size.
-    sequences.sort(
-        key=lambda seq: (-len(seq), seq.completion_time(now, travel))
+    # The completion time was recorded during the search, so the sort key is
+    # a dictionary lookup rather than a fresh arrival-times recomputation.
+    ranked = sorted(
+        maximal, key=lambda mask: (-mask.bit_count(), best_by_subset[mask][0])
     )
-    return sequences[:max_sequences]
+    return [
+        TaskSequence(worker, tuple(reachable[i] for i in best_by_subset[mask][1]))
+        for mask in ranked[:max_sequences]
+    ]
 
 
 def sequence_signature(sequence: TaskSequence) -> FrozenSet[int]:

@@ -54,6 +54,16 @@ class AssignmentStrategy(ABC):
     def notify_dispatch(self, worker_id: int, task_id: int) -> None:
         """Inform the strategy that a planned task has been executed."""
 
+    def attach_task_index(self, index) -> None:
+        """Receive the platform's persistent open-task spatial index.
+
+        The platform keeps a :class:`~repro.spatial.index.SpatialIndex` of
+        open tasks incrementally up to date across events; strategies that
+        can exploit it (the planner-backed ones) use it to turn the
+        per-worker reachability scan into a radius query.  The default is a
+        no-op so index-unaware strategies keep working unchanged.
+        """
+
 
 class GreedyStrategy(AssignmentStrategy):
     """The Greedy baseline."""
@@ -82,6 +92,9 @@ class _PlannerBackedStrategy(AssignmentStrategy):
         self.travel = travel or EuclideanTravelModel(speed=1.0)
         self.config = config or PlannerConfig()
         self.planner = TaskPlanner(self.config, travel=self.travel, tvf=tvf)
+
+    def attach_task_index(self, index) -> None:
+        self.planner.attach_task_index(index)
 
     def _plan_with_planner(self, idle_workers, pending_tasks, now) -> PlanningOutcome:
         return self.planner.plan(idle_workers, pending_tasks, now)

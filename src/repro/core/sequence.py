@@ -97,9 +97,12 @@ class TaskSequence:
 
     def __post_init__(self) -> None:
         self.tasks = tuple(self.tasks)
-        ids = [task.task_id for task in self.tasks]
+        ids = tuple(task.task_id for task in self.tasks)
         if len(ids) != len(set(ids)):
             raise ValueError("a task sequence must not contain duplicate tasks")
+        # task_ids is read on every search-node expansion; cache it once.
+        self._task_ids = ids
+        self._task_id_set = frozenset(ids)
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -116,7 +119,12 @@ class TaskSequence:
 
     @property
     def task_ids(self) -> Tuple[int, ...]:
-        return tuple(task.task_id for task in self.tasks)
+        return self._task_ids
+
+    @property
+    def task_id_set(self) -> frozenset:
+        """The task ids as a frozenset (cached; used by the tree search)."""
+        return self._task_id_set
 
     @property
     def task_set(self) -> frozenset:

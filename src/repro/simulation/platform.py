@@ -24,6 +24,7 @@ from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.simulation.clock import SimulationClock
 from repro.simulation.metrics import SimulationMetrics
+from repro.spatial.index import SpatialIndex
 
 
 @dataclass
@@ -35,6 +36,13 @@ class PlatformConfig:
     replan_interval: float = 0.0
     #: Safety valve on the number of planning calls (None = unlimited).
     max_replans: Optional[int] = None
+    #: Maintain a persistent spatial index of open tasks (insert on arrival,
+    #: discard on assignment/expiry) and hand it to the strategy so
+    #: reachability becomes a radius query instead of an all-pairs scan.
+    maintain_task_index: bool = True
+    #: Bucket edge length of that index; None derives it from the median
+    #: worker reachable distance of the instance.
+    task_index_cell_size: Optional[float] = None
 
 
 @dataclass
@@ -92,6 +100,20 @@ class SCPlatform:
         self._assigned_ids: set = set()
         self._wakeups: List[float] = []
         self._last_plan_time: float = -float("inf")
+        self._task_index: Optional[SpatialIndex] = (
+            SpatialIndex(cell_size=self._index_cell_size())
+            if self.config.maintain_task_index
+            else None
+        )
+
+    def _index_cell_size(self) -> float:
+        """Bucket size for the open-task index (~ the typical query radius)."""
+        if self.config.task_index_cell_size is not None:
+            return self.config.task_index_cell_size
+        reaches = sorted(w.reachable_distance for w in self.instance.workers)
+        if not reaches:
+            return 1.0
+        return max(reaches[len(reaches) // 2], 1e-6)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -99,6 +121,9 @@ class SCPlatform:
     def run(self) -> SimulationMetrics:
         """Replay the whole instance and return the collected metrics."""
         self.strategy.reset()
+        if self._task_index is not None:
+            self._task_index.clear()
+        self.strategy.attach_task_index(self._task_index)
         events = self.instance.event_stream()
         index = 0
         total_events = len(events)
@@ -131,6 +156,8 @@ class SCPlatform:
     def _on_task(self, task: Task, now: float) -> None:
         if not task.predicted:
             self._pending[task.task_id] = task
+            if self._task_index is not None:
+                self._task_index.insert(task.task_id, task.location)
 
     def _step(self, now: float) -> None:
         """One decision point: clean up, (maybe) replan, dispatch."""
@@ -183,6 +210,8 @@ class SCPlatform:
             runtime.reposition = None
             self._assigned_ids.add(task.task_id)
             self._pending.pop(task.task_id, None)
+            if self._task_index is not None:
+                self._task_index.discard(task.task_id)
             runtime.busy_until = completion
             runtime.completed += 1
             runtime.worker = runtime.worker.moved_to(task.location)
@@ -237,6 +266,8 @@ class SCPlatform:
         expired = [tid for tid, task in self._pending.items() if task.is_expired(now)]
         for tid in expired:
             del self._pending[tid]
+            if self._task_index is not None:
+                self._task_index.discard(tid)
         if expired:
             self.metrics.record_expiry(len(expired))
         offline = [wid for wid, st in self._workers.items() if now >= st.worker.off_time]

@@ -17,8 +17,10 @@ from repro.spatial.geometry import (
 from repro.spatial.grid import GridCell, GridSpec
 from repro.spatial.index import SpatialIndex
 from repro.spatial.travel import TravelModel, EuclideanTravelModel, ManhattanTravelModel
+from repro.spatial.travel_matrix import TravelMatrix
 
 __all__ = [
+    "TravelMatrix",
     "Point",
     "BoundingBox",
     "euclidean_distance",

@@ -38,8 +38,15 @@ class Point:
 
 
 def euclidean_distance(a: Point, b: Point) -> float:
-    """Straight-line distance between two planar points."""
-    return math.hypot(a.x - b.x, a.y - b.y)
+    """Straight-line distance between two planar points.
+
+    Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot`` so the
+    scalar path is bit-for-bit identical to the NumPy-vectorized travel
+    matrices (``hypot`` implementations may differ in the last ulp).
+    """
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def manhattan_distance(a: Point, b: Point) -> float:

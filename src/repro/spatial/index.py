@@ -80,8 +80,17 @@ class SpatialIndex(Generic[T]):
         """Return every item within Euclidean ``radius`` of ``center``."""
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        min_kx, min_ky = self._key(Point(center.x - radius, center.y - radius))
-        max_kx, max_ky = self._key(Point(center.x + radius, center.y + radius))
+        # euclidean_distance computes sqrt(dx*dx + dy*dy); squaring
+        # underflows to zero for offsets below sqrt(DBL_MIN), the sum rounds
+        # at relative epsilon, and the box-corner subtraction itself rounds
+        # at the ulp of the coordinate magnitude — so a point can measure as
+        # inside the radius while its coordinates sit just outside the
+        # scanned box.  Pad the box past all three effects so the bucket
+        # prefilter never drops an item the exact distance check accepts.
+        magnitude = max(abs(center.x), abs(center.y), radius)
+        pad = 1.5e-154 + 4e-16 * magnitude
+        min_kx, min_ky = self._key(Point(center.x - radius - pad, center.y - radius - pad))
+        max_kx, max_ky = self._key(Point(center.x + radius + pad, center.y + radius + pad))
         out: List[T] = []
         for kx in range(min_kx, max_kx + 1):
             for ky in range(min_ky, max_ky + 1):

@@ -1,0 +1,262 @@
+"""Per-epoch travel matrices: the numeric core of the vectorized planner.
+
+The adaptive algorithm replans at every arrival event, and each replan used
+to recompute ``travel.distance`` / ``travel.time`` for the same
+(worker, task) and (task, task) pairs over and over in pure Python.  A
+:class:`TravelMatrix` computes the worker→task distance and time matrices
+**once** per replan epoch as NumPy arrays, and serves task→task legs as
+vectorized on-demand blocks (the full T×T matrix is never materialised —
+a replan only ever touches the legs among each worker's small reachable
+set and the transitive-expansion frontiers).  Every downstream feasibility
+check (reachability, sequence validity, TVF geometry features) becomes an
+array lookup or an O(n) vectorized mask.
+
+The matrices are exact: for the Euclidean and Manhattan travel models the
+vectorized formulas perform the same IEEE-754 operations as the scalar
+:mod:`repro.spatial.geometry` functions, so scalar and vectorized planning
+paths produce bit-for-bit identical floats (and therefore identical
+assignments).  Unknown :class:`TravelModel` subclasses fall back to a
+cached per-pair scalar evaluation, which preserves exactness at reduced
+speed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.spatial.travel import EuclideanTravelModel, ManhattanTravelModel, TravelModel
+
+if TYPE_CHECKING:  # break the spatial <-> core import cycle (hints only)
+    from repro.core.task import Task
+    from repro.core.worker import Worker
+
+__all__ = ["TravelMatrix", "LegTimes"]
+
+
+def _block_distances(
+    ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray, travel: TravelModel
+) -> Optional[np.ndarray]:
+    """Vectorized |A|×|B| distance matrix for the built-in travel models."""
+    dx = ax[:, None] - bx[None, :]
+    dy = ay[:, None] - by[None, :]
+    if isinstance(travel, ManhattanTravelModel):
+        return np.abs(dx) + np.abs(dy)
+    if isinstance(travel, EuclideanTravelModel):
+        # Same operation sequence as geometry.euclidean_distance: the
+        # results are bit-identical to the scalar path.
+        return np.sqrt(dx * dx + dy * dy)
+    return None
+
+
+class TravelMatrix:
+    """Cached worker→task travel costs + on-demand task→task blocks.
+
+    Parameters
+    ----------
+    workers:
+        Snapshot of the workers being planned (their *current* locations).
+    tasks:
+        The open (and predicted) tasks of the epoch.
+    travel:
+        The travel model shared by the planning pipeline.
+    """
+
+    def __init__(
+        self, workers: Sequence["Worker"], tasks: Sequence["Task"], travel: TravelModel
+    ) -> None:
+        self.travel = travel
+        self.workers: List["Worker"] = list(workers)
+        self.tasks: List["Task"] = list(tasks)
+        self._worker_row: Dict[int, int] = {
+            worker.worker_id: row for row, worker in enumerate(self.workers)
+        }
+        self._task_col: Dict[int, int] = {
+            task.task_id: col for col, task in enumerate(self.tasks)
+        }
+
+        wx = np.array([w.location.x for w in self.workers], dtype=np.float64)
+        wy = np.array([w.location.y for w in self.workers], dtype=np.float64)
+        #: Task coordinates, shape (T,) each — the base data for task→task blocks.
+        self.tx: np.ndarray = np.array([t.location.x for t in self.tasks], dtype=np.float64)
+        self.ty: np.ndarray = np.array([t.location.y for t in self.tasks], dtype=np.float64)
+        # Subclasses may override time() away from distance/speed; only use
+        # the vectorized division when the base-class relation holds.
+        self._default_time = type(travel).time is TravelModel.time
+
+        wt = _block_distances(wx, wy, self.tx, self.ty, travel)
+        if wt is None:
+            wt = np.empty((len(self.workers), len(self.tasks)), dtype=np.float64)
+            for i, worker in enumerate(self.workers):
+                for j, task in enumerate(self.tasks):
+                    wt[i, j] = travel.distance(worker.location, task.location)
+
+        #: Worker→task distances ``td(w.l, s.l)``, shape (W, T).
+        self.wt_dist: np.ndarray = wt
+        #: Worker→task travel times ``c(w.l, s.l)``, shape (W, T).
+        if self._default_time:
+            self.wt_time: np.ndarray = wt / travel.speed
+        else:
+            wt_time = np.empty_like(wt)
+            for i, worker in enumerate(self.workers):
+                for j, task in enumerate(self.tasks):
+                    wt_time[i, j] = travel.time(worker.location, task.location)
+            self.wt_time = wt_time
+        #: Per-task expiration times ``s.e``, shape (T,).
+        self.expirations: np.ndarray = np.array(
+            [t.expiration_time for t in self.tasks], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._task_col
+
+    def has_worker(self, worker_id: int) -> bool:
+        return worker_id in self._worker_row
+
+    def worker_row(self, worker_id: int) -> int:
+        """Row index of ``worker_id`` in the worker→task matrices."""
+        return self._worker_row[worker_id]
+
+    def task_col(self, task_id: int) -> int:
+        """Column index of ``task_id`` in the matrices."""
+        return self._task_col[task_id]
+
+    def task_cols(self, tasks: Sequence["Task"]) -> np.ndarray:
+        """Column indices for a task subset (for fancy-indexed lookups)."""
+        return np.array([self._task_col[t.task_id] for t in tasks], dtype=np.intp)
+
+    # ------------------------------------------------------------------ #
+    def worker_task_distance(self, worker_id: int, task_id: int) -> float:
+        return float(self.wt_dist[self._worker_row[worker_id], self._task_col[task_id]])
+
+    def worker_task_time(self, worker_id: int, task_id: int) -> float:
+        return float(self.wt_time[self._worker_row[worker_id], self._task_col[task_id]])
+
+    def tt_dist_block(self, from_cols: np.ndarray, to_cols: np.ndarray) -> np.ndarray:
+        """Task→task distance block (|from| × |to|), computed vectorized."""
+        block = _block_distances(
+            self.tx[from_cols], self.ty[from_cols], self.tx[to_cols], self.ty[to_cols], self.travel
+        )
+        if block is None:
+            block = np.empty((len(from_cols), len(to_cols)), dtype=np.float64)
+            for i, a in enumerate(from_cols):
+                for j, b in enumerate(to_cols):
+                    block[i, j] = self.travel.distance(
+                        self.tasks[a].location, self.tasks[b].location
+                    )
+        return block
+
+    def tt_time_block(self, from_cols: np.ndarray, to_cols: np.ndarray) -> np.ndarray:
+        """Task→task travel-time block (|from| × |to|)."""
+        if self._default_time:
+            return self.tt_dist_block(from_cols, to_cols) / self.travel.speed
+        block = np.empty((len(from_cols), len(to_cols)), dtype=np.float64)
+        for i, a in enumerate(from_cols):
+            for j, b in enumerate(to_cols):
+                block[i, j] = self.travel.time(
+                    self.tasks[a].location, self.tasks[b].location
+                )
+        return block
+
+    def task_task_distance(self, from_id: int, to_id: int) -> float:
+        cols_a = np.array([self._task_col[from_id]], dtype=np.intp)
+        cols_b = np.array([self._task_col[to_id]], dtype=np.intp)
+        return float(self.tt_dist_block(cols_a, cols_b)[0, 0])
+
+    def task_task_time(self, from_id: int, to_id: int) -> float:
+        if self._default_time:
+            return self.task_task_distance(from_id, to_id) / self.travel.speed
+        return self.travel.time(
+            self.tasks[self._task_col[from_id]].location,
+            self.tasks[self._task_col[to_id]].location,
+        )
+
+    # ------------------------------------------------------------------ #
+    def reachability_mask(
+        self, worker: "Worker", cols: np.ndarray, now: float
+    ) -> np.ndarray:
+        """Vectorized Section IV-A.1 reachability over task columns ``cols``.
+
+        Applies the same predicates as :func:`repro.assignment.reachability.
+        is_reachable` — not expired, within reach, arrival strictly before
+        expiry and before the availability horizon — as one boolean mask.
+        """
+        row = self._worker_row[worker.worker_id]
+        dist = self.wt_dist[row, cols]
+        time = self.wt_time[row, cols]
+        expire = self.expirations[cols]
+        return (
+            (now < expire)
+            & (dist <= worker.reachable_distance + 1e-9)
+            & (time < expire - now)
+            & (time < worker.availability_remaining(now))
+        )
+
+    def leg_times(self, worker: "Worker", tasks: Sequence["Task"]) -> "LegTimes":
+        """Cached leg times/distances among ``tasks`` for one worker.
+
+        Used by the sequence enumerator: ``worker_time[i]`` is the
+        worker→task leg and ``task_time[i][j]`` the task→task leg, so the
+        depth-first search never calls back into the travel model.
+        """
+        cols = self.task_cols(tasks)
+        row = self._worker_row[worker.worker_id]
+        dist_block = self.tt_dist_block(cols, cols)
+        if self._default_time:
+            time_block = dist_block / self.travel.speed
+        else:
+            time_block = self.tt_time_block(cols, cols)
+        return LegTimes(
+            worker_time=self.wt_time[row, cols],
+            worker_dist=self.wt_dist[row, cols],
+            task_time=time_block,
+            task_dist=dist_block,
+        )
+
+
+class LegTimes:
+    """Dense leg-time/-distance arrays for one (worker, reachable set) pair.
+
+    The arrays are exposed as plain Python lists (``ndarray.tolist`` keeps
+    the exact float values): the sequence enumerator indexes single legs in
+    a tight loop, where list indexing is several times faster than NumPy
+    scalar extraction.
+    """
+
+    __slots__ = ("worker_time", "worker_dist", "task_time", "task_dist")
+
+    def __init__(
+        self,
+        worker_time: np.ndarray,
+        worker_dist: np.ndarray,
+        task_time: np.ndarray,
+        task_dist: np.ndarray,
+    ) -> None:
+        self.worker_time: List[float] = np.asarray(worker_time).tolist()
+        self.worker_dist: List[float] = np.asarray(worker_dist).tolist()
+        self.task_time: List[List[float]] = np.asarray(task_time).tolist()
+        self.task_dist: List[List[float]] = np.asarray(task_dist).tolist()
+
+    @classmethod
+    def from_scalar(
+        cls, worker: "Worker", tasks: Sequence["Task"], travel: TravelModel
+    ) -> "LegTimes":
+        """Precompute leg arrays with per-pair scalar travel-model calls.
+
+        The scalar reference path for instances planned without a
+        :class:`TravelMatrix`; every pair is evaluated exactly once.
+        """
+        instance = cls.__new__(cls)
+        instance.worker_dist = [
+            travel.distance(worker.location, t.location) for t in tasks
+        ]
+        instance.worker_time = [travel.time(worker.location, t.location) for t in tasks]
+        instance.task_dist = [
+            [travel.distance(a.location, b.location) for b in tasks] for a in tasks
+        ]
+        instance.task_time = [
+            [travel.time(a.location, b.location) for b in tasks] for a in tasks
+        ]
+        return instance

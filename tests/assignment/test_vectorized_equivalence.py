@@ -1,0 +1,408 @@
+"""Property-based equivalence: vectorized planning paths vs scalar reference.
+
+The vectorized engine (travel matrices, indexed reachability, batched TVF
+featurization) must be a pure optimisation: on any instance it has to
+return bit-for-bit the same reachable sets, sequences, feature vectors and
+final assignments as the scalar reference implementations.  These tests
+assert that on randomised instances — through ``hypothesis`` where it is
+installed, and through a seeded-random sweep otherwise.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.assignment.planner import PlannerConfig, TaskPlanner
+from repro.assignment.reachability import (
+    is_reachable,
+    reachable_tasks,
+    reachable_tasks_indexed,
+    reachable_tasks_matrix,
+)
+from repro.assignment.sequences import maximal_valid_sequences
+from repro.assignment.tvf import (
+    StateFeatureCache,
+    TaskValueFunction,
+    featurize_actions_batch,
+    featurize_state,
+    featurize_state_action,
+)
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.geometry import Point
+from repro.spatial.index import SpatialIndex
+from repro.spatial.travel import EuclideanTravelModel
+from repro.spatial.travel_matrix import TravelMatrix
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an optional extra
+    HAVE_HYPOTHESIS = False
+
+TRAVEL = EuclideanTravelModel(speed=1.0)
+
+
+def random_instance(rng, max_workers=10, max_tasks=40):
+    num_workers = rng.randint(1, max_workers)
+    num_tasks = rng.randint(1, max_tasks)
+    workers = [
+        Worker(
+            i,
+            Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+            rng.uniform(0.5, 3.0),
+            0.0,
+            rng.uniform(5, 50),
+        )
+        for i in range(num_workers)
+    ]
+    tasks = [
+        Task(100 + j, Point(rng.uniform(0, 10), rng.uniform(0, 10)), 0.0, rng.uniform(1, 40))
+        for j in range(num_tasks)
+    ]
+    return workers, tasks
+
+
+def build_index(tasks):
+    index = SpatialIndex(cell_size=1.0)
+    tasks_by_id = {}
+    for task in tasks:
+        index.insert(task.task_id, task.location)
+        tasks_by_id[task.task_id] = task
+    return index, tasks_by_id
+
+
+class TestReachabilityEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matrix_and_indexed_match_scalar(self, seed):
+        rng = random.Random(seed)
+        workers, tasks = random_instance(rng)
+        now = rng.uniform(0.0, 3.0)
+        matrix = TravelMatrix(workers, tasks, TRAVEL)
+        index, tasks_by_id = build_index(tasks)
+        for worker in workers:
+            for max_tasks in (None, 5):
+                scalar = reachable_tasks(worker, tasks, now, TRAVEL, max_tasks=max_tasks)
+                vector = reachable_tasks_matrix(worker, tasks, now, matrix, max_tasks=max_tasks)
+                indexed = reachable_tasks_indexed(
+                    worker, index, tasks_by_id, now, TRAVEL, max_tasks=max_tasks, matrix=matrix
+                )
+                scalar_ids = [t.task_id for t in scalar]
+                assert scalar_ids == [t.task_id for t in vector]
+                assert scalar_ids == [t.task_id for t in indexed]
+
+    def test_transitive_expansion_matches(self):
+        # s2 is out of direct reach but within one hop of s1; s3 needs two.
+        worker = Worker(1, Point(0, 0), 1.0, 0.0, 100.0)
+        tasks = [
+            Task(1, Point(0.8, 0.0), 0.0, 100.0),
+            Task(2, Point(1.7, 0.0), 0.0, 100.0),
+            Task(3, Point(2.6, 0.0), 0.0, 100.0),
+        ]
+        matrix = TravelMatrix([worker], tasks, TRAVEL)
+        for hops in (0, 1, 2):
+            scalar = reachable_tasks(worker, tasks, 0.0, TRAVEL, hops=hops)
+            vector = reachable_tasks_matrix(worker, tasks, 0.0, matrix, hops=hops)
+            assert [t.task_id for t in scalar] == [t.task_id for t in vector]
+        assert [t.task_id for t in reachable_tasks(worker, tasks, 0.0, TRAVEL, hops=1)] == [1, 2]
+        assert [t.task_id for t in reachable_tasks(worker, tasks, 0.0, TRAVEL, hops=2)] == [1, 2, 3]
+
+    def test_boundary_exact_expiry_unreachable_and_unorderable(self):
+        # Arrival would coincide exactly with the expiration: Definition 4's
+        # strict check rejects the sequence, so reachability must too.
+        worker = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        boundary = Task(1, Point(2.0, 0.0), 0.0, 2.0)
+        assert not is_reachable(worker, boundary, 0.0, TRAVEL)
+        assert maximal_valid_sequences(worker, [boundary], 0.0, TRAVEL) == []
+
+    def test_boundary_exact_offtime_unreachable(self):
+        worker = Worker(1, Point(0, 0), 10.0, 0.0, 2.0)
+        boundary = Task(1, Point(2.0, 0.0), 0.0, 100.0)
+        assert not is_reachable(worker, boundary, 0.0, TRAVEL)
+
+
+class TestSequenceEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matrix_legs_match_scalar(self, seed, monkeypatch):
+        import repro.assignment.sequences as seq_mod
+
+        # Force the matrix leg source even for tiny reachable sets so the
+        # equivalence is exercised regardless of the adaptive threshold.
+        monkeypatch.setattr(seq_mod, "_MATRIX_MIN_TASKS", 0)
+        rng = random.Random(1000 + seed)
+        workers, tasks = random_instance(rng)
+        now = rng.uniform(0.0, 2.0)
+        matrix = TravelMatrix(workers, tasks, TRAVEL)
+        for worker in workers:
+            reachable = reachable_tasks(worker, tasks, now, TRAVEL, max_tasks=10)
+            scalar = maximal_valid_sequences(
+                worker, reachable, now, TRAVEL, max_length=3, max_sequences=16
+            )
+            vector = maximal_valid_sequences(
+                worker, reachable, now, TRAVEL, max_length=3, max_sequences=16, matrix=matrix
+            )
+            assert [s.task_ids for s in scalar] == [s.task_ids for s in vector]
+
+    def test_completion_cached_rank_matches_recomputation(self):
+        rng = random.Random(42)
+        workers, tasks = random_instance(rng, max_workers=1, max_tasks=12)
+        worker = workers[0]
+        sequences = maximal_valid_sequences(worker, tasks, 0.0, TRAVEL, max_length=3)
+        ranked = [
+            (-len(s), s.completion_time(0.0, TRAVEL)) for s in sequences
+        ]
+        assert ranked == sorted(ranked)
+
+
+class TestTVFEquivalence:
+    def _random_state_actions(self, rng):
+        workers = {
+            i: Worker(
+                i,
+                Point(rng.uniform(0, 9), rng.uniform(0, 9)),
+                rng.uniform(0.5, 2.0),
+                0.0,
+                rng.uniform(10, 90),
+            )
+            for i in range(6)
+        }
+        tasks = {
+            j: Task(j, Point(rng.uniform(0, 9), rng.uniform(0, 9)), rng.random(), 1 + rng.random() * 50)
+            for j in range(40)
+        }
+        remaining = rng.sample(sorted(tasks), rng.randint(0, 20))
+        state = {
+            "num_workers": rng.randint(0, 6),
+            "num_tasks": rng.randint(0, 40),
+            "task_ids": tuple(sorted(remaining)),
+        }
+        actions = []
+        for _ in range(rng.randint(1, 10)):
+            # Lengths up to 10 cover numpy's 8-way-unrolled np.mean regime,
+            # where naive batch accumulation would diverge from the scalar
+            # reference in the last ulp.
+            seq = rng.sample(sorted(tasks), rng.randint(0, 10))
+            actions.append(
+                {
+                    "worker_id": rng.choice(sorted(workers)),
+                    "task_ids": tuple(seq),
+                    "sequence_length": len(seq),
+                }
+            )
+        return workers, tasks, state, actions
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_batch_features_bit_identical(self, seed):
+        rng = random.Random(2000 + seed)
+        workers, tasks, state, actions = self._random_state_actions(rng)
+        batch = featurize_actions_batch(state, actions, workers, tasks)
+        reference = np.stack(
+            [featurize_state_action(state, a, workers, tasks) for a in actions]
+        )
+        assert np.array_equal(batch, reference)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_state_cache_bit_identical(self, seed):
+        rng = random.Random(3000 + seed)
+        workers, tasks, state, _ = self._random_state_actions(rng)
+        cache = StateFeatureCache(tasks)
+        assert np.array_equal(cache.features(state), featurize_state(state, tasks))
+
+    def test_values_match_scalar_value(self):
+        # Features are bit-identical (asserted above); the forward pass may
+        # differ at ulp level between batch sizes because BLAS picks
+        # different kernels (gemv vs gemm), so compare with a tight bound.
+        rng = random.Random(9)
+        workers, tasks, state, actions = self._random_state_actions(rng)
+        tvf = TaskValueFunction(seed=1)
+        batched = tvf.values(state, actions, workers, tasks)
+        scalar = np.array([tvf.value(state, a, workers, tasks) for a in actions])
+        np.testing.assert_allclose(batched, scalar, rtol=1e-12, atol=1e-12)
+
+
+class TestPlannerEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_assignments_all_paths(self, seed):
+        rng = random.Random(4000 + seed)
+        workers, tasks = random_instance(rng, max_workers=12, max_tasks=35)
+        now = rng.uniform(0.0, 2.0)
+        index, _ = build_index(tasks)
+
+        scalar = TaskPlanner(PlannerConfig(use_travel_matrix=False), travel=TRAVEL)
+        vector = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
+        indexed = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
+        indexed.attach_task_index(index)
+
+        outcomes = [p.plan(workers, tasks, now) for p in (scalar, vector, indexed)]
+        plans = [
+            sorted((wp.worker.worker_id, wp.sequence.task_ids) for wp in o.assignment)
+            for o in outcomes
+        ]
+        assert plans[0] == plans[1] == plans[2]
+        assert outcomes[0].planned_tasks == outcomes[1].planned_tasks == outcomes[2].planned_tasks
+
+    def test_forced_vector_thresholds_equivalent(self, monkeypatch):
+        # Drop every adaptive threshold to 0 so the matrix paths are taken
+        # even on tiny instances, and compare against pure scalar.
+        import repro.assignment.planner as planner_mod
+        import repro.assignment.reachability as reach_mod
+        import repro.assignment.sequences as seq_mod
+
+        monkeypatch.setattr(planner_mod, "VECTOR_MIN_TASKS", 0)
+        monkeypatch.setattr(reach_mod, "VECTOR_MIN_TASKS", 0)
+        monkeypatch.setattr(seq_mod, "_MATRIX_MIN_TASKS", 0)
+        rng = random.Random(77)
+        for _ in range(5):
+            workers, tasks = random_instance(rng)
+            now = rng.uniform(0.0, 2.0)
+            scalar = TaskPlanner(PlannerConfig(use_travel_matrix=False), travel=TRAVEL)
+            vector = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
+            a = scalar.plan(workers, tasks, now)
+            b = vector.plan(workers, tasks, now)
+            assert sorted(
+                (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
+            ) == sorted((wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment)
+
+    def test_tvf_guided_identical_assignments(self):
+        rng = random.Random(123)
+        workers, tasks = random_instance(rng, max_workers=10, max_tasks=30)
+        boot = TaskPlanner(PlannerConfig(use_tvf=True), travel=TRAVEL)
+        boot.train_tvf(workers, tasks, 0.0, epochs=2)
+        tvf = boot.tvf
+
+        scalar = TaskPlanner(
+            PlannerConfig(use_travel_matrix=False, use_tvf=True, tvf_min_workers=2),
+            travel=TRAVEL,
+            tvf=tvf,
+        )
+        vector = TaskPlanner(
+            PlannerConfig(use_travel_matrix=True, use_tvf=True, tvf_min_workers=2),
+            travel=TRAVEL,
+            tvf=tvf,
+        )
+        a = scalar.plan(workers, tasks, 0.0)
+        b = vector.plan(workers, tasks, 0.0)
+        assert sorted(
+            (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
+        ) == sorted((wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment)
+
+
+class TestFastPartition:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_reference(self, seed):
+        import networkx as nx
+
+        from repro.assignment.dependency_graph import build_worker_dependency_graph
+        from repro.assignment.fast_partition import (
+            build_adjacency,
+            build_partition_tree_fast,
+            connected_components,
+        )
+        from repro.assignment.tree import sibling_independence_violations
+
+        rng = random.Random(6000 + seed)
+        workers, tasks = random_instance(rng, max_workers=14, max_tasks=30)
+        now = 0.0
+        reachable_by_worker = {
+            w.worker_id: reachable_tasks(w, tasks, now, TRAVEL, max_tasks=8)
+            for w in workers
+        }
+        adjacency = build_adjacency(reachable_by_worker)
+        graph = build_worker_dependency_graph(reachable_by_worker)
+
+        # Same graph: nodes and edges agree with the networkx reference.
+        assert set(adjacency) == set(graph.nodes)
+        fast_edges = {
+            frozenset((a, b)) for a, nbrs in adjacency.items() for b in nbrs
+        }
+        assert fast_edges == {frozenset(e) for e in graph.edges}
+        assert [sorted(c) for c in connected_components(adjacency)] == sorted(
+            [sorted(c) for c in nx.connected_components(graph)], key=lambda c: c[0]
+        )
+
+        # The RTC tree has the paper's two properties: full single coverage
+        # and sibling independence.
+        tree = build_partition_tree_fast(adjacency)
+        covered = tree.all_workers()
+        assert len(covered) == len(set(covered))
+        assert set(covered) == set(graph.nodes)
+        assert sibling_independence_violations(tree, graph) == []
+
+
+class TestPlatformEquivalence:
+    def test_streaming_run_identical_with_and_without_engine(self):
+        from repro.assignment.strategies import DTAStrategy
+        from repro.datasets.synthetic import SyntheticWorkloadGenerator, WorkloadConfig
+        from repro.simulation.platform import PlatformConfig, SCPlatform
+
+        workload = SyntheticWorkloadGenerator(
+            config=WorkloadConfig(num_workers=12, num_tasks=80, seed=5)
+        ).generate()
+        results = []
+        for use in (False, True):
+            strategy = DTAStrategy(config=PlannerConfig(use_travel_matrix=use))
+            platform = SCPlatform(
+                workload.instance,
+                strategy,
+                PlatformConfig(replan_interval=0.0, maintain_task_index=use),
+            )
+            metrics = platform.run()
+            results.append((metrics.assigned_tasks, metrics.expired_tasks, metrics.replans))
+        assert results[0] == results[1]
+
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def hypothesis_instance(draw):
+        num_workers = draw(st.integers(min_value=1, max_value=6))
+        num_tasks = draw(st.integers(min_value=1, max_value=20))
+        coord = st.floats(
+            min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+        )
+        workers = [
+            Worker(
+                i,
+                Point(draw(coord), draw(coord)),
+                draw(st.floats(min_value=0.3, max_value=3.0)),
+                0.0,
+                draw(st.floats(min_value=3.0, max_value=40.0)),
+            )
+            for i in range(num_workers)
+        ]
+        tasks = [
+            Task(
+                100 + j,
+                Point(draw(coord), draw(coord)),
+                0.0,
+                draw(st.floats(min_value=0.5, max_value=40.0)),
+            )
+            for j in range(num_tasks)
+        ]
+        return workers, tasks
+
+    class TestHypothesisEquivalence:
+        @settings(max_examples=30, deadline=None)
+        @given(instance=hypothesis_instance(), now=st.floats(min_value=0.0, max_value=3.0))
+        def test_reachability_matches(self, instance, now):
+            workers, tasks = instance
+            matrix = TravelMatrix(workers, tasks, TRAVEL)
+            for worker in workers:
+                scalar = reachable_tasks(worker, tasks, now, TRAVEL, max_tasks=8)
+                vector = reachable_tasks_matrix(worker, tasks, now, matrix, max_tasks=8)
+                assert [t.task_id for t in scalar] == [t.task_id for t in vector]
+
+        @settings(max_examples=20, deadline=None)
+        @given(instance=hypothesis_instance())
+        def test_planner_assignments_match(self, instance):
+            workers, tasks = instance
+            scalar = TaskPlanner(PlannerConfig(use_travel_matrix=False), travel=TRAVEL)
+            vector = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
+            a = scalar.plan(workers, tasks, 0.0)
+            b = vector.plan(workers, tasks, 0.0)
+            assert sorted(
+                (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
+            ) == sorted((wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment)

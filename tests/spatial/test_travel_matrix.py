@@ -1,0 +1,145 @@
+"""TravelMatrix: exactness against the scalar travel-model primitives."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.geometry import Point, euclidean_distance, manhattan_distance
+from repro.spatial.travel import EuclideanTravelModel, ManhattanTravelModel, TravelModel
+from repro.spatial.travel_matrix import LegTimes, TravelMatrix
+
+
+def _random_instance(seed, num_workers=6, num_tasks=25):
+    rng = random.Random(seed)
+    workers = [
+        Worker(
+            i,
+            Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+            rng.uniform(0.5, 3.0),
+            0.0,
+            rng.uniform(10, 60),
+        )
+        for i in range(num_workers)
+    ]
+    tasks = [
+        Task(100 + j, Point(rng.uniform(0, 10), rng.uniform(0, 10)), 0.0, rng.uniform(1, 50))
+        for j in range(num_tasks)
+    ]
+    return workers, tasks
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_euclidean_entries_bit_identical(self, seed):
+        workers, tasks = _random_instance(seed)
+        travel = EuclideanTravelModel(speed=1.7)
+        matrix = TravelMatrix(workers, tasks, travel)
+        for worker in workers:
+            for task in tasks:
+                assert matrix.worker_task_distance(worker.worker_id, task.task_id) == (
+                    travel.distance(worker.location, task.location)
+                )
+                assert matrix.worker_task_time(worker.worker_id, task.task_id) == (
+                    travel.time(worker.location, task.location)
+                )
+
+    def test_manhattan_entries_bit_identical(self):
+        workers, tasks = _random_instance(7)
+        travel = ManhattanTravelModel(speed=2.0)
+        matrix = TravelMatrix(workers, tasks, travel)
+        for worker in workers[:3]:
+            for task in tasks[:10]:
+                assert matrix.worker_task_distance(worker.worker_id, task.task_id) == (
+                    manhattan_distance(worker.location, task.location)
+                )
+
+    def test_custom_model_fallback_is_exact(self):
+        class WeirdModel(TravelModel):
+            def distance(self, origin, destination):
+                return 2.0 * euclidean_distance(origin, destination) + 0.25
+
+        workers, tasks = _random_instance(3, num_workers=3, num_tasks=8)
+        travel = WeirdModel(speed=1.0)
+        matrix = TravelMatrix(workers, tasks, travel)
+        for worker in workers:
+            for task in tasks:
+                assert matrix.worker_task_distance(worker.worker_id, task.task_id) == (
+                    travel.distance(worker.location, task.location)
+                )
+        assert matrix.task_task_distance(tasks[0].task_id, tasks[1].task_id) == (
+            travel.distance(tasks[0].location, tasks[1].location)
+        )
+
+    def test_overridden_time_is_honoured(self):
+        class OverheadModel(EuclideanTravelModel):
+            def time(self, origin, destination):
+                # e.g. fixed per-trip pickup overhead on top of driving time
+                return self.distance(origin, destination) / self.speed + 30.0
+
+        workers, tasks = _random_instance(5, num_workers=3, num_tasks=8)
+        travel = OverheadModel(speed=2.0)
+        matrix = TravelMatrix(workers, tasks, travel)
+        for worker in workers:
+            for task in tasks:
+                assert matrix.worker_task_time(worker.worker_id, task.task_id) == (
+                    travel.time(worker.location, task.location)
+                )
+        assert matrix.task_task_time(tasks[0].task_id, tasks[2].task_id) == (
+            travel.time(tasks[0].location, tasks[2].location)
+        )
+        legs = matrix.leg_times(workers[0], tasks[:6])
+        reference = LegTimes.from_scalar(workers[0], tasks[:6], travel)
+        assert legs.worker_time == reference.worker_time
+        assert legs.task_time == reference.task_time
+
+    def test_tt_block_matches_pairwise_scalar(self):
+        workers, tasks = _random_instance(11)
+        travel = EuclideanTravelModel(speed=1.0)
+        matrix = TravelMatrix(workers, tasks, travel)
+        cols = matrix.task_cols(tasks[:9])
+        block = matrix.tt_dist_block(cols, cols)
+        for i, a in enumerate(tasks[:9]):
+            for j, b in enumerate(tasks[:9]):
+                assert block[i, j] == euclidean_distance(a.location, b.location)
+
+    def test_leg_times_matrix_equals_scalar(self):
+        workers, tasks = _random_instance(13)
+        travel = EuclideanTravelModel(speed=1.3)
+        matrix = TravelMatrix(workers, tasks, travel)
+        subset = tasks[3:12]
+        from_matrix = matrix.leg_times(workers[0], subset)
+        from_scalar = LegTimes.from_scalar(workers[0], subset, travel)
+        assert from_matrix.worker_time == from_scalar.worker_time
+        assert from_matrix.worker_dist == from_scalar.worker_dist
+        assert from_matrix.task_time == from_scalar.task_time
+        assert from_matrix.task_dist == from_scalar.task_dist
+
+
+class TestReachabilityMask:
+    def test_mask_matches_is_reachable(self):
+        from repro.assignment.reachability import is_reachable
+
+        workers, tasks = _random_instance(17)
+        travel = EuclideanTravelModel(speed=1.0)
+        matrix = TravelMatrix(workers, tasks, travel)
+        cols = matrix.task_cols(tasks)
+        for now in (0.0, 5.0, 25.0):
+            for worker in workers:
+                mask = matrix.reachability_mask(worker, cols, now)
+                expected = np.array(
+                    [is_reachable(worker, task, now, travel) for task in tasks]
+                )
+                assert np.array_equal(mask, expected)
+
+    def test_lookup_errors_for_unknown_ids(self):
+        workers, tasks = _random_instance(19, num_workers=2, num_tasks=4)
+        matrix = TravelMatrix(workers, tasks, EuclideanTravelModel(speed=1.0))
+        assert 999 not in matrix
+        assert not matrix.has_worker(999)
+        with pytest.raises(KeyError):
+            matrix.task_col(999)
+        with pytest.raises(KeyError):
+            matrix.worker_row(999)
