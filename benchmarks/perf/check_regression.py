@@ -12,7 +12,9 @@ same machine in the same session, so the ratio is machine-invariant and
 safe to compare across a dev laptop and a CI runner:
 
 * snapshot replan-latency speedup (per scale),
-* batched TVF scoring speedup (per batch size).
+* batched TVF scoring speedup (per batch size),
+* incremental-replan speedup: single-event stream (per scale) and
+  streaming-platform mean replan latency (per scale).
 
 Absolute wall-clock numbers (latencies, events/sec) are printed for
 context but never fail the check — they are not comparable across
@@ -39,6 +41,29 @@ def _iter_metrics(data):
         yield (
             f"streaming.{scale}.vector.events_per_sec",
             entry["vector"]["events_per_sec"],
+            "info",
+        )
+    incremental = data.get("incremental_replan", {})
+    for scale, entry in incremental.get("single_event_stream", {}).items():
+        yield (
+            f"incremental_replan.single_event_stream.{scale}.speedup",
+            entry["speedup"],
+            "ratio",
+        )
+        yield (
+            f"incremental_replan.single_event_stream.{scale}.incremental_mean_ms",
+            entry["incremental_mean_ms"],
+            "info",
+        )
+    for scale, entry in incremental.get("streaming_platform", {}).items():
+        yield (
+            f"incremental_replan.streaming_platform.{scale}.speedup",
+            entry["speedup"],
+            "ratio",
+        )
+        yield (
+            f"incremental_replan.streaming_platform.{scale}.incremental_mean_replan_ms",
+            entry["incremental_mean_replan_ms"],
             "info",
         )
 

@@ -95,13 +95,20 @@ def _latency_stats(samples):
 
 @pytest.fixture(scope="module")
 def bench_results():
-    """Accumulates every section's numbers; dumped to JSON at teardown."""
+    """Accumulates every section's numbers; merged into the JSON at teardown.
+
+    Merging (rather than overwriting) keeps the sections other benchmark
+    modules own — e.g. ``incremental_replan`` — intact regardless of which
+    suites ran in this session.
+    """
     results = {
         "generated_by": "benchmarks/perf/test_planning_perf.py",
         "density": SNAPSHOT_DENSITY,
     }
     yield results
-    RESULT_FILE.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    merged = json.loads(RESULT_FILE.read_text()) if RESULT_FILE.exists() else {}
+    merged.update(results)
+    RESULT_FILE.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
 
 def _repeats(bench_scale) -> int:
@@ -123,9 +130,16 @@ class TestReplanLatency:
             planned = {}
             stats = {}
             for label, use_matrix in (("scalar", False), ("vector", True)):
+                # incremental_replan off: this section measures the cost of a
+                # *full* replan (the repeated identical snapshots would
+                # otherwise be served from the incremental caches); the
+                # incremental engine has its own benchmark suite.
                 planner = TaskPlanner(
                     PlannerConfig(
-                        use_travel_matrix=use_matrix, use_tvf=True, tvf_min_workers=2
+                        use_travel_matrix=use_matrix,
+                        use_tvf=True,
+                        tvf_min_workers=2,
+                        incremental_replan=False,
                     ),
                     travel=EuclideanTravelModel(1.0),
                     tvf=tvf,
@@ -188,7 +202,14 @@ class TestStreamingThroughput:
             events = instance.num_workers + instance.num_tasks
             entry = {"workers": instance.num_workers, "tasks": instance.num_tasks}
             for label, use_matrix in (("scalar", False), ("vector", True)):
-                strategy = DTAStrategy(config=PlannerConfig(use_travel_matrix=use_matrix))
+                # Full replanning at every event: this section tracks the
+                # non-incremental streaming baseline the incremental-replan
+                # suite compares against.
+                strategy = DTAStrategy(
+                    config=PlannerConfig(
+                        use_travel_matrix=use_matrix, incremental_replan=False
+                    )
+                )
                 platform = SCPlatform(
                     instance,
                     strategy,

@@ -45,7 +45,13 @@ def _planning_snapshot(workload, max_workers=40, max_tasks=80):
 
 def test_ablation_tvf_vs_exact_search(benchmark, yueche_workload):
     workers, tasks, now = _planning_snapshot(yueche_workload)
-    config = PlannerConfig(max_reachable=8, max_sequence_length=3, node_budget=50_000)
+    # incremental_replan off: the ablation times repeated plans of one
+    # identical snapshot, which the incremental engine would serve from its
+    # caches — the figure must measure the search itself.
+    config = PlannerConfig(
+        max_reachable=8, max_sequence_length=3, node_budget=50_000,
+        incremental_replan=False,
+    )
     travel = yueche_workload.instance.travel
 
     exact_planner = TaskPlanner(PlannerConfig(**{**config.__dict__}), travel=travel)

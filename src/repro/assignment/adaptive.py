@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.assignment.incremental import DirtySet
 from repro.assignment.planner import PlannerConfig, TaskPlanner
 from repro.core.assignment import Assignment, WorkerPlan
 from repro.core.events import ArrivalEvent
@@ -69,6 +70,11 @@ class AdaptiveAssigner:
         self._predicted_tasks: Dict[int, Task] = {}
         self._assigned_task_ids: set = set()
         self._replans = 0
+        # Entities mutated since the last replan: handed to the planner's
+        # incremental engine before each planning call (Algorithm 3's
+        # events each touch one worker or task, which is exactly what the
+        # dirty-region replan exploits).
+        self._dirty = DirtySet()
         # Persistent incremental index of open real tasks (insert on
         # arrival, discard on assignment/expiry) shared with the planner.
         # The bucket size is re-derived from the first worker's reach (the
@@ -125,12 +131,14 @@ class AdaptiveAssigner:
         if event.is_worker:
             worker: Worker = event.payload
             self._workers[worker.worker_id] = _WorkerState(worker=worker, busy_until=now)
+            self._dirty.note_worker(worker.worker_id)
             self._size_index_for(worker)
         else:
             task: Task = event.payload
             if not task.predicted:
                 self._pending_tasks[task.task_id] = task
                 self._task_index.insert(task.task_id, task.location)
+                self._dirty.note_task(task.task_id)
 
         plan = self._replan(now)
         self._dispatch(plan, now)
@@ -146,6 +154,8 @@ class AdaptiveAssigner:
         if not idle or not tasks:
             return Assignment()
         self._replans += 1
+        self.planner.note_dirty(self._dirty)
+        self._dirty.clear()
         return self.planner.plan(idle, tasks, now).assignment
 
     def _current_predicted_tasks(self, now: float) -> List[Task]:
@@ -178,6 +188,8 @@ class AdaptiveAssigner:
             state.busy_until = completion
             state.completed += 1
             state.worker = state.worker.moved_to(first_real.location)
+            self._dirty.note_worker(state.worker.worker_id)
+            self._dirty.note_task(first_real.task_id)
 
     def _first_real_task(self, worker_plan: WorkerPlan, now: float) -> Optional[Task]:
         """First non-predicted, non-expired task of the planned sequence."""
@@ -197,6 +209,7 @@ class AdaptiveAssigner:
         for tid in expired_tasks:
             del self._pending_tasks[tid]
             self._task_index.discard(tid)
+            self._dirty.note_task(tid)
         expired_predicted = [
             tid for tid, task in self._predicted_tasks.items() if task.is_expired(now)
         ]
@@ -205,3 +218,4 @@ class AdaptiveAssigner:
         offline = [wid for wid, state in self._workers.items() if now >= state.worker.off_time]
         for wid in offline:
             del self._workers[wid]
+            self._dirty.note_worker(wid)

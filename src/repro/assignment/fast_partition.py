@@ -188,6 +188,28 @@ def _build_subtree_fast(
     return root
 
 
+def build_component_subtree(
+    adjacency: Adjacency, component: Iterable[int], max_depth: int = 12
+) -> PartitionNode:
+    """RTC subtree for one connected component of ``adjacency``.
+
+    Exactly the subtree :func:`build_partition_tree_fast` would build for
+    this component inside the full forest — exposed separately so the
+    incremental replan engine can rebuild only the components whose workers
+    changed while reusing every untouched component's cached tree and
+    search result.  The single-coverage guard of the forest builder is
+    applied per component.
+    """
+    nodes = set(component)
+    root = _build_subtree_fast(adjacency, nodes, max_depth)
+    covered = root.all_workers()
+    if len(covered) != len(set(covered)):
+        raise RuntimeError("partition subtree assigned a worker to multiple nodes")
+    if set(covered) != nodes:
+        raise RuntimeError("partition subtree does not cover every worker")
+    return root
+
+
 def build_partition_tree_fast(adjacency: Adjacency, max_depth: int = 12) -> PartitionTree:
     """Build the RTC partition forest straight from a plain adjacency dict.
 

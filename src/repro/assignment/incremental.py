@@ -1,0 +1,598 @@
+"""Incremental replanning: reuse every untouched piece of the TPA pipeline.
+
+Algorithm 3 replans at every arrival event, yet a single event usually
+changes exactly one worker or one task.  The full pipeline nevertheless
+recomputes reachable sets, maximal sequences, the dependency partition and
+the per-component search for *every* worker at *every* decision point —
+O(|W|·|T|) and worse.  This engine caches all four stages between epochs
+and recomputes only the dirty region, exploiting three structural facts:
+
+* **Monotone time predicates.**  For a fixed worker/task pair every
+  reachability and sequence-validity predicate has the form
+  ``now + legs < bound`` with ``legs`` and ``bound`` time-invariant, so a
+  true predicate can only flip false, and does so at a computable boundary.
+  A worker's reachable set and maximal-sequence set therefore stay
+  *literally identical* until the minimum such boundary — the horizons
+  reported by :func:`~repro.assignment.reachability.
+  reachable_tasks_with_horizon` and :func:`~repro.assignment.sequences.
+  maximal_valid_sequences`.
+* **Geometric locality.**  A task can enter a worker's reachable set only
+  from inside the ``(hops + 1) · reach`` ball around the worker (the same
+  bound the indexed reachability path relies on), so a task arrival
+  dirties only geometrically nearby workers, and a task removal dirties
+  only the workers whose uncapped reachable set contained it.
+* **Time-free search.**  The exact DFSearch outcome of a partition
+  component depends only on the component's tree, its workers' sequence
+  id-sets and the availability of the referenced task ids — never on
+  ``now`` or on tasks outside those sequences — so an untouched component
+  replays its previous selections (and node counts) verbatim.  The
+  TVF-guided search additionally reads global snapshot statistics, so
+  guided components are reused only while the active task set is unchanged.
+
+Equivalence contract: for any sequence of ``plan()`` calls with
+non-decreasing ``now``, the engine returns bit-for-bit the outcome the full
+pipeline would produce for each call in isolation — same selections in the
+same order, same planned-task and component counts, same nodes-expanded
+diagnostics.  ``tests/assignment/test_vectorized_equivalence.py`` asserts
+this on randomized snapshot streams and full platform replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.assignment.dfsearch import dfsearch
+from repro.assignment.dfsearch_tvf import dfsearch_tvf
+from repro.assignment.fast_partition import (
+    build_adjacency,
+    build_component_subtree,
+    connected_components,
+)
+from repro.assignment.reachability import (
+    VECTOR_MIN_TASKS,
+    reachable_tasks_with_horizon,
+)
+from repro.assignment.sequences import maximal_valid_sequences
+from repro.assignment.tree import PartitionNode
+from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.travel_matrix import TravelMatrix
+
+#: Transitive-expansion rounds of the planner's reachability (its default).
+_HOPS = 1
+
+#: Component-cache housekeeping: once the cache outgrows the size bound,
+#: entries not referenced for the TTL (in epochs) are dropped.
+_COMPONENT_CACHE_MAX = 4096
+_COMPONENT_CACHE_TTL = 64
+
+
+@dataclass
+class DirtySet:
+    """Ids of workers / tasks that changed since the last planning call.
+
+    The platform (and the adaptive assigner) tag every decision point with
+    the entities mutated since the previous plan — arrivals, expiries,
+    dispatches, repositioning moves, offline transitions — and hand the set
+    to the strategy before asking for a plan.  The incremental engine
+    treats hinted ids as *forced dirty*: hints can only widen the recompute
+    region, never narrow it, so stale or over-complete hints are harmless;
+    the engine's own snapshot diff remains the correctness backstop.
+    """
+
+    worker_ids: Set[int] = field(default_factory=set)
+    task_ids: Set[int] = field(default_factory=set)
+
+    def note_worker(self, worker_id: int) -> None:
+        self.worker_ids.add(worker_id)
+
+    def note_task(self, task_id: int) -> None:
+        self.task_ids.add(task_id)
+
+    def merge(self, other: "DirtySet") -> None:
+        self.worker_ids.update(other.worker_ids)
+        self.task_ids.update(other.task_ids)
+
+    def clear(self) -> None:
+        self.worker_ids.clear()
+        self.task_ids.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self.worker_ids or self.task_ids)
+
+
+def _worker_fingerprint(worker: Worker) -> tuple:
+    """Every worker attribute any pipeline stage reads."""
+    return (
+        worker.location.x,
+        worker.location.y,
+        worker.reachable_distance,
+        worker.on_time,
+        worker.off_time,
+        worker.speed,
+        worker.windows,
+    )
+
+
+def _task_fingerprint(task: Task) -> tuple:
+    """Every task attribute any pipeline stage reads."""
+    return (
+        task.location.x,
+        task.location.y,
+        task.publication_time,
+        task.expiration_time,
+        task.predicted,
+    )
+
+
+@dataclass
+class _WorkerEntry:
+    """Cached per-worker pipeline state (reachability + sequences)."""
+
+    fingerprint: tuple
+    #: Capped reachable set — exactly what the full pipeline feeds the
+    #: sequence enumerator and the dependency graph.
+    reachable: List[Task]
+    reachable_ids: Tuple[int, ...]
+    #: Uncapped reachable ids: every task whose *presence* influences the
+    #: output (hop anchors included); a removal inside this set dirties the
+    #: worker even when the removed task was cut by the distance cap.
+    uncapped_ids: FrozenSet[int]
+    reach_horizon: float
+    sequences: List[TaskSequence]
+    seq_tuples: Tuple[Tuple[int, ...], ...]
+    seq_horizon: float
+    #: True when the reachable set came from the predicted-task fallback
+    #: (empty real reachable set with predicted tasks in the snapshot).
+    fallback: bool
+    #: Bumped whenever the worker's plan-relevant state changes (location /
+    #: window fingerprint, reachable ids, or sequence id-tuples).
+    version: int
+    #: Last epoch this worker appeared in a snapshot (drives eviction of
+    #: permanently departed workers; returning workers are re-dirtied by
+    #: the ``_last_present`` rule regardless).
+    last_seen: int = 0
+
+
+@dataclass
+class _ComponentEntry:
+    """Cached search result of one dependency component."""
+
+    versions: Dict[int, int]
+    selections: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    nodes_expanded: int
+    guided: bool
+    #: Guided (TVF) searches read global snapshot statistics, so their
+    #: results are reusable only while the active task set is unchanged.
+    task_epoch: int
+    last_used: int
+
+
+class IncrementalPlanEngine:
+    """Dirty-region replanning layered under :class:`TaskPlanner`.
+
+    The engine owns no policy: thresholds, caps and search configuration
+    all come from the planner it serves, and each stage recomputes through
+    the same (equivalence-tested) primitives the full pipeline uses, so a
+    recomputed region is bit-identical to a full replan by construction and
+    a reused region is bit-identical by the monotonicity/locality/time-free
+    arguments in the module docstring.
+    """
+
+    def __init__(self, planner) -> None:
+        self.planner = planner
+        self.invalidate()
+
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> None:
+        """Drop every cache (fresh run, config change, or time regression)."""
+        self._worker_entries: Dict[int, _WorkerEntry] = {}
+        self._task_refs: Dict[int, Task] = {}
+        self._task_fps: Dict[int, tuple] = {}
+        #: Inverted index: task id -> worker ids whose uncapped reachable
+        #: set contains it (drives removal invalidation).
+        self._task_owners: Dict[int, Set[int]] = {}
+        self._components: Dict[FrozenSet[int], _ComponentEntry] = {}
+        self._last_present: Set[int] = set()
+        self._forced_workers: Set[int] = set()
+        self._forced_tasks: Set[int] = set()
+        self._task_epoch = 0
+        self._epoch = 0
+        self._last_now = float("-inf")
+        self._context_key: Optional[tuple] = None
+        #: Strong reference to the TVF the caches were built against — an
+        #: identity check that (unlike ``id()``) cannot alias a new object
+        #: allocated at a freed address.
+        self._context_tvf = None
+
+    def note_dirty(self, dirty: DirtySet) -> None:
+        """Force the hinted entities dirty at the next planning call."""
+        self._forced_workers.update(dirty.worker_ids)
+        self._forced_tasks.update(dirty.task_ids)
+
+    # ------------------------------------------------------------------ #
+    def plan(self, workers: Sequence[Worker], tasks: Sequence[Task], now: float):
+        """Incremental equivalent of ``TaskPlanner.plan`` (no experience)."""
+        from repro.assignment.planner import PlanningOutcome
+
+        planner = self.planner
+        config = planner.config
+        travel = planner.travel
+        active = [task for task in tasks if not task.is_expired(now)]
+        if not workers or not active:
+            return PlanningOutcome(Assignment(), 0, 0, 0)
+        workers_by_id = {worker.worker_id: worker for worker in workers}
+        tasks_by_id = {task.task_id: task for task in active}
+
+        tvf = planner.tvf
+        context_key = (
+            config.max_reachable,
+            config.max_sequence_length,
+            config.max_sequences,
+            config.node_budget,
+            config.use_tvf,
+            config.tvf_min_workers,
+            config.use_partition,
+            getattr(tvf, "fit_version", None),
+        )
+        if (
+            now < self._last_now
+            or context_key != self._context_key
+            or tvf is not self._context_tvf
+        ):
+            self.invalidate()
+            self._context_key = context_key
+            self._context_tvf = tvf
+        self._last_now = now
+        self._epoch += 1
+
+        real = [task for task in active if not task.predicted]
+        has_predicted = len(real) != len(active)
+
+        # ---- snapshot diff (object-identity fast path, field fallback) --- #
+        added: List[Task] = []
+        removed: Set[int] = set()
+        for task in active:
+            tid = task.task_id
+            prev = self._task_refs.get(tid)
+            if prev is None:
+                added.append(task)
+            elif prev is not task and _task_fingerprint(task) != self._task_fps[tid]:
+                removed.add(tid)
+                added.append(task)
+        for tid in list(self._task_refs):
+            if tid not in tasks_by_id:
+                removed.add(tid)
+                del self._task_refs[tid]
+                del self._task_fps[tid]
+        for task in added:
+            self._task_refs[task.task_id] = task
+            self._task_fps[task.task_id] = _task_fingerprint(task)
+        if added or removed:
+            self._task_epoch += 1
+
+        # ---- dirty-worker collection ------------------------------------ #
+        dirty: Set[int] = set(self._forced_workers)
+        for tid in removed | self._forced_tasks:
+            owners = self._task_owners.get(tid)
+            if owners:
+                dirty.update(owners)
+        for worker in workers:
+            # Workers absent from the previous snapshot may have missed
+            # arrivals while away; their cache cannot be trusted.
+            if worker.worker_id not in self._last_present:
+                dirty.add(worker.worker_id)
+        for task in added:
+            for worker in workers:
+                wid = worker.worker_id
+                if wid in dirty:
+                    continue
+                if task.predicted:
+                    entry = self._worker_entries.get(wid)
+                    if entry is not None and entry.reachable_ids and not entry.fallback:
+                        # Predicted tasks only feed the empty-reachable
+                        # fallback; a worker on the real pipeline with a
+                        # non-empty set cannot be affected.
+                        continue
+                radius = (_HOPS + 1.0) * worker.reachable_distance + 1e-6
+                if travel.distance(worker.location, task.location) <= radius:
+                    dirty.add(wid)
+        self._forced_workers.clear()
+        self._forced_tasks.clear()
+
+        # Mirrors the full pipeline's index-usability test: the persistent
+        # platform index is a valid candidate pre-filter only while it
+        # covers every real task of this snapshot.
+        index = planner.task_index
+        use_index = index is not None and all(task.task_id in index for task in real)
+        positions = (
+            {task.task_id: i for i, task in enumerate(real)} if use_index else None
+        )
+
+        # ---- per-worker refresh ------------------------------------------ #
+        reachable_by_worker: Dict[int, List[Task]] = {}
+        sequences_by_worker: Dict[int, List[TaskSequence]] = {}
+        reused_workers = 0
+        recomputed_workers = 0
+        for worker in workers:
+            wid = worker.worker_id
+            fingerprint = _worker_fingerprint(worker)
+            entry = self._worker_entries.get(wid)
+            if entry is None or entry.fingerprint != fingerprint:
+                entry = self._refresh_worker(
+                    worker, fingerprint, entry, real, active, has_predicted,
+                    now, use_index, positions, force_bump=True,
+                )
+                recomputed_workers += 1
+            elif wid in dirty or now >= entry.reach_horizon:
+                entry = self._refresh_worker(
+                    worker, fingerprint, entry, real, active, has_predicted,
+                    now, use_index, positions, force_bump=False,
+                )
+                recomputed_workers += 1
+            elif now >= entry.seq_horizon:
+                self._refresh_sequences(entry, worker, now)
+                recomputed_workers += 1
+            else:
+                reused_workers += 1
+            entry.last_seen = self._epoch
+            reachable_by_worker[wid] = entry.reachable
+            sequences_by_worker[wid] = entry.sequences
+
+        # ---- components: reuse untouched, search the rest ---------------- #
+        adjacency = build_adjacency(reachable_by_worker)
+        components = connected_components(adjacency)
+        use_guided = config.use_tvf and tvf is not None
+        assignment = Assignment()
+        planned = 0
+        nodes_expanded = 0
+        reused_components = 0
+        searched_components = 0
+        for component in components:
+            key = frozenset(component)
+            versions = {wid: self._worker_entries[wid].version for wid in component}
+            guided = use_guided and len(component) >= config.tvf_min_workers
+            cached = self._components.get(key)
+            if (
+                cached is not None
+                and cached.versions == versions
+                and cached.guided == guided
+                and (not guided or cached.task_epoch == self._task_epoch)
+            ):
+                selections = cached.selections
+                nodes = cached.nodes_expanded
+                cached.last_used = self._epoch
+                reused_components += 1
+            else:
+                if config.use_partition:
+                    root = build_component_subtree(adjacency, component)
+                else:
+                    root = PartitionNode(workers=list(component))
+                if guided:
+                    result = dfsearch_tvf(
+                        root, active, sequences_by_worker, workers_by_id, tvf
+                    )
+                else:
+                    result = dfsearch(
+                        root,
+                        active,
+                        sequences_by_worker,
+                        workers_by_id,
+                        node_budget=config.node_budget,
+                    )
+                selections = tuple(result.selections)
+                nodes = result.nodes_expanded
+                self._components[key] = _ComponentEntry(
+                    versions=versions,
+                    selections=selections,
+                    nodes_expanded=nodes,
+                    guided=guided,
+                    task_epoch=self._task_epoch,
+                    last_used=self._epoch,
+                )
+                searched_components += 1
+            nodes_expanded += nodes
+            for worker_id, task_ids in selections:
+                if not task_ids:
+                    continue
+                worker = workers_by_id[worker_id]
+                sequence_tasks = tuple(tasks_by_id[tid] for tid in task_ids)
+                assignment.add(WorkerPlan(worker, TaskSequence(worker, sequence_tasks)))
+                planned += len(task_ids)
+
+        if len(self._components) > _COMPONENT_CACHE_MAX:
+            cutoff = self._epoch - _COMPONENT_CACHE_TTL
+            stale = [k for k, e in self._components.items() if e.last_used < cutoff]
+            for k in stale:
+                del self._components[k]
+        # Evict workers that left the stream long ago (offline, or planned
+        # by a different caller): their entries and task-ownership
+        # registrations would otherwise grow with every worker ever seen.
+        if len(self._worker_entries) > max(64, 2 * len(workers)):
+            cutoff = self._epoch - _COMPONENT_CACHE_TTL
+            departed = [
+                wid
+                for wid, entry in self._worker_entries.items()
+                if entry.last_seen < cutoff
+            ]
+            for wid in departed:
+                self._drop_worker(wid)
+
+        self._last_present = set(workers_by_id)
+
+        return PlanningOutcome(
+            assignment=assignment,
+            planned_tasks=planned,
+            nodes_expanded=nodes_expanded,
+            num_components=len(components),
+            reused_workers=reused_workers,
+            recomputed_workers=recomputed_workers,
+            reused_components=reused_components,
+            searched_components=searched_components,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _candidates_for(
+        self,
+        worker: Worker,
+        real: List[Task],
+        use_index: bool,
+        positions: Optional[Dict[int, int]],
+    ) -> List[Task]:
+        """Candidate pre-filter for the real-task pipeline.
+
+        With a covering index, only tasks inside the ``(hops + 1) · reach``
+        ball can ever appear in the reachable set, and the candidates keep
+        snapshot order — the same argument (and radius) as
+        :func:`reachable_tasks_indexed`.
+        """
+        if not use_index or positions is None:
+            return real
+        radius = (_HOPS + 1.0) * worker.reachable_distance + 1e-6
+        in_scope = [
+            tid
+            for tid in self.planner.task_index.query_radius(worker.location, radius)
+            if tid in positions
+        ]
+        in_scope.sort(key=positions.__getitem__)
+        return [real[positions[tid]] for tid in in_scope]
+
+    def _refresh_worker(
+        self,
+        worker: Worker,
+        fingerprint: tuple,
+        old: Optional[_WorkerEntry],
+        real: List[Task],
+        active: List[Task],
+        has_predicted: bool,
+        now: float,
+        use_index: bool,
+        positions: Optional[Dict[int, int]],
+        force_bump: bool,
+    ) -> _WorkerEntry:
+        """Recompute a dirty worker's reachable set and sequences."""
+        planner = self.planner
+        config = planner.config
+        travel = planner.travel
+
+        candidates = self._candidates_for(worker, real, use_index, positions)
+        matrix = (
+            TravelMatrix.for_single_worker(worker, candidates, travel)
+            if len(candidates) >= VECTOR_MIN_TASKS
+            else None
+        )
+        reachable, uncapped_ids, reach_horizon = reachable_tasks_with_horizon(
+            worker,
+            candidates,
+            now,
+            travel,
+            max_tasks=config.max_reachable,
+            hops=_HOPS,
+            matrix=matrix,
+        )
+        fallback = False
+        if not reachable and has_predicted:
+            # Same fallback as the full pipeline: a worker with no real
+            # reachable task plans over the full (predicted-augmented)
+            # snapshot so prediction-aware strategies can reposition it.
+            fallback = True
+            matrix = (
+                TravelMatrix.for_single_worker(worker, active, travel)
+                if len(active) >= VECTOR_MIN_TASKS
+                else None
+            )
+            reachable, uncapped_ids, reach_horizon = reachable_tasks_with_horizon(
+                worker,
+                active,
+                now,
+                travel,
+                max_tasks=config.max_reachable,
+                hops=_HOPS,
+                matrix=matrix,
+            )
+        reachable_ids = tuple(task.task_id for task in reachable)
+
+        horizon_box: List[float] = []
+        sequences = maximal_valid_sequences(
+            worker,
+            reachable,
+            now,
+            travel,
+            max_length=config.max_sequence_length,
+            max_sequences=config.max_sequences,
+            matrix=matrix,
+            horizon_out=horizon_box,
+        )
+        seq_tuples = tuple(sequence.task_ids for sequence in sequences)
+        seq_horizon = horizon_box[0]
+
+        version = old.version if old is not None else 0
+        if (
+            force_bump
+            or old is None
+            or old.reachable_ids != reachable_ids
+            or old.seq_tuples != seq_tuples
+        ):
+            version += 1
+
+        entry = _WorkerEntry(
+            fingerprint=fingerprint,
+            reachable=list(reachable),
+            reachable_ids=reachable_ids,
+            uncapped_ids=uncapped_ids,
+            reach_horizon=reach_horizon,
+            sequences=sequences,
+            seq_tuples=seq_tuples,
+            seq_horizon=seq_horizon,
+            fallback=fallback,
+            version=version,
+        )
+        self._update_owners(worker.worker_id, old, entry)
+        self._worker_entries[worker.worker_id] = entry
+        return entry
+
+    def _refresh_sequences(self, entry: _WorkerEntry, worker: Worker, now: float) -> None:
+        """Re-enumerate sequences over an unchanged reachable set."""
+        config = self.planner.config
+        horizon_box: List[float] = []
+        sequences = maximal_valid_sequences(
+            worker,
+            entry.reachable,
+            now,
+            self.planner.travel,
+            max_length=config.max_sequence_length,
+            max_sequences=config.max_sequences,
+            horizon_out=horizon_box,
+        )
+        seq_tuples = tuple(sequence.task_ids for sequence in sequences)
+        if seq_tuples != entry.seq_tuples:
+            entry.version += 1
+        entry.sequences = sequences
+        entry.seq_tuples = seq_tuples
+        entry.seq_horizon = horizon_box[0]
+
+    def _drop_worker(self, worker_id: int) -> None:
+        """Forget a departed worker's entry and ownership registrations."""
+        entry = self._worker_entries.pop(worker_id)
+        for tid in entry.uncapped_ids:
+            owners = self._task_owners.get(tid)
+            if owners is not None:
+                owners.discard(worker_id)
+                if not owners:
+                    del self._task_owners[tid]
+
+    def _update_owners(
+        self, worker_id: int, old: Optional[_WorkerEntry], new: _WorkerEntry
+    ) -> None:
+        old_ids = old.uncapped_ids if old is not None else frozenset()
+        for tid in old_ids - new.uncapped_ids:
+            owners = self._task_owners.get(tid)
+            if owners is not None:
+                owners.discard(worker_id)
+                if not owners:
+                    del self._task_owners[tid]
+        for tid in new.uncapped_ids - old_ids:
+            self._task_owners.setdefault(tid, set()).add(worker_id)

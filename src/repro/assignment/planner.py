@@ -24,6 +24,7 @@ from repro.assignment.fast_partition import (
     build_partition_tree_fast,
     connected_components,
 )
+from repro.assignment.incremental import DirtySet, IncrementalPlanEngine
 from repro.assignment.reachability import (
     VECTOR_MIN_TASKS,
     reachable_tasks,
@@ -74,6 +75,13 @@ class PlannerConfig:
         Build a per-epoch :class:`TravelMatrix` and run reachability /
         sequence feasibility as vectorized array lookups.  Disabling it
         falls back to the scalar reference path (same assignments, slower).
+    incremental_replan:
+        Cache reachable sets, sequences and per-component search results
+        across consecutive ``plan()`` calls and recompute only the dirty
+        region (see :mod:`repro.assignment.incremental`).  Bit-for-bit
+        equivalent to full replanning; disabling it forces the full
+        pipeline on every call (the reference behaviour, and what the
+        replan-latency benchmarks measure as the baseline).
     """
 
     max_reachable: int = 10
@@ -84,17 +92,27 @@ class PlannerConfig:
     tvf_min_workers: int = 4
     use_partition: bool = True
     use_travel_matrix: bool = True
+    incremental_replan: bool = True
 
 
 @dataclass
 class PlanningOutcome:
-    """Planner output: the assignment plus search diagnostics."""
+    """Planner output: the assignment plus search diagnostics.
+
+    The ``reused_* / recomputed_* / searched_*`` counters describe how much
+    of the epoch the incremental engine served from cache; the full
+    pipeline reports everything as recomputed/searched.
+    """
 
     assignment: Assignment
     planned_tasks: int
     nodes_expanded: int
     num_components: int
     experience: List = field(default_factory=list)
+    reused_workers: int = 0
+    recomputed_workers: int = 0
+    reused_components: int = 0
+    searched_components: int = 0
 
 
 class TaskPlanner:
@@ -114,11 +132,33 @@ class TaskPlanner:
         #: Optional persistent index of open tasks (attached by the platform)
         #: used to pre-filter reachability candidates by radius query.
         self.task_index: Optional[SpatialIndex] = None
+        #: Dirty-region replanning engine (consulted when the config enables
+        #: ``incremental_replan``); holds all cross-epoch caches.
+        self._engine = IncrementalPlanEngine(self)
 
     # ------------------------------------------------------------------ #
     def attach_task_index(self, index: Optional[SpatialIndex]) -> None:
         """Use ``index`` (task id -> location) as the reachability pre-filter."""
         self.task_index = index
+
+    def note_dirty(self, dirty: DirtySet) -> None:
+        """Forward a platform dirty set to the incremental engine.
+
+        Hinted entities are recomputed unconditionally at the next plan;
+        hints only ever widen the recompute region, so callers may pass
+        conservative over-approximations freely.
+        """
+        if self.config.incremental_replan:
+            self._engine.note_dirty(dirty)
+
+    def reset_cache(self) -> None:
+        """Drop all incremental state (call between independent runs).
+
+        Required whenever simulated time restarts: the engine's horizons
+        assume non-decreasing ``now`` (it also self-invalidates on a time
+        regression, but an explicit reset keeps runs fully isolated).
+        """
+        self._engine.invalidate()
 
     def _reachable_for_worker(
         self,
@@ -202,6 +242,12 @@ class TaskPlanner:
             tuples for TVF training (forces exact DFSearch).
         """
         config = self.config
+        if config.incremental_replan and not collect_experience:
+            # Dirty-region replanning: bit-for-bit the same outcome as the
+            # full pipeline below, recomputing only what changed since the
+            # previous call (experience collection needs the exhaustive
+            # search and always takes the full path).
+            return self._engine.plan(workers, tasks, now)
         active_tasks = [task for task in tasks if not task.is_expired(now)]
         workers_by_id = {worker.worker_id: worker for worker in workers}
         tasks_by_id = {task.task_id: task for task in active_tasks}
@@ -320,6 +366,8 @@ class TaskPlanner:
             nodes_expanded=nodes_expanded,
             num_components=len(roots),
             experience=experience,
+            recomputed_workers=len(workers),
+            searched_components=len(roots),
         )
 
     # ------------------------------------------------------------------ #

@@ -219,6 +219,68 @@ def reachable_tasks_indexed(
     return reachable_tasks(worker, candidates, now, travel, max_tasks=max_tasks, hops=hops)
 
 
+def reachable_tasks_with_horizon(
+    worker: Worker,
+    tasks: Sequence[Task],
+    now: float,
+    travel: Optional[TravelModel] = None,
+    max_tasks: Optional[int] = None,
+    hops: int = 1,
+    matrix: Optional[TravelMatrix] = None,
+):
+    """Reachable set plus a conservative validity horizon.
+
+    Returns ``(capped, uncapped_ids, horizon)`` where ``capped`` is exactly
+    what :func:`reachable_tasks` returns for the same arguments,
+    ``uncapped_ids`` is the id set of the *uncapped* reachable set (every
+    task whose presence influences the output, including hop anchors the
+    distance cap later drops), and ``horizon`` is a time ``h > now`` such
+    that for any ``now' in [now, h)`` — with the worker and the task set
+    unchanged — :func:`reachable_tasks` returns the identical list.
+
+    The horizon exploits the monotonicity of the reachability predicates
+    for a windowless worker: as ``now`` grows, ``s.e - now`` and
+    ``off - now`` only shrink, so tasks can only *leave* the reachable set,
+    and they do so exactly when one of the finitely many boundaries
+    ``s.e - c(w, s)``, ``off - c(w, s)`` (direct members) or ``s.e`` (hop
+    members) is crossed.  Workers with extra availability windows have a
+    non-monotone ``availability_remaining`` and get ``horizon = now``
+    (never cacheable).
+    """
+    travel = travel or EuclideanTravelModel(speed=worker.speed)
+    tasks = list(tasks)
+    if matrix is not None and len(tasks) >= VECTOR_MIN_TASKS:
+        uncapped = reachable_tasks_matrix(worker, tasks, now, matrix, max_tasks=None, hops=hops)
+    else:
+        uncapped = reachable_tasks(worker, tasks, now, travel, max_tasks=None, hops=hops)
+
+    capped = uncapped
+    if max_tasks is not None and len(uncapped) > max_tasks:
+        capped = sorted(
+            uncapped, key=lambda task: travel.distance(worker.location, task.location)
+        )[:max_tasks]
+
+    if worker.windows or not (worker.on_time <= now < worker.off_time):
+        # Multi-window availability is not monotone in ``now`` (remaining
+        # availability can jump up when a later window opens), so no
+        # time-based reuse is safe; same for workers outside [on, off).
+        horizon = now
+    else:
+        horizon = float("inf")
+        for task in uncapped:
+            if is_reachable(worker, task, now, travel):
+                leg = travel.time(worker.location, task.location)
+                horizon = min(
+                    horizon, task.expiration_time - leg, worker.off_time - leg
+                )
+            else:
+                # Present only through transitive expansion: it leaves the
+                # set when it expires (its anchors' departures are covered
+                # by the direct boundaries above).
+                horizon = min(horizon, task.expiration_time)
+    return capped, frozenset(task.task_id for task in uncapped), horizon
+
+
 def mutual_reachability(
     workers: Sequence[Worker],
     tasks: Sequence[Task],

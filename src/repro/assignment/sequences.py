@@ -106,6 +106,7 @@ def maximal_valid_sequences(
     max_length: int = 3,
     max_sequences: int = 64,
     matrix: Optional[TravelMatrix] = None,
+    horizon_out: Optional[List[float]] = None,
 ) -> List[TaskSequence]:
     """Generate the maximal valid task sequence set ``Q_w``.
 
@@ -124,11 +125,22 @@ def maximal_valid_sequences(
         Optional shared :class:`TravelMatrix`; when given (and covering the
         worker and every reachable task) the leg times are array slices
         instead of per-pair travel-model calls.
+    horizon_out:
+        Optional single-element accumulator.  When given, the earliest
+        future time at which this function's output could change — with the
+        worker and ``reachable`` held fixed — is appended.  Every validity
+        predicate has the form ``now + legs < bound`` with ``legs`` and
+        ``bound`` time-invariant, so each evaluated-and-true predicate
+        flips exactly at ``bound - legs``; predicates that are false stay
+        false as ``now`` grows.  The minimum over those flip times is
+        therefore a sound reuse horizon for incremental replanning.
     """
     if max_length < 1:
         raise ValueError("max_length must be at least 1")
     reachable = list(reachable)
     if not reachable:
+        if horizon_out is not None:
+            horizon_out.append(float("inf"))
         return []
 
     if (
@@ -162,6 +174,7 @@ def maximal_valid_sequences(
     worker_dist = legs.worker_dist
     task_time = legs.task_time
     task_dist = legs.task_dist
+    min_slack = float("inf")
     stack: List[Tuple[Tuple[int, ...], int, float, int, bool]] = [((), 0, now, 0, True)]
     while stack:
         prefix, used, time, start, is_entry = stack.pop()
@@ -181,6 +194,9 @@ def maximal_valid_sequences(
                 continue
             if dist_row[i] > reach:
                 continue
+            slack = min(expirations[i] - arrive, off_time - arrive)
+            if slack < min_slack:
+                min_slack = slack
             key = used | (1 << i)
             existing = best_by_subset.get(key)
             new_prefix = prefix + (i,)
@@ -192,6 +208,9 @@ def maximal_valid_sequences(
                 stack.append((prefix, used, time, i + 1, False))
                 stack.append((new_prefix, key, arrive, 0, True))
                 break
+
+    if horizon_out is not None:
+        horizon_out.append(now + min_slack)
 
     if not best_by_subset:
         return []

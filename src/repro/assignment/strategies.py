@@ -64,6 +64,17 @@ class AssignmentStrategy(ABC):
         no-op so index-unaware strategies keep working unchanged.
         """
 
+    def notify_dirty(self, dirty) -> None:
+        """Receive the platform's dirty set for the upcoming decision point.
+
+        ``dirty`` is a :class:`~repro.assignment.incremental.DirtySet`
+        naming the workers / tasks mutated since the previous planning
+        call.  Planner-backed strategies forward it to the incremental
+        replan engine, which treats the hints as forced-dirty (hints can
+        only widen the recompute region, never narrow it).  The default is
+        a no-op so dirty-unaware strategies keep working unchanged.
+        """
+
 
 class GreedyStrategy(AssignmentStrategy):
     """The Greedy baseline."""
@@ -93,8 +104,17 @@ class _PlannerBackedStrategy(AssignmentStrategy):
         self.config = config or PlannerConfig()
         self.planner = TaskPlanner(self.config, travel=self.travel, tvf=tvf)
 
+    def reset(self) -> None:
+        # A new run restarts simulated time; the incremental engine's
+        # horizons assume non-decreasing ``now`` and must not leak between
+        # runs (part of the platform re-entrancy contract).
+        self.planner.reset_cache()
+
     def attach_task_index(self, index) -> None:
         self.planner.attach_task_index(index)
+
+    def notify_dirty(self, dirty) -> None:
+        self.planner.note_dirty(dirty)
 
     def _plan_with_planner(self, idle_workers, pending_tasks, now) -> PlanningOutcome:
         return self.planner.plan(idle_workers, pending_tasks, now)
@@ -111,6 +131,7 @@ class FTAStrategy(_PlannerBackedStrategy):
         self._committed_task_ids: set = set()
 
     def reset(self) -> None:
+        super().reset()
         self._fixed.clear()
         self._committed_task_ids.clear()
 
@@ -218,8 +239,9 @@ class DataWAStrategy(DTAPlusTPStrategy):
 
     def reset(self) -> None:
         # The trained TVF is intentionally kept across runs: the paper trains
-        # it offline from DFSearch traces and reuses it online.
-        pass
+        # it offline from DFSearch traces and reuses it online.  The replan
+        # caches, however, must not survive a time restart.
+        self.planner.reset_cache()
 
     def plan(self, idle_workers, pending_tasks, now):
         tasks = self._augmented_tasks(pending_tasks, now)

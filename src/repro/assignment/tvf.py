@@ -313,6 +313,10 @@ class TaskValueFunction:
         self._feature_mean = np.zeros(FEATURE_DIM)
         self._feature_std = np.ones(FEATURE_DIM)
         self._fitted = False
+        #: Bumped on every (re)fit; caches keyed on TVF outputs — like the
+        #: incremental replan engine's per-component search results — use it
+        #: to detect that the network's predictions may have changed.
+        self.fit_version = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -376,6 +380,7 @@ class TaskValueFunction:
                 batches += 1
             losses.append(epoch_loss / max(batches, 1))
         self._fitted = True
+        self.fit_version += 1
         return losses
 
     # ------------------------------------------------------------------ #

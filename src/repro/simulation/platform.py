@@ -17,6 +17,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.assignment.incremental import DirtySet
 from repro.assignment.strategies import AssignmentStrategy
 from repro.core.assignment import Assignment, WorkerPlan
 from repro.core.problem import ATAInstance
@@ -100,6 +101,10 @@ class SCPlatform:
         self._assigned_ids: set = set()
         self._wakeups: List[float] = []
         self._last_plan_time: float = -float("inf")
+        #: Workers / tasks mutated since the last planning call; handed to
+        #: the strategy at every decision point so incremental replanning
+        #: knows exactly which region of the previous plan is stale.
+        self._dirty = DirtySet()
         self._task_index: Optional[SpatialIndex] = (
             SpatialIndex(cell_size=self._index_cell_size())
             if self.config.maintain_task_index
@@ -119,7 +124,22 @@ class SCPlatform:
     # Public API
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationMetrics:
-        """Replay the whole instance and return the collected metrics."""
+        """Replay the whole instance and return the collected metrics.
+
+        ``run()`` is re-entrant: every piece of mutable replay state —
+        metrics, clock, worker runtimes, pending tasks, wakeups, the
+        replan throttle and the dirty tracker — is rebuilt here, so a
+        second call observes exactly what a freshly constructed platform
+        would (it used to double-count metrics and replay stale state).
+        """
+        self.metrics = SimulationMetrics()
+        self.clock = SimulationClock(self.instance.start_time)
+        self._workers = {}
+        self._pending = {}
+        self._assigned_ids = set()
+        self._wakeups = []
+        self._last_plan_time = -float("inf")
+        self._dirty.clear()
         self.strategy.reset()
         if self._task_index is not None:
             self._task_index.clear()
@@ -152,16 +172,23 @@ class SCPlatform:
     # ------------------------------------------------------------------ #
     def _on_worker(self, worker: Worker, now: float) -> None:
         self._workers[worker.worker_id] = _WorkerRuntime(worker=worker, busy_until=now)
+        self._dirty.note_worker(worker.worker_id)
 
     def _on_task(self, task: Task, now: float) -> None:
         if not task.predicted:
             self._pending[task.task_id] = task
             if self._task_index is not None:
                 self._task_index.insert(task.task_id, task.location)
+            self._dirty.note_task(task.task_id)
 
     def _step(self, now: float) -> None:
         """One decision point: clean up, (maybe) replan, dispatch."""
         for runtime in self._workers.values():
+            if runtime.reposition is not None:
+                # The worker moves along its repositioning leg, so its
+                # location at this decision point differs from the one the
+                # previous plan was computed with.
+                self._dirty.note_worker(runtime.worker.worker_id)
             runtime.advance_reposition(now)
         self._garbage_collect(now)
         if self.config.max_replans is not None and self.metrics.replans >= self.config.max_replans:
@@ -178,12 +205,14 @@ class SCPlatform:
         # prediction-aware methods can reposition idle workers towards future
         # demand; only instants with real pending tasks count towards the
         # CPU-time metric (the paper's "task assignment at each time instance").
+        self.strategy.notify_dirty(self._dirty)
         start = _time.perf_counter()
         plan = self.strategy.plan(idle_workers, pending_tasks, now)
         elapsed = _time.perf_counter() - start
         if pending_tasks:
             self.metrics.record_plan(elapsed)
         self._last_plan_time = now
+        self._dirty.clear()
 
         self._dispatch(plan, now)
 
@@ -215,6 +244,8 @@ class SCPlatform:
             runtime.busy_until = completion
             runtime.completed += 1
             runtime.worker = runtime.worker.moved_to(task.location)
+            self._dirty.note_worker(runtime.worker.worker_id)
+            self._dirty.note_task(task.task_id)
             self.metrics.record_dispatch(runtime.worker.worker_id)
             self.strategy.notify_dispatch(runtime.worker.worker_id, task.task_id)
             if completion < runtime.worker.off_time:
@@ -268,8 +299,10 @@ class SCPlatform:
             del self._pending[tid]
             if self._task_index is not None:
                 self._task_index.discard(tid)
+            self._dirty.note_task(tid)
         if expired:
             self.metrics.record_expiry(len(expired))
         offline = [wid for wid, st in self._workers.items() if now >= st.worker.off_time]
         for wid in offline:
             del self._workers[wid]
+            self._dirty.note_worker(wid)

@@ -92,6 +92,18 @@ class SpatialIndex(Generic[T]):
         min_kx, min_ky = self._key(Point(center.x - radius - pad, center.y - radius - pad))
         max_kx, max_ky = self._key(Point(center.x + radius + pad, center.y + radius + pad))
         out: List[T] = []
+        span = (max_kx - min_kx + 1) * (max_ky - min_ky + 1)
+        if span > len(self._buckets):
+            # The query box covers more grid cells than there are occupied
+            # buckets (typically a center far outside the data, or a huge
+            # radius): walking the occupied buckets is strictly cheaper than
+            # enumerating the (possibly astronomically large) cell range.
+            for (kx, ky), bucket in self._buckets.items():
+                if min_kx <= kx <= max_kx and min_ky <= ky <= max_ky:
+                    for item in bucket:
+                        if euclidean_distance(self._locations[item], center) <= radius:
+                            out.append(item)
+            return out
         for kx in range(min_kx, max_kx + 1):
             for ky in range(min_ky, max_ky + 1):
                 bucket = self._buckets.get((kx, ky))
@@ -108,11 +120,14 @@ class SpatialIndex(Generic[T]):
             return []
         if not self._locations:
             return []
-        # Expanding ring search over buckets; falls back to full scan for
-        # very sparse indexes, which is still correct.
+        # Expanding ring search over buckets.  The ring must be allowed to
+        # grow until it covers every indexed point *as seen from the query
+        # center*: capping at the data extent alone (the previous behaviour)
+        # terminated early for centers outside the data bounding box and
+        # silently returned fewer than ``k`` items.
         best: List[Tuple[T, float]] = []
+        max_radius = self._max_distance_from(center) + self.cell_size
         radius = self.cell_size
-        max_radius = self._max_extent() + self.cell_size
         seen: set = set()
         while True:
             candidates = self.query_radius(center, radius)
@@ -127,12 +142,20 @@ class SpatialIndex(Generic[T]):
         best.sort(key=lambda pair: pair[1])
         return best[:k]
 
-    def _max_extent(self) -> float:
+    def _max_distance_from(self, center: Point) -> float:
+        """Upper bound on the distance from ``center`` to any indexed point.
+
+        The farthest point lies no farther than the farthest corner of the
+        data bounding box, which covers query centers well outside the data
+        extent (where the extent alone underestimates the needed radius).
+        """
         xs = [p.x for p in self._locations.values()]
         ys = [p.y for p in self._locations.values()]
         if not xs:
             return self.cell_size
-        return max(max(xs) - min(xs), max(ys) - min(ys), self.cell_size)
+        dx = max(abs(center.x - min(xs)), abs(center.x - max(xs)))
+        dy = max(abs(center.y - min(ys)), abs(center.y - max(ys)))
+        return max(math.hypot(dx, dy), self.cell_size)
 
     def clear(self) -> None:
         """Remove every item from the index."""

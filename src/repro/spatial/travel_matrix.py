@@ -109,6 +109,21 @@ class TravelMatrix:
         )
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def for_single_worker(
+        cls, worker: "Worker", tasks: Sequence["Task"], travel: TravelModel
+    ) -> "TravelMatrix":
+        """A 1×T matrix holding only ``worker``'s row.
+
+        The incremental replan engine recomputes travel rows per *dirty*
+        worker instead of rebuilding the full W×T epoch matrix; this
+        constructor is that single-row rebuild.  The row is produced by the
+        same vectorized formulas as the full constructor, so its floats are
+        bit-identical to both the full matrix and the scalar travel model.
+        """
+        return cls([worker], tasks, travel)
+
+    # ------------------------------------------------------------------ #
     def __contains__(self, task_id: int) -> bool:
         return task_id in self._task_col
 

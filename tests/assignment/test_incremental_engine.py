@@ -1,0 +1,243 @@
+"""Unit tests for the incremental replan engine's building blocks.
+
+The streaming equivalence suites (``test_vectorized_equivalence.py``)
+assert the end-to-end contract; these tests pin down the primitives it
+rests on: validity horizons (reachability and sequences), dirty
+classification, and the forced-dirty hint path.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.assignment.incremental import (
+    DirtySet,
+    _task_fingerprint,
+    _worker_fingerprint,
+)
+from repro.assignment.planner import PlannerConfig, TaskPlanner
+from repro.assignment.reachability import (
+    reachable_tasks,
+    reachable_tasks_with_horizon,
+)
+from repro.assignment.sequences import maximal_valid_sequences
+from repro.core.task import Task
+from repro.core.worker import AvailabilityWindow, Worker
+from repro.spatial.geometry import Point
+from repro.spatial.travel import EuclideanTravelModel
+
+TRAVEL = EuclideanTravelModel(speed=1.0)
+
+
+def random_instance(rng, max_workers=6, max_tasks=30):
+    workers = [
+        Worker(
+            i,
+            Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+            rng.uniform(0.5, 3.0),
+            0.0,
+            rng.uniform(5, 50),
+        )
+        for i in range(rng.randint(1, max_workers))
+    ]
+    tasks = [
+        Task(100 + j, Point(rng.uniform(0, 10), rng.uniform(0, 10)), 0.0, rng.uniform(1, 40))
+        for j in range(rng.randint(1, max_tasks))
+    ]
+    return workers, tasks
+
+
+class TestReachabilityHorizon:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_capped_output_matches_reference(self, seed):
+        rng = random.Random(seed)
+        workers, tasks = random_instance(rng)
+        now = rng.uniform(0.0, 3.0)
+        for worker in workers:
+            for max_tasks in (None, 5):
+                reference = reachable_tasks(worker, tasks, now, TRAVEL, max_tasks=max_tasks)
+                capped, uncapped_ids, _ = reachable_tasks_with_horizon(
+                    worker, tasks, now, TRAVEL, max_tasks=max_tasks
+                )
+                assert [t.task_id for t in capped] == [t.task_id for t in reference]
+                assert {t.task_id for t in reference} <= uncapped_ids
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_output_constant_inside_horizon(self, seed):
+        # The horizon contract: for any now' in [now, horizon), the
+        # reachable list is literally identical (task set held fixed).
+        rng = random.Random(500 + seed)
+        workers, tasks = random_instance(rng)
+        now = rng.uniform(0.0, 2.0)
+        for worker in workers:
+            capped, _, horizon = reachable_tasks_with_horizon(
+                worker, tasks, now, TRAVEL, max_tasks=8
+            )
+            assert horizon > now or horizon == now  # windowless: > now unless expired state
+            if not math.isfinite(horizon) or horizon <= now:
+                continue
+            for fraction in (0.25, 0.6, 0.999):
+                probe = now + (horizon - now) * fraction
+                reference = reachable_tasks(worker, tasks, probe, TRAVEL, max_tasks=8)
+                assert [t.task_id for t in reference] == [t.task_id for t in capped]
+
+    def test_boundary_flip_is_detected_at_horizon(self):
+        worker = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        task = Task(1, Point(2, 0), 0.0, 10.0)  # leaves at now = e - c = 8.0
+        capped, _, horizon = reachable_tasks_with_horizon(worker, [task], 0.0, TRAVEL)
+        assert [t.task_id for t in capped] == [1]
+        assert horizon == pytest.approx(8.0)
+        assert reachable_tasks(worker, [task], 8.0, TRAVEL) == []
+
+    def test_hop_member_horizon_is_its_expiration(self):
+        worker = Worker(1, Point(0, 0), 1.0, 0.0, 100.0)
+        anchor = Task(1, Point(0.8, 0.0), 0.0, 50.0)
+        hop = Task(2, Point(1.7, 0.0), 0.0, 6.0)  # reachable only via anchor
+        capped, uncapped, horizon = reachable_tasks_with_horizon(
+            worker, [anchor, hop], 0.0, TRAVEL
+        )
+        assert [t.task_id for t in capped] == [1, 2]
+        # The hop member leaves the set when it expires (t=6.0), before any
+        # direct boundary (anchor: 50 - 0.8, off: 100 - 0.8).
+        assert horizon == pytest.approx(6.0)
+
+    def test_windowed_worker_is_never_cacheable(self):
+        worker = Worker(
+            1,
+            Point(0, 0),
+            10.0,
+            0.0,
+            100.0,
+            windows=(AvailabilityWindow(0.0, 5.0), AvailabilityWindow(20.0, 80.0)),
+        )
+        task = Task(1, Point(2, 0), 0.0, 90.0)
+        _, _, horizon = reachable_tasks_with_horizon(worker, [task], 1.0, TRAVEL)
+        assert horizon == 1.0  # horizon == now means "recompute every epoch"
+
+
+class TestSequenceHorizon:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sequences_constant_inside_horizon(self, seed):
+        rng = random.Random(900 + seed)
+        workers, tasks = random_instance(rng)
+        now = rng.uniform(0.0, 2.0)
+        for worker in workers:
+            reachable = reachable_tasks(worker, tasks, now, TRAVEL, max_tasks=8)
+            box = []
+            sequences = maximal_valid_sequences(
+                worker, reachable, now, TRAVEL, max_length=3, max_sequences=16,
+                horizon_out=box,
+            )
+            horizon = box[0]
+            assert len(box) == 1
+            if not math.isfinite(horizon) or horizon <= now:
+                continue
+            baseline = [s.task_ids for s in sequences]
+            for fraction in (0.3, 0.999):
+                probe = now + (horizon - now) * fraction
+                later = maximal_valid_sequences(
+                    worker, reachable, probe, TRAVEL, max_length=3, max_sequences=16
+                )
+                assert [s.task_ids for s in later] == baseline
+
+    def test_empty_reachable_reports_infinite_horizon(self):
+        worker = Worker(1, Point(0, 0), 1.0, 0.0, 10.0)
+        box = []
+        assert maximal_valid_sequences(worker, [], 0.0, TRAVEL, horizon_out=box) == []
+        assert box == [float("inf")]
+
+
+class TestDirtySet:
+    def test_note_merge_clear(self):
+        dirty = DirtySet()
+        assert not dirty
+        dirty.note_worker(1)
+        dirty.note_task(100)
+        other = DirtySet(worker_ids={2}, task_ids={200})
+        dirty.merge(other)
+        assert dirty.worker_ids == {1, 2}
+        assert dirty.task_ids == {100, 200}
+        dirty.clear()
+        assert not dirty
+
+
+class TestFingerprints:
+    def test_worker_fingerprint_tracks_location_and_window(self):
+        worker = Worker(1, Point(0, 0), 2.0, 0.0, 10.0)
+        assert _worker_fingerprint(worker) != _worker_fingerprint(
+            worker.moved_to(Point(1, 0))
+        )
+        assert _worker_fingerprint(worker) == _worker_fingerprint(
+            Worker(1, Point(0, 0), 2.0, 0.0, 10.0)
+        )
+
+    def test_task_fingerprint_tracks_fields(self):
+        task = Task(1, Point(0, 0), 0.0, 10.0)
+        same = Task(1, Point(0, 0), 0.0, 10.0)
+        moved = Task(1, Point(1, 0), 0.0, 10.0)
+        assert _task_fingerprint(task) == _task_fingerprint(same)
+        assert _task_fingerprint(task) != _task_fingerprint(moved)
+
+
+class TestEngineBehaviour:
+    def _snapshot(self):
+        rng = random.Random(11)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 2.0, 0.0, 1000.0)
+            for i in range(6)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 0.0, 1000.0)
+            for j in range(25)
+        ]
+        return workers, tasks
+
+    def test_forced_dirty_hint_forces_recompute(self):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 0.0)
+        clean = planner.plan(workers, tasks, 0.1)
+        assert clean.recomputed_workers == 0
+        planner.note_dirty(DirtySet(worker_ids={workers[0].worker_id}))
+        hinted = planner.plan(workers, tasks, 0.2)
+        assert hinted.recomputed_workers == 1
+
+    def test_reset_cache_drops_all_state(self):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 5.0)
+        planner.reset_cache()
+        # Time restarts below the previous ``now``: only valid after reset.
+        outcome = planner.plan(workers, tasks, 0.0)
+        assert outcome.recomputed_workers == len(workers)
+
+    def test_time_regression_self_invalidates(self):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 5.0)
+        reference = TaskPlanner(
+            PlannerConfig(incremental_replan=False), travel=TRAVEL
+        ).plan(workers, tasks, 1.0)
+        regressed = planner.plan(workers, tasks, 1.0)
+        assert regressed.recomputed_workers == len(workers)
+        assert [
+            (wp.worker.worker_id, wp.sequence.task_ids) for wp in regressed.assignment
+        ] == [(wp.worker.worker_id, wp.sequence.task_ids) for wp in reference.assignment]
+
+    def test_single_task_arrival_dirties_only_nearby_workers(self):
+        # Workers far from the new task keep their cached state.
+        workers = [
+            Worker(1, Point(0.0, 0.0), 1.0, 0.0, 1000.0),
+            Worker(2, Point(100.0, 0.0), 1.0, 0.0, 1000.0),
+        ]
+        tasks = [
+            Task(100, Point(0.5, 0.0), 0.0, 1000.0),
+            Task(101, Point(100.5, 0.0), 0.0, 1000.0),
+        ]
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 0.0)
+        arrival = Task(102, Point(0.6, 0.1), 0.0, 1000.0)
+        outcome = planner.plan(workers, tasks + [arrival], 0.1)
+        assert outcome.recomputed_workers == 1  # only worker 1 is nearby
+        assert outcome.reused_workers == 1

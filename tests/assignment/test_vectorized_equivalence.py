@@ -231,9 +231,18 @@ class TestPlannerEquivalence:
         now = rng.uniform(0.0, 2.0)
         index, _ = build_index(tasks)
 
-        scalar = TaskPlanner(PlannerConfig(use_travel_matrix=False), travel=TRAVEL)
-        vector = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
-        indexed = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
+        # incremental_replan off: these tests target the *full* pipeline's
+        # scalar / matrix / indexed paths (the incremental engine has its own
+        # equivalence suite above).
+        scalar = TaskPlanner(
+            PlannerConfig(use_travel_matrix=False, incremental_replan=False), travel=TRAVEL
+        )
+        vector = TaskPlanner(
+            PlannerConfig(use_travel_matrix=True, incremental_replan=False), travel=TRAVEL
+        )
+        indexed = TaskPlanner(
+            PlannerConfig(use_travel_matrix=True, incremental_replan=False), travel=TRAVEL
+        )
         indexed.attach_task_index(index)
 
         outcomes = [p.plan(workers, tasks, now) for p in (scalar, vector, indexed)]
@@ -258,8 +267,14 @@ class TestPlannerEquivalence:
         for _ in range(5):
             workers, tasks = random_instance(rng)
             now = rng.uniform(0.0, 2.0)
-            scalar = TaskPlanner(PlannerConfig(use_travel_matrix=False), travel=TRAVEL)
-            vector = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
+            scalar = TaskPlanner(
+                PlannerConfig(use_travel_matrix=False, incremental_replan=False),
+                travel=TRAVEL,
+            )
+            vector = TaskPlanner(
+                PlannerConfig(use_travel_matrix=True, incremental_replan=False),
+                travel=TRAVEL,
+            )
             a = scalar.plan(workers, tasks, now)
             b = vector.plan(workers, tasks, now)
             assert sorted(
@@ -274,12 +289,18 @@ class TestPlannerEquivalence:
         tvf = boot.tvf
 
         scalar = TaskPlanner(
-            PlannerConfig(use_travel_matrix=False, use_tvf=True, tvf_min_workers=2),
+            PlannerConfig(
+                use_travel_matrix=False, use_tvf=True, tvf_min_workers=2,
+                incremental_replan=False,
+            ),
             travel=TRAVEL,
             tvf=tvf,
         )
         vector = TaskPlanner(
-            PlannerConfig(use_travel_matrix=True, use_tvf=True, tvf_min_workers=2),
+            PlannerConfig(
+                use_travel_matrix=True, use_tvf=True, tvf_min_workers=2,
+                incremental_replan=False,
+            ),
             travel=TRAVEL,
             tvf=tvf,
         )
@@ -332,6 +353,235 @@ class TestFastPartition:
         assert sibling_independence_violations(tree, graph) == []
 
 
+def _outcome_signature(outcome):
+    return (
+        [(wp.worker.worker_id, wp.sequence.task_ids) for wp in outcome.assignment],
+        outcome.planned_tasks,
+        outcome.nodes_expanded,
+        outcome.num_components,
+    )
+
+
+class TestIncrementalEquivalence:
+    """The incremental engine must replay the full pipeline bit-for-bit.
+
+    Each test drives a *stream* of planning calls over an evolving snapshot
+    (single-event mutations, advancing time) and compares an incremental
+    planner against a fresh full replan at every decision point — the
+    equivalence contract of :mod:`repro.assignment.incremental`.
+    """
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_snapshot_stream_matches_full_replan(self, seed):
+        rng = random.Random(7000 + seed)
+        workers = {
+            i: Worker(
+                i,
+                Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                rng.uniform(0.5, 3.0),
+                0.0,
+                rng.uniform(5, 50),
+            )
+            for i in range(rng.randint(2, 12))
+        }
+        tasks = {
+            100 + j: Task(
+                100 + j,
+                Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                0.0,
+                rng.uniform(1, 40),
+            )
+            for j in range(rng.randint(5, 40))
+        }
+        incremental = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        full = TaskPlanner(PlannerConfig(incremental_replan=False), travel=TRAVEL)
+        now = 0.0
+        next_tid = 1000
+        for _ in range(20):
+            snapshot_workers = [w for _, w in sorted(workers.items())]
+            snapshot_tasks = [t for _, t in sorted(tasks.items())]
+            a = incremental.plan(snapshot_workers, snapshot_tasks, now)
+            b = full.plan(snapshot_workers, snapshot_tasks, now)
+            assert _outcome_signature(a) == _outcome_signature(b)
+            event = rng.random()
+            if event < 0.3 and tasks:
+                del tasks[rng.choice(sorted(tasks))]
+            elif event < 0.6:
+                tasks[next_tid] = Task(
+                    next_tid,
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    now,
+                    now + rng.uniform(1, 40),
+                )
+                next_tid += 1
+            elif workers:
+                wid = rng.choice(sorted(workers))
+                workers[wid] = workers[wid].moved_to(
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10))
+                )
+            now += rng.uniform(0.0, 2.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_guided_predicted_churn_stream_matches(self, seed):
+        # TVF-guided search + predicted-task fallback + workers toggling in
+        # and out of the snapshot (the FTA / busy-worker pattern) + a
+        # persistent spatial index, all at once.
+        boot_rng = random.Random(7)
+        boot_workers = [
+            Worker(i, Point(boot_rng.uniform(0, 10), boot_rng.uniform(0, 10)), 2.0, 0.0, 40.0)
+            for i in range(8)
+        ]
+        boot_tasks = [
+            Task(500 + j, Point(boot_rng.uniform(0, 10), boot_rng.uniform(0, 10)), 0.0, 30.0)
+            for j in range(25)
+        ]
+        boot = TaskPlanner(
+            PlannerConfig(use_tvf=True, incremental_replan=False), travel=TRAVEL
+        )
+        boot.train_tvf(boot_workers, boot_tasks, 0.0, epochs=2)
+        tvf = boot.tvf
+
+        rng = random.Random(8000 + seed)
+        workers = {
+            i: Worker(
+                i,
+                Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                rng.uniform(0.5, 3.0),
+                0.0,
+                rng.uniform(5, 50),
+            )
+            for i in range(rng.randint(3, 10))
+        }
+        tasks = {
+            100 + j: Task(
+                100 + j,
+                Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                0.0,
+                rng.uniform(1, 40),
+            )
+            for j in range(rng.randint(5, 30))
+        }
+        predicted = {}
+        index = SpatialIndex(cell_size=1.0)
+        for tid, task in tasks.items():
+            index.insert(tid, task.location)
+        incremental = TaskPlanner(
+            PlannerConfig(use_tvf=True, tvf_min_workers=2, incremental_replan=True),
+            travel=TRAVEL,
+            tvf=tvf,
+        )
+        full = TaskPlanner(
+            PlannerConfig(use_tvf=True, tvf_min_workers=2, incremental_replan=False),
+            travel=TRAVEL,
+            tvf=tvf,
+        )
+        incremental.attach_task_index(index)
+        full.attach_task_index(index)
+        now = 0.0
+        next_tid = 1000
+        benched = set()
+        for _ in range(25):
+            snapshot_workers = [
+                w for wid, w in sorted(workers.items()) if wid not in benched
+            ]
+            snapshot_tasks = [t for _, t in sorted(tasks.items())] + [
+                t for _, t in sorted(predicted.items())
+            ]
+            if snapshot_workers and snapshot_tasks:
+                a = incremental.plan(snapshot_workers, snapshot_tasks, now)
+                b = full.plan(snapshot_workers, snapshot_tasks, now)
+                assert _outcome_signature(a) == _outcome_signature(b)
+            event = rng.random()
+            if event < 0.2 and tasks:
+                tid = rng.choice(sorted(tasks))
+                del tasks[tid]
+                index.discard(tid)
+            elif event < 0.4:
+                task = Task(
+                    next_tid,
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    now,
+                    now + rng.uniform(1, 40),
+                )
+                tasks[next_tid] = task
+                index.insert(next_tid, task.location)
+                next_tid += 1
+            elif event < 0.55 and workers:
+                wid = rng.choice(sorted(workers))
+                workers[wid] = workers[wid].moved_to(
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10))
+                )
+            elif event < 0.7:
+                if predicted and rng.random() < 0.5:
+                    del predicted[rng.choice(sorted(predicted))]
+                else:
+                    predicted[next_tid] = Task(
+                        next_tid,
+                        Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                        now,
+                        now + rng.uniform(1, 40),
+                        predicted=True,
+                    )
+                    next_tid += 1
+            elif workers:
+                wid = rng.choice(sorted(workers))
+                benched.symmetric_difference_update({wid})
+            now += rng.uniform(0.0, 1.5)
+
+    def test_incremental_reuses_untouched_workers(self):
+        # Diagnostics sanity: on a pure time-advance epoch well inside every
+        # horizon, nothing is recomputed and every component is replayed.
+        rng = random.Random(5)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 10), rng.uniform(0, 10)), 2.0, 0.0, 1000.0)
+            for i in range(8)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 10), rng.uniform(0, 10)), 0.0, 1000.0)
+            for j in range(30)
+        ]
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        first = planner.plan(workers, tasks, 0.0)
+        assert first.recomputed_workers == len(workers)
+        second = planner.plan(workers, tasks, 0.001)
+        assert _outcome_signature(first) == _outcome_signature(second)
+        assert second.reused_workers == len(workers)
+        assert second.recomputed_workers == 0
+        assert second.searched_components == 0
+        assert second.reused_components == second.num_components
+
+    @pytest.mark.parametrize("strategy_name", ["dta", "fta"])
+    def test_streaming_platform_incremental_vs_full(self, strategy_name):
+        from repro.assignment.strategies import make_strategy
+        from repro.datasets.synthetic import SyntheticWorkloadGenerator, WorkloadConfig
+        from repro.simulation.platform import PlatformConfig, SCPlatform
+
+        workload = SyntheticWorkloadGenerator(
+            config=WorkloadConfig(num_workers=15, num_tasks=120, seed=9)
+        ).generate()
+        results = []
+        for incremental in (False, True):
+            strategy = make_strategy(
+                strategy_name, config=PlannerConfig(incremental_replan=incremental)
+            )
+            platform = SCPlatform(
+                workload.instance,
+                strategy,
+                PlatformConfig(replan_interval=0.0, maintain_task_index=True),
+            )
+            metrics = platform.run()
+            results.append(
+                (
+                    metrics.assigned_tasks,
+                    metrics.dispatched_tasks,
+                    metrics.expired_tasks,
+                    metrics.replans,
+                    dict(metrics.assigned_per_worker),
+                )
+            )
+        assert results[0] == results[1]
+
+
 class TestPlatformEquivalence:
     def test_streaming_run_identical_with_and_without_engine(self):
         from repro.assignment.strategies import DTAStrategy
@@ -343,7 +593,9 @@ class TestPlatformEquivalence:
         ).generate()
         results = []
         for use in (False, True):
-            strategy = DTAStrategy(config=PlannerConfig(use_travel_matrix=use))
+            strategy = DTAStrategy(
+                config=PlannerConfig(use_travel_matrix=use, incremental_replan=False)
+            )
             platform = SCPlatform(
                 workload.instance,
                 strategy,
@@ -399,8 +651,14 @@ if HAVE_HYPOTHESIS:
         @given(instance=hypothesis_instance())
         def test_planner_assignments_match(self, instance):
             workers, tasks = instance
-            scalar = TaskPlanner(PlannerConfig(use_travel_matrix=False), travel=TRAVEL)
-            vector = TaskPlanner(PlannerConfig(use_travel_matrix=True), travel=TRAVEL)
+            scalar = TaskPlanner(
+                PlannerConfig(use_travel_matrix=False, incremental_replan=False),
+                travel=TRAVEL,
+            )
+            vector = TaskPlanner(
+                PlannerConfig(use_travel_matrix=True, incremental_replan=False),
+                travel=TRAVEL,
+            )
             a = scalar.plan(workers, tasks, 0.0)
             b = vector.plan(workers, tasks, 0.0)
             assert sorted(

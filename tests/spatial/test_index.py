@@ -87,3 +87,52 @@ class TestQueries:
         index = SpatialIndex()
         index.insert("x", Point(0, 0))
         assert index.nearest(Point(0, 0), k=0) == []
+
+
+class TestNearestFarOutsideExtent:
+    """Regression: the expanding-ring cap must be measured from the query
+    center, not from the data extent — a far-away center used to terminate
+    the search before the ring ever reached the data and return fewer than
+    ``k`` items (even zero)."""
+
+    def _clustered_index(self):
+        index = SpatialIndex(cell_size=1.0)
+        for i in range(5):
+            index.insert(i, Point(float(i) * 0.5, 0.0))
+        return index
+
+    def test_far_center_returns_exactly_k(self):
+        index = self._clustered_index()
+        result = index.nearest(Point(1000.0, 1000.0), k=3)
+        assert len(result) == 3
+
+    def test_far_center_returns_all_when_k_exceeds_population(self):
+        index = self._clustered_index()
+        result = index.nearest(Point(-5000.0, 40.0), k=10)
+        assert len(result) == 5
+
+    def test_far_center_single_nearest_nonempty(self):
+        index = SpatialIndex(cell_size=0.25)
+        index.insert("lone", Point(0.1, 0.1))
+        result = index.nearest(Point(750.0, -300.0), k=1)
+        assert [item for item, _ in result] == ["lone"]
+
+    def test_far_center_matches_brute_force_order(self):
+        rng = np.random.default_rng(42)
+        index = SpatialIndex(cell_size=2.0)
+        points = {i: Point(float(x), float(y)) for i, (x, y) in enumerate(rng.uniform(0, 30, size=(40, 2)))}
+        for item, point in points.items():
+            index.insert(item, point)
+        center = Point(-400.0, 900.0)
+        result = index.nearest(center, k=7)
+        expected = sorted(points, key=lambda i: euclidean_distance(points[i], center))[:7]
+        assert [item for item, _ in result] == expected
+
+    def test_far_center_query_radius_still_exact(self):
+        # The occupied-bucket fast path (taken when the query box outgrows
+        # the bucket table) must return the same membership as the range
+        # scan.
+        index = self._clustered_index()
+        # Item i sits at x = 0.5 * i, so its distance from x=600 is 600 - 0.5*i.
+        assert sorted(index.query_radius(Point(600.0, 0.0), 599.0)) == [2, 3, 4]
+        assert sorted(index.query_radius(Point(600.0, 0.0), 600.5)) == [0, 1, 2, 3, 4]
