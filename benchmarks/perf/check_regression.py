@@ -14,7 +14,10 @@ safe to compare across a dev laptop and a CI runner:
 * snapshot replan-latency speedup (per scale),
 * batched TVF scoring speedup (per batch size),
 * incremental-replan speedup: single-event stream (per scale) and
-  streaming-platform mean replan latency (per scale).
+  streaming-platform mean replan latency (per scale),
+* branch-and-bound search: nodes-expanded ratio and latency speedup vs
+  the plain exact search, on one-shot dense components and on the dirty
+  dense-component replan stream.
 
 Absolute wall-clock numbers (latencies, events/sec) are printed for
 context but never fail the check — they are not comparable across
@@ -66,6 +69,14 @@ def _iter_metrics(data):
             entry["incremental_mean_replan_ms"],
             "info",
         )
+    bnb = data.get("bnb_search", {})
+    for family in ("component_search", "dirty_component_stream"):
+        for scale, entry in bnb.get(family, {}).items():
+            yield f"bnb_search.{family}.{scale}.nodes_ratio", entry["nodes_ratio"], "ratio"
+            yield f"bnb_search.{family}.{scale}.speedup", entry["speedup"], "ratio"
+            for info_key in ("bnb_nodes", "bnb_mean_nodes"):
+                if info_key in entry:
+                    yield f"bnb_search.{family}.{scale}.{info_key}", entry[info_key], "info"
 
 
 def compare(baseline: dict, candidate: dict, factor: float):

@@ -12,6 +12,7 @@ Module map
 :mod:`tree`                  recursive tree construction, RTC (IV-A.4)
 :mod:`fast_partition`        IV-A.2 – IV-A.4 on plain adjacency (hot path)
 :mod:`dfsearch`              exact DFSearch, Alg. 1 (also collects RL data)
+                             and the anytime branch-and-bound engine
 :mod:`tvf`                   Task Value Function, Eq. 11–12
 :mod:`dfsearch_tvf`          TVF-guided search, Alg. 2
 :mod:`planner`               Task Planning Assignment, Alg. 4
@@ -36,7 +37,12 @@ from repro.assignment.fast_partition import (
 )
 from repro.assignment.partition import chordal_cliques, maximum_cardinality_search
 from repro.assignment.tree import PartitionTree, PartitionNode, build_partition_tree
-from repro.assignment.dfsearch import DFSearchResult, dfsearch, collect_training_experience
+from repro.assignment.dfsearch import (
+    DFSearchResult,
+    dfsearch,
+    dfsearch_bnb,
+    collect_training_experience,
+)
 from repro.assignment.tvf import (
     TaskValueFunction,
     Experience,
@@ -76,6 +82,7 @@ __all__ = [
     "build_partition_tree",
     "DFSearchResult",
     "dfsearch",
+    "dfsearch_bnb",
     "collect_training_experience",
     "TaskValueFunction",
     "Experience",

@@ -1,4 +1,5 @@
-"""Exact depth-first search over the partition tree (Algorithm 1).
+"""Exact search over the partition tree: DFSearch (Algorithm 1) and an
+anytime branch-and-bound engine built on the same sub-problem structure.
 
 ``dfsearch`` computes, for a partition-tree node, the maximum number of
 tasks assignable to the workers of that node and its descendants, trying
@@ -7,9 +8,22 @@ remaining workers and tasks.  Besides the optimum it returns the realising
 assignment and, optionally, the ``(state, action, opt)`` experience tuples
 used to train the Task Value Function.
 
+``dfsearch_bnb`` solves the identical problem with branch-and-bound
+pruning: every sub-problem carries an admissible upper bound (a capped
+fractional-matching relaxation over the candidate sequences, evaluated as
+bitmask intersections), branches are ordered so the incumbent tightens
+early, sequences whose task sets are subsets of an already-explored
+sibling — with the sibling's extra tasks invisible to the remaining
+workers — are skipped (dominance), and memoisation keys are restricted
+to the tasks the remaining workers can actually reference.  On any instance
+the plain search solves within budget the two engines return the same
+``opt``; under budget exhaustion both degrade to a feasible best-effort
+answer, but the branch-and-bound engine reaches the optimum after far
+fewer expansions on dense components.
+
 The worst case is exponential; a node budget bounds the explored search
 tree and memoisation collapses repeated (workers, tasks) sub-problems, so
-the search degrades gracefully to a best-effort answer on large clusters.
+both engines degrade gracefully to a best-effort answer on huge clusters.
 """
 
 from __future__ import annotations
@@ -34,8 +48,11 @@ class SearchContext:
     workers_by_id:
         Worker lookup.
     node_budget:
-        Maximum number of recursive calls before falling back to the
-        best-found-so-far answer.
+        Maximum number of *true* expansions before falling back to the
+        best-found-so-far answer.  Memo hits are free: they replay an
+        already-computed sub-problem without exploring anything new, so
+        they are tallied in ``memo_hits`` and never charged against the
+        budget.
     collect_experience:
         Whether to record ``(state, action, opt)`` tuples for TVF training.
     """
@@ -45,10 +62,19 @@ class SearchContext:
     node_budget: int = 20000
     collect_experience: bool = False
     nodes_expanded: int = 0
+    memo_hits: int = 0
     experience: List[Tuple[dict, dict, float]] = field(default_factory=list)
-    _memo: Dict[Tuple[FrozenSet[int], FrozenSet[int]], Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]] = field(
-        default_factory=dict
-    )
+    # Memo key: (node identity, pending workers, available tasks).  The
+    # node identity is load-bearing: with it omitted, the empty-pending
+    # state of *different* tree nodes collides whenever their remaining
+    # task sets coincide, replaying one node's children for another's and
+    # silently losing assignments (a worker's sequence set is unique to a
+    # node, so non-empty pending sets cannot collide — only the empty one
+    # could).
+    _memo: Dict[
+        Tuple[int, FrozenSet[int], FrozenSet[int]],
+        Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]],
+    ] = field(default_factory=dict)
 
     def out_of_budget(self) -> bool:
         return self.nodes_expanded >= self.node_budget
@@ -56,19 +82,24 @@ class SearchContext:
 
 @dataclass
 class DFSearchResult:
-    """Outcome of a DFSearch run."""
+    """Outcome of a DFSearch / branch-and-bound run."""
 
     opt: int
     selections: List[Tuple[int, Tuple[int, ...]]]
     nodes_expanded: int
     experience: List[Tuple[dict, dict, float]] = field(default_factory=list)
+    #: Sub-problems answered from the memo table (not charged to budget).
+    memo_hits: int = 0
+    #: False when the node budget cut exploration short, i.e. ``opt`` is a
+    #: feasible lower bound rather than the proven optimum.
+    complete: bool = True
 
     def as_assignment_map(self) -> Dict[int, Tuple[int, ...]]:
         """Worker id -> tuple of assigned task ids."""
         return {worker_id: task_ids for worker_id, task_ids in self.selections if task_ids}
 
 
-def _state_snapshot(worker_ids: Sequence[int], task_ids: FrozenSet[int], context: SearchContext) -> dict:
+def _state_snapshot(worker_ids: Sequence[int], task_ids: FrozenSet[int]) -> dict:
     """Compact state description stored in experience tuples."""
     return {
         "num_workers": len(worker_ids),
@@ -99,11 +130,12 @@ def _search(
     is empty the search recurses into the children, whose sub-problems are
     independent of each other by construction of the partition tree.
     """
-    context.nodes_expanded += 1
-    memo_key = (frozenset(pending_workers), task_ids)
+    memo_key = (id(node), frozenset(pending_workers), task_ids)
     cached = context._memo.get(memo_key) if not context.collect_experience else None
     if cached is not None:
+        context.memo_hits += 1
         return cached
+    context.nodes_expanded += 1
 
     if not pending_workers:
         total = 0
@@ -138,7 +170,7 @@ def _search(
             value = sub_opt + len(sequence_ids)
             if context.collect_experience:
                 descendant = node.descendant_workers()
-                state = _state_snapshot(list(pending_workers) + descendant, task_ids, context)
+                state = _state_snapshot(list(pending_workers) + descendant, task_ids)
                 action = _action_snapshot(worker, sequence)
                 context.experience.append((state, action, float(value)))
             if value > best_opt:
@@ -192,6 +224,325 @@ def dfsearch(
         selections=[sel for sel in selections],
         nodes_expanded=context.nodes_expanded,
         experience=context.experience,
+        memo_hits=context.memo_hits,
+        complete=not context.out_of_budget(),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Branch-and-bound engine
+# --------------------------------------------------------------------- #
+
+
+class _BnBNode:
+    """Per-tree-node search structures, precomputed once per invocation.
+
+    Task sets live as bitmasks over the tasks actually referenced by some
+    candidate sequence of this tree (its *universe*) — intersection,
+    containment and cardinality are then single big-int operations over
+    the arrays cached when the sequences were enumerated.
+    """
+
+    __slots__ = (
+        "key",
+        "children",
+        "worker_ids",
+        "candidates",
+        "own_bounds",
+        "desc_bounds",
+        "rel_from",
+        "empty_tail",
+    )
+
+    def __init__(
+        self,
+        node: PartitionNode,
+        bit_of: Dict[int, int],
+        sequences_by_worker: Dict[int, List[TaskSequence]],
+        counter: List[int],
+    ) -> None:
+        self.key = counter[0]
+        counter[0] += 1
+        self.children = [
+            _BnBNode(child, bit_of, sequences_by_worker, counter)
+            for child in node.children
+        ]
+        self.worker_ids = list(node.workers)
+
+        #: candidates[i] — this node's i-th worker's usable sequences as
+        #: (mask, length, task_id_tuple), longest first so the incumbent
+        #: tightens early and the suffix-bound cut can break the loop.
+        self.candidates = []
+        #: own_bounds[i] — (union mask, longest length) per worker: the
+        #: per-worker term of the relaxation bound.
+        self.own_bounds = []
+        for worker_id in self.worker_ids:
+            cands = []
+            union = 0
+            longest = 0
+            for sequence in sequences_by_worker.get(worker_id, []):
+                ids = sequence.task_ids
+                if not ids or any(tid not in bit_of for tid in ids):
+                    continue  # references a task outside this sub-problem
+                mask = 0
+                for tid in ids:
+                    mask |= 1 << bit_of[tid]
+                cands.append((mask, len(ids), ids))
+                union |= mask
+                if len(ids) > longest:
+                    longest = len(ids)
+            cands.sort(key=lambda item: -item[1])  # stable: keeps Q_w rank
+            self.candidates.append(cands)
+            self.own_bounds.append((union, longest))
+
+        #: Flattened (union mask, longest) of every descendant worker.
+        self.desc_bounds = []
+        for child in self.children:
+            self.desc_bounds.extend(child.own_bounds)
+            self.desc_bounds.extend(child.desc_bounds)
+
+        #: rel_from[i] — union mask of every task referenced by workers
+        #: i.. of this node plus all descendants: the only tasks the
+        #: remaining sub-problem can read, hence a sound memo-key filter.
+        descendant_rel = 0
+        for union, _ in self.desc_bounds:
+            descendant_rel |= union
+        rel = [descendant_rel]
+        for union, _ in reversed(self.own_bounds):
+            rel.append(rel[-1] | union)
+        rel.reverse()
+        self.rel_from = rel
+
+        #: empty_tail[i:] — the all-unassigned selection tuple for workers
+        #: i.. plus every descendant in preorder (the legacy layout).
+        tail: List[Tuple[int, Tuple[int, ...]]] = [
+            (worker_id, ()) for worker_id in self.worker_ids
+        ]
+        for child in self.children:
+            tail.extend(child.empty_tail)
+        self.empty_tail = tuple(tail)
+
+    def bound(self, i: int, available: int) -> int:
+        """Admissible upper bound on tasks assignable by workers ``i..``
+        of this node plus all descendants, given the ``available`` mask.
+
+        Relaxation: every undecided worker contributes at most
+        ``min(longest candidate, |union ∩ available|)`` (each cap is
+        individually admissible), and the total can never exceed the
+        number of distinct available tasks the group references.  The
+        per-worker scan short-circuits at that cap.
+        """
+        cap = (available & self.rel_from[i]).bit_count()
+        if cap == 0:
+            return 0
+        total = 0
+        bounds = self.own_bounds
+        for j in range(i, len(bounds)):
+            union, longest = bounds[j]
+            overlap = (union & available).bit_count()
+            if overlap:
+                total += overlap if overlap < longest else longest
+                if total >= cap:
+                    return cap
+        for union, longest in self.desc_bounds:
+            overlap = (union & available).bit_count()
+            if overlap:
+                total += overlap if overlap < longest else longest
+                if total >= cap:
+                    return cap
+        return total
+
+
+class _BnBContext:
+    """Mutable state of one branch-and-bound invocation."""
+
+    __slots__ = ("bit_mask", "node_budget", "nodes_expanded", "memo_hits", "memo")
+
+    def __init__(self, bit_mask: Dict[int, int], node_budget: int) -> None:
+        self.bit_mask = bit_mask
+        self.node_budget = node_budget
+        self.nodes_expanded = 0
+        self.memo_hits = 0
+        # (node key, worker index, relevant available mask) -> (opt, sel).
+        # Only *completed* sub-problems are stored, so a memo entry is
+        # always the proven optimum of its sub-problem regardless of the
+        # incumbent state it was computed under.
+        self.memo: Dict[
+            Tuple[int, int, int], Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]
+        ] = {}
+
+
+def _bnb_children(
+    info: _BnBNode, available: int, context: _BnBContext
+) -> Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...], bool]:
+    """Solve a node's children sequentially (the empty-pending state)."""
+    if not info.children:
+        return 0, (), True
+    key = (info.key, len(info.worker_ids), available & info.rel_from[-1])
+    cached = context.memo.get(key)
+    if cached is not None:
+        context.memo_hits += 1
+        return cached[0], cached[1], True
+    if context.nodes_expanded >= context.node_budget:
+        return 0, info.empty_tail[len(info.worker_ids):], False
+    context.nodes_expanded += 1
+    total = 0
+    selections: List[Tuple[int, Tuple[int, ...]]] = []
+    remaining = available
+    complete = True
+    bit_mask = context.bit_mask
+    for child in info.children:
+        child_opt, child_sel, child_complete = _bnb_solve(child, 0, remaining, context)
+        total += child_opt
+        selections.extend(child_sel)
+        complete = complete and child_complete
+        for _, task_ids in child_sel:
+            for tid in task_ids:
+                remaining &= ~bit_mask[tid]
+    result = (total, tuple(selections))
+    if complete:
+        context.memo[key] = result
+    return result[0], result[1], complete
+
+
+def _bnb_solve(
+    info: _BnBNode, i: int, available: int, context: _BnBContext
+) -> Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...], bool]:
+    """Branch-and-bound over worker ``i`` of ``info`` (then ``i+1``…).
+
+    Returns ``(opt, selections, complete)`` where ``complete`` is False
+    iff the budget cut exploration somewhere below (in which case ``opt``
+    is still a feasible lower bound and the selections reuse no task).
+    """
+    if i == len(info.worker_ids):
+        return _bnb_children(info, available, context)
+
+    key = (info.key, i, available & info.rel_from[i])
+    cached = context.memo.get(key)
+    if cached is not None:
+        context.memo_hits += 1
+        return cached[0], cached[1], True
+    if context.nodes_expanded >= context.node_budget:
+        return 0, info.empty_tail[i:], False
+    context.nodes_expanded += 1
+
+    upper = info.bound(i, available)
+    if upper == 0:
+        result = (0, info.empty_tail[i:])
+        context.memo[key] = result
+        return 0, result[1], True
+
+    worker_id = info.worker_ids[i]
+    rest_rel = info.rel_from[i + 1]
+    rest_upper = info.bound(i + 1, available)
+    best_opt = -1
+    best_selection: Optional[Tuple[Tuple[int, Tuple[int, ...]], ...]] = None
+    complete = True
+    tried: List[int] = []
+    for mask, length, task_ids in info.candidates[i]:
+        if best_opt >= upper:
+            break  # incumbent met the sub-problem bound: proven optimal
+        if length + rest_upper <= best_opt:
+            break  # longest-first order: every later candidate bounds lower
+        if mask & ~available:
+            continue  # not fully available
+        # Dominance: a sequence whose task set is a subset of an explored
+        # sibling's is skippable only when the sibling's extra tasks are
+        # invisible to the remaining sub-problem — then both branches
+        # leave the rest the same effective task pool and the longer
+        # sibling's value is an upper bound.  (An unconditional subset
+        # rule would be unsound: freeing a contested task can unlock a
+        # longer sequence elsewhere, outweighing this worker's loss.)
+        dominated = False
+        for tried_mask in tried:
+            if mask & ~tried_mask == 0 and (tried_mask & ~mask) & rest_rel == 0:
+                dominated = True
+                break
+        if dominated:
+            continue
+        sub_opt, sub_sel, sub_complete = _bnb_solve(info, i + 1, available & ~mask, context)
+        complete = complete and sub_complete
+        tried.append(mask)
+        value = length + sub_opt
+        if value > best_opt:
+            best_opt = value
+            best_selection = ((worker_id, task_ids),) + sub_sel
+        if context.nodes_expanded >= context.node_budget:
+            complete = False
+            break
+    # Option 0 (assign nothing) — skipped when the rest-of-problem bound
+    # proves it cannot beat the incumbent.
+    if best_selection is None or (best_opt < upper and rest_upper > best_opt):
+        sub_opt, sub_sel, sub_complete = _bnb_solve(info, i + 1, available, context)
+        complete = complete and sub_complete
+        if sub_opt > best_opt or best_selection is None:
+            best_opt = sub_opt
+            best_selection = ((worker_id, ()),) + sub_sel
+    result = (best_opt, best_selection)
+    if complete:
+        context.memo[key] = result
+    return best_opt, best_selection, complete
+
+
+def dfsearch_bnb(
+    node: PartitionNode,
+    tasks: Sequence[Task],
+    sequences_by_worker: Dict[int, List[TaskSequence]],
+    workers_by_id: Dict[int, Worker],
+    node_budget: int = 20000,
+    collect_experience: bool = False,
+) -> DFSearchResult:
+    """Anytime branch-and-bound equivalent of :func:`dfsearch`.
+
+    Guarantees, for the same inputs:
+
+    * **identical ``opt``** whenever the plain search completes within its
+      budget (the bound is admissible and the dominance rule only skips
+      sequences provably no better than an explored sibling);
+    * a **feasible** answer always — selections are drawn from ``Q_w``
+      and no task is assigned twice, even under budget exhaustion;
+    * like the plain search, the result depends only on the tree shape,
+      the workers' sequence id-sets and the availability of the
+      referenced task ids — never on ``now`` — so component results stay
+      replayable by the incremental engine.
+
+    Experience collection requires the exhaustive enumeration, so that
+    mode delegates to the plain search.
+    """
+    if collect_experience:
+        return dfsearch(
+            node,
+            tasks,
+            sequences_by_worker,
+            workers_by_id,
+            node_budget=node_budget,
+            collect_experience=True,
+        )
+    available_ids = {task.task_id for task in tasks}
+
+    # Universe: available tasks actually referenced by some sequence of a
+    # tree worker, in sorted id order for a deterministic bit layout.
+    referenced: set = set()
+    for worker_id in node.all_workers():
+        for sequence in sequences_by_worker.get(worker_id, []):
+            ids = sequence.task_id_set
+            if ids and ids <= available_ids:
+                referenced.update(ids)
+    bit_of = {tid: i for i, tid in enumerate(sorted(referenced))}
+    bit_mask = {tid: 1 << i for tid, i in bit_of.items()}
+
+    counter = [0]
+    info = _BnBNode(node, bit_of, sequences_by_worker, counter)
+    context = _BnBContext(bit_mask, node_budget)
+    available = (1 << len(bit_of)) - 1
+    opt, selections, complete = _bnb_solve(info, 0, available, context)
+    return DFSearchResult(
+        opt=opt,
+        selections=list(selections),
+        nodes_expanded=context.nodes_expanded,
+        experience=[],
+        memo_hits=context.memo_hits,
+        complete=complete,
     )
 
 

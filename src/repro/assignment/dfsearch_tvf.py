@@ -65,7 +65,7 @@ def _guided(
     chosen: Optional[TaskSequence] = None
     if candidates:
         descendant = node.descendant_workers()
-        state = _state_snapshot(list(pending_workers) + descendant, task_ids, None)
+        state = _state_snapshot(list(pending_workers) + descendant, task_ids)
         actions = [_action_snapshot(worker, sequence) for sequence in candidates]
         if tvf.is_fitted:
             state_features = state_cache.features(state) if state_cache else None
@@ -74,9 +74,18 @@ def _guided(
             )
             best_index = int(scores.argmax())
         else:
-            # Untrained TVF: fall back to the longest / earliest sequence,
-            # which matches the DFSearch tie-breaking heuristic.
+            # Untrained TVF: fall back to the longest sequence (earliest in
+            # candidate order on ties), matching the DFSearch tie-breaking
+            # heuristic.  ``Q_w`` from maximal_valid_sequences is already
+            # ranked longest-first, but callers may pass hand-built or
+            # filtered sequence sets in any order, so pick explicitly
+            # rather than trusting ``candidates[0]``.
             best_index = 0
+            best_length = len(candidates[0])
+            for index in range(1, len(candidates)):
+                if len(candidates[index]) > best_length:
+                    best_index = index
+                    best_length = len(candidates[index])
         chosen = candidates[best_index]
 
     if chosen is None:

@@ -42,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.assignment.dfsearch import dfsearch
+from repro.assignment.dfsearch import dfsearch, dfsearch_bnb
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
 from repro.assignment.fast_partition import (
     build_adjacency,
@@ -164,7 +164,13 @@ class _ComponentEntry:
     versions: Dict[int, int]
     selections: Tuple[Tuple[int, Tuple[int, ...]], ...]
     nodes_expanded: int
-    guided: bool
+    #: Which engine produced the cached result — ``"tvf"``, ``"exact"`` or
+    #: ``"bnb"``.  The engines agree on ``opt`` within budget but not on
+    #: tie-breaks or node counts, so a cached selection is replayed only
+    #: for the engine that produced it (the context key also covers the
+    #: configured search mode; this field keeps each entry self-describing
+    #: and bit-for-bit replayable on its own).
+    mode: str
     #: Guided (TVF) searches read global snapshot statistics, so their
     #: results are reusable only while the active task set is unchanged.
     task_epoch: int
@@ -196,6 +202,14 @@ class IncrementalPlanEngine:
         #: set contains it (drives removal invalidation).
         self._task_owners: Dict[int, Set[int]] = {}
         self._components: Dict[FrozenSet[int], _ComponentEntry] = {}
+        #: Cached dependency structure of the previous epoch: when no
+        #: worker's version changed and the worker stream is identical,
+        #: the adjacency (a pure function of the reachable id-sets) and
+        #: its component decomposition are reused verbatim instead of
+        #: being rebuilt per epoch.
+        self._adjacency: Optional[Dict[int, Set[int]]] = None
+        self._adjacency_components: Optional[List[List[int]]] = None
+        self._adjacency_key: Optional[Tuple[int, ...]] = None
         self._last_present: Set[int] = set()
         self._forced_workers: Set[int] = set()
         self._forced_tasks: Set[int] = set()
@@ -233,6 +247,7 @@ class IncrementalPlanEngine:
             config.max_sequence_length,
             config.max_sequences,
             config.node_budget,
+            config.search_mode,
             config.use_tvf,
             config.tvf_min_workers,
             config.use_partition,
@@ -317,10 +332,12 @@ class IncrementalPlanEngine:
         sequences_by_worker: Dict[int, List[TaskSequence]] = {}
         reused_workers = 0
         recomputed_workers = 0
+        reach_sets_changed = False
         for worker in workers:
             wid = worker.worker_id
             fingerprint = _worker_fingerprint(worker)
             entry = self._worker_entries.get(wid)
+            old_reachable_ids = entry.reachable_ids if entry is not None else None
             if entry is None or entry.fingerprint != fingerprint:
                 entry = self._refresh_worker(
                     worker, fingerprint, entry, real, active, has_predicted,
@@ -338,13 +355,33 @@ class IncrementalPlanEngine:
                 recomputed_workers += 1
             else:
                 reused_workers += 1
+            if entry.reachable_ids != old_reachable_ids:
+                reach_sets_changed = True
             entry.last_seen = self._epoch
             reachable_by_worker[wid] = entry.reachable
             sequences_by_worker[wid] = entry.sequences
 
         # ---- components: reuse untouched, search the rest ---------------- #
-        adjacency = build_adjacency(reachable_by_worker)
-        components = connected_components(adjacency)
+        # The adjacency is a pure function of the per-worker reachable
+        # id-sets — so when no reachable set changed (sequence-only
+        # refreshes included: they cannot move a dependency edge) and the
+        # worker stream is the same (same ids, same order, nobody joined
+        # or left), last epoch's adjacency and component decomposition are
+        # reused verbatim.
+        worker_stream_key = tuple(worker.worker_id for worker in workers)
+        if (
+            not reach_sets_changed
+            and self._adjacency is not None
+            and self._adjacency_key == worker_stream_key
+        ):
+            adjacency = self._adjacency
+            components = self._adjacency_components
+        else:
+            adjacency = build_adjacency(reachable_by_worker)
+            components = connected_components(adjacency)
+            self._adjacency = adjacency
+            self._adjacency_components = components
+            self._adjacency_key = worker_stream_key
         use_guided = config.use_tvf and tvf is not None
         assignment = Assignment()
         planned = 0
@@ -355,11 +392,12 @@ class IncrementalPlanEngine:
             key = frozenset(component)
             versions = {wid: self._worker_entries[wid].version for wid in component}
             guided = use_guided and len(component) >= config.tvf_min_workers
+            mode = "tvf" if guided else config.search_mode
             cached = self._components.get(key)
             if (
                 cached is not None
                 and cached.versions == versions
-                and cached.guided == guided
+                and cached.mode == mode
                 and (not guided or cached.task_epoch == self._task_epoch)
             ):
                 selections = cached.selections
@@ -376,7 +414,8 @@ class IncrementalPlanEngine:
                         root, active, sequences_by_worker, workers_by_id, tvf
                     )
                 else:
-                    result = dfsearch(
+                    exact_engine = dfsearch if mode == "exact" else dfsearch_bnb
+                    result = exact_engine(
                         root,
                         active,
                         sequences_by_worker,
@@ -389,7 +428,7 @@ class IncrementalPlanEngine:
                     versions=versions,
                     selections=selections,
                     nodes_expanded=nodes,
-                    guided=guided,
+                    mode=mode,
                     task_epoch=self._task_epoch,
                     last_used=self._epoch,
                 )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.assignment.dfsearch import dfsearch
+from repro.assignment.dfsearch import dfsearch, dfsearch_bnb
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
 from repro.assignment.fast_partition import (
     build_adjacency,
@@ -62,6 +62,13 @@ class PlannerConfig:
         Cap on ``|Q_w|`` per worker.
     node_budget:
         DFSearch expansion budget per partition-tree root.
+    search_mode:
+        Exact-search engine for non-TVF components: ``"bnb"`` (default)
+        is the anytime branch-and-bound engine — admissible relaxation
+        bound, longest-first branch ordering, dominance pruning — which
+        returns the same ``opt`` as the plain search on every instance
+        the plain search solves within budget, after far fewer
+        expansions; ``"exact"`` is the plain Algorithm 1 enumeration.
     use_tvf:
         Use the TVF-guided search (Alg. 2) instead of exact DFSearch.
     tvf_min_workers:
@@ -88,6 +95,7 @@ class PlannerConfig:
     max_sequence_length: int = 3
     max_sequences: int = 32
     node_budget: int = 20000
+    search_mode: str = "bnb"
     use_tvf: bool = False
     tvf_min_workers: int = 4
     use_partition: bool = True
@@ -125,6 +133,11 @@ class TaskPlanner:
         tvf: Optional[TaskValueFunction] = None,
     ) -> None:
         self.config = config or PlannerConfig()
+        if self.config.search_mode not in ("exact", "bnb"):
+            raise ValueError(
+                f"unknown search_mode: {self.config.search_mode!r} "
+                "(expected 'exact' or 'bnb')"
+            )
         self.travel = travel or EuclideanTravelModel(speed=1.0)
         self.tvf = tvf
         if self.config.use_tvf and self.tvf is None:
@@ -335,6 +348,13 @@ class TaskPlanner:
         nodes_expanded = 0
         experience: List = []
         use_guided = config.use_tvf and not collect_experience and self.tvf is not None
+        # Experience collection needs the exhaustive enumeration; otherwise
+        # the configured engine decides (dfsearch_bnb self-delegates too).
+        exact_engine = (
+            dfsearch
+            if collect_experience or config.search_mode == "exact"
+            else dfsearch_bnb
+        )
 
         for root in roots:
             if use_guided and len(root.all_workers()) >= config.tvf_min_workers:
@@ -342,7 +362,7 @@ class TaskPlanner:
                     root, active_tasks, sequences_by_worker, workers_by_id, self.tvf
                 )
             else:
-                result = dfsearch(
+                result = exact_engine(
                     root,
                     active_tasks,
                     sequences_by_worker,

@@ -21,6 +21,7 @@ dispatches the first task of each idle worker's planned sequence.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.assignment.baselines import greedy_assignment
@@ -259,8 +260,22 @@ def make_strategy(
     travel: Optional[TravelModel] = None,
     predicted_task_provider: Optional[PredictedTaskProvider] = None,
     tvf: Optional[TaskValueFunction] = None,
+    search_mode: Optional[str] = None,
 ) -> AssignmentStrategy:
-    """Factory mapping the paper's method names to strategy objects."""
+    """Factory mapping the paper's method names to strategy objects.
+
+    ``search_mode`` overrides the exact-search engine of planner-backed
+    strategies (``"bnb"`` branch-and-bound, the default, or ``"exact"``
+    plain DFSearch) without the caller having to build a full
+    :class:`PlannerConfig`.  The caller's config object is never mutated
+    — the override lives on a copy.
+    """
+    if search_mode is not None:
+        config = (
+            replace(config, search_mode=search_mode)
+            if config is not None
+            else PlannerConfig(search_mode=search_mode)
+        )
     key = name.strip().lower().replace("_", "").replace("-", "").replace("+", "")
     if key == "greedy":
         return GreedyStrategy(travel=travel)

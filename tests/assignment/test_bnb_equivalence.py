@@ -1,0 +1,336 @@
+"""Branch-and-bound exact search: equivalence, anytime and regression tests.
+
+The contract under test (see :func:`repro.assignment.dfsearch.dfsearch_bnb`):
+
+* on every instance the plain DFSearch solves within budget, the
+  branch-and-bound engine returns the identical ``opt``;
+* under budget exhaustion the answer is still feasible — selections come
+  from ``Q_w`` and no task is assigned twice;
+* the search-layer bugfixes hold: memo hits no longer burn node budget,
+  and the memo key no longer collides across tree nodes.
+"""
+
+import random
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+from repro.assignment.dfsearch import dfsearch, dfsearch_bnb
+from repro.assignment.fast_partition import build_adjacency, build_partition_tree_fast
+from repro.assignment.planner import PlannerConfig, TaskPlanner
+from repro.assignment.reachability import reachable_tasks
+from repro.assignment.sequences import maximal_valid_sequences
+from repro.assignment.tree import PartitionNode
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.geometry import Point
+from repro.spatial.travel import EuclideanTravelModel
+
+TRAVEL = EuclideanTravelModel(speed=1.0)
+
+#: Budget large enough that the plain search completes on every instance
+#: the random generators below can produce.
+AMPLE_BUDGET = 2_000_000
+
+
+def random_problem(rng, max_workers=10, max_tasks=30, span=6.0):
+    """Random geometric instance -> (forest roots, tasks, Q_w, workers)."""
+    workers = [
+        Worker(
+            i,
+            Point(rng.uniform(0, span), rng.uniform(0, span)),
+            rng.uniform(0.8, 3.0),
+            0.0,
+            rng.uniform(10, 60),
+        )
+        for i in range(rng.randint(2, max_workers))
+    ]
+    tasks = [
+        Task(100 + j, Point(rng.uniform(0, span), rng.uniform(0, span)), 0.0, rng.uniform(2, 50))
+        for j in range(rng.randint(3, max_tasks))
+    ]
+    reachable = {
+        w.worker_id: reachable_tasks(w, tasks, 0.0, TRAVEL, max_tasks=8) for w in workers
+    }
+    sequences = {
+        w.worker_id: maximal_valid_sequences(
+            w, reachable[w.worker_id], 0.0, TRAVEL, max_length=3, max_sequences=32
+        )
+        for w in workers
+    }
+    tree = build_partition_tree_fast(build_adjacency(reachable))
+    workers_by_id = {w.worker_id: w for w in workers}
+    return tree.roots, tasks, sequences, workers_by_id
+
+
+def assert_feasible(result, sequences_by_worker):
+    """Selections reuse no task and only use sequences from ``Q_w``."""
+    used = [tid for _, tids in result.selections for tid in tids]
+    assert len(used) == len(set(used)), "a task was assigned twice"
+    assert result.opt == len(used)
+    for worker_id, task_ids in result.selections:
+        if not task_ids:
+            continue
+        q_w = {seq.task_ids for seq in sequences_by_worker.get(worker_id, [])}
+        assert task_ids in q_w, "selection is not a known maximal sequence"
+
+
+class TestBnBEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_same_opt_as_plain_search(self, seed):
+        """B&B and plain DFSearch agree on opt for every forest root.
+
+        The plain search runs with a budget big enough for almost every
+        random instance; on the rare cluster it cannot finish, the
+        contract weakens to "B&B is never worse" (its anytime guarantee).
+        """
+        rng = random.Random(9100 + seed)
+        roots, tasks, sequences, workers_by_id = random_problem(rng)
+        for root in roots:
+            exact = dfsearch(root, tasks, sequences, workers_by_id, node_budget=200_000)
+            bnb = dfsearch_bnb(root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+            if exact.complete:
+                assert bnb.complete
+                assert bnb.opt == exact.opt
+            else:
+                assert bnb.opt >= exact.opt
+            assert_feasible(bnb, sequences)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_expands_more_nodes(self, seed):
+        """Pruning only removes work: B&B expansions <= plain expansions."""
+        rng = random.Random(9200 + seed)
+        roots, tasks, sequences, workers_by_id = random_problem(rng, max_workers=8)
+        exact_nodes = sum(
+            dfsearch(r, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET).nodes_expanded
+            for r in roots
+        )
+        bnb_nodes = sum(
+            dfsearch_bnb(r, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET).nodes_expanded
+            for r in roots
+        )
+        assert bnb_nodes <= exact_nodes
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_planner_pipeline_equivalence(self, seed):
+        """Full pipeline: search_mode='bnb' plans as many tasks as 'exact'.
+
+        The instances are kept sparse enough that the plain search
+        completes within budget — on denser ones it saturates and B&B
+        (which completes) legitimately plans *more* tasks.
+        """
+        rng = random.Random(9300 + seed)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 10), rng.uniform(0, 10)), rng.uniform(0.7, 2.0), 0.0, 50.0)
+            for i in range(8)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 10), rng.uniform(0, 10)), 0.0, rng.uniform(5, 40))
+            for j in range(30)
+        ]
+        outcomes = {}
+        for mode in ("exact", "bnb"):
+            planner = TaskPlanner(
+                PlannerConfig(search_mode=mode, incremental_replan=False, node_budget=AMPLE_BUDGET),
+                travel=TRAVEL,
+            )
+            outcomes[mode] = planner.plan(workers, tasks, 0.0)
+        assert outcomes["bnb"].planned_tasks == outcomes["exact"].planned_tasks
+        assert outcomes["bnb"].num_components == outcomes["exact"].num_components
+
+    if HAVE_HYPOTHESIS:
+
+        @given(st.integers(min_value=0, max_value=10_000))
+        @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+        def test_same_opt_property(self, seed):
+            rng = random.Random(seed)
+            roots, tasks, sequences, workers_by_id = random_problem(rng, max_workers=7, max_tasks=20)
+            for root in roots:
+                exact = dfsearch(root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+                bnb = dfsearch_bnb(root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+                assert bnb.opt == exact.opt
+                assert_feasible(bnb, sequences)
+
+
+class TestBnBAnytime:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("budget", [1, 3, 17, 90])
+    def test_budget_exhaustion_yields_feasible_partial(self, seed, budget):
+        """Any budget cut still produces a valid no-task-reuse assignment."""
+        rng = random.Random(9400 + seed)
+        roots, tasks, sequences, workers_by_id = random_problem(rng)
+        for root in roots:
+            result = dfsearch_bnb(root, tasks, sequences, workers_by_id, node_budget=budget)
+            assert result.nodes_expanded <= budget
+            assert_feasible(result, sequences)
+            # Every tree worker appears exactly once in the selections.
+            selected = [wid for wid, _ in result.selections]
+            assert sorted(selected) == sorted(root.all_workers())
+
+    def test_anytime_value_never_decreases_with_budget(self):
+        """More budget can only improve (or equal) the best-effort opt."""
+        rng = random.Random(777)
+        roots, tasks, sequences, workers_by_id = random_problem(rng, max_workers=9, max_tasks=28)
+        for root in roots:
+            previous = -1
+            for budget in (5, 50, 500, AMPLE_BUDGET):
+                result = dfsearch_bnb(root, tasks, sequences, workers_by_id, node_budget=budget)
+                assert result.opt >= previous
+                previous = result.opt
+            assert result.complete
+
+
+class TestSearchLayerRegressions:
+    def test_memo_key_includes_node_identity(self):
+        """The empty-pending memo state of different tree nodes must not
+        collide.  Before the fix, the leaf's ``(∅, {t1})`` entry was
+        replayed for the root's ``(∅, {t1})`` lookup, losing the child
+        subtree's contribution: opt came back 1 instead of 2."""
+        t1 = Task(1, Point(0, 0), 0.0, 100.0)
+        t2 = Task(2, Point(1, 0), 0.0, 100.0)
+        a1 = Worker(11, Point(0, 0), 10.0, 0.0, 100.0)
+        a2 = Worker(12, Point(0, 0), 10.0, 0.0, 100.0)
+        b = Worker(13, Point(0, 0), 10.0, 0.0, 100.0)
+        root = PartitionNode(workers=[11, 12], children=[PartitionNode(workers=[13])])
+        sequences = {
+            11: [],
+            12: [TaskSequence(a2, (t2,))],
+            13: [TaskSequence(b, (t1,)), TaskSequence(b, (t2,))],
+        }
+        workers_by_id = {11: a1, 12: a2, 13: b}
+        for engine in (dfsearch, dfsearch_bnb):
+            result = engine(root, [t1, t2], sequences, workers_by_id)
+            assert result.opt == 2, engine.__name__
+            assert result.as_assignment_map() in (
+                {12: (2,), 13: (1,)},
+                {13: (2,), 12: (1,)},
+            )
+
+    def test_memo_hits_do_not_consume_budget(self):
+        """Memo hits are free: a memo-heavy instance must complete within a
+        budget that the old hit-charging accounting exhausted."""
+        # Many interchangeable workers over a shared task pool: the search
+        # revisits the same (pending, tasks) sub-problems constantly.
+        tasks = [Task(j, Point(j * 0.1, 0.0), 0.0, 100.0) for j in range(1, 7)]
+        workers = [Worker(i, Point(0.0, 0.0), 10.0, 0.0, 100.0) for i in range(1, 8)]
+        reachable = {w.worker_id: tasks for w in workers}
+        sequences = {
+            w.worker_id: maximal_valid_sequences(w, tasks, 0.0, TRAVEL, max_length=2)
+            for w in workers
+        }
+        tree = build_partition_tree_fast(build_adjacency(reachable))
+        workers_by_id = {w.worker_id: w for w in workers}
+        assert len(tree.roots) == 1
+        reference = dfsearch(
+            tree.roots[0], tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET
+        )
+        assert reference.memo_hits > 0
+        # The old accounting charged expansions + memo hits against the
+        # budget; the fixed accounting must finish (and agree) within a
+        # budget between the two counts.
+        budget = reference.nodes_expanded + reference.memo_hits // 2
+        rerun = dfsearch(tree.roots[0], tasks, sequences, workers_by_id, node_budget=budget)
+        assert rerun.complete
+        assert rerun.opt == reference.opt
+        assert rerun.nodes_expanded == reference.nodes_expanded
+
+    def test_nodes_expanded_counts_only_true_expansions(self):
+        """The diagnostic no longer overstates work done on memo hits."""
+        rng = random.Random(4242)
+        roots, tasks, sequences, workers_by_id = random_problem(rng, max_workers=8)
+        for root in roots:
+            result = dfsearch(root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+            assert result.nodes_expanded <= AMPLE_BUDGET
+            # Memo hits are reported separately, not folded into the count.
+            assert result.memo_hits >= 0
+            assert result.complete
+
+    def test_search_mode_validation(self):
+        with pytest.raises(ValueError):
+            TaskPlanner(PlannerConfig(search_mode="astar"))
+
+
+class TestBnBPruning:
+    def test_dominated_sibling_sequences_are_skipped(self):
+        """A subset sequence is dominated when the explored sibling's extra
+        tasks are invisible to the remaining workers: the engine skips it
+        yet stays exact."""
+        t = [Task(i, Point(i * 0.4, 0.0), 0.0, 100.0) for i in range(1, 6)]
+        w = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        other = Worker(2, Point(0, 0.5), 10.0, 0.0, 100.0)
+        node = PartitionNode(workers=[1, 2])
+        # t5 (= t[4]) is private to worker 1, so (t1, t2) is dominated by
+        # (t1, t2, t5); (t2,) stays live — its sibling's extras include the
+        # contested t1 — and (t4,) is no subset at all.
+        sequences = {
+            1: [
+                TaskSequence(w, (t[0], t[1], t[4])),
+                TaskSequence(w, (t[0], t[1])),
+                TaskSequence(w, (t[1],)),
+                TaskSequence(w, (t[3],)),
+            ],
+            2: [TaskSequence(other, (t[2], t[3])), TaskSequence(other, (t[0],))],
+        }
+        workers_by_id = {1: w, 2: other}
+        exact = dfsearch(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+        bnb = dfsearch_bnb(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+        assert bnb.opt == exact.opt == 5
+        assert bnb.nodes_expanded <= exact.nodes_expanded
+
+    def test_unconditional_subset_pruning_would_be_unsound(self):
+        """Regression for the dominance side condition: freeing a contested
+        task (t3) lets worker 2 run its longer sequence, so the subset
+        candidate (t1, t2) must NOT be skipped — the optimum needs it."""
+        t = [Task(i, Point(i * 0.4, 0.0), 0.0, 100.0) for i in range(1, 5)]
+        w = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        other = Worker(2, Point(0, 0.5), 10.0, 0.0, 100.0)
+        node = PartitionNode(workers=[1, 2])
+        sequences = {
+            1: [TaskSequence(w, (t[0], t[1], t[2])), TaskSequence(w, (t[0], t[1]))],
+            2: [TaskSequence(other, (t[2], t[3])), TaskSequence(other, (t[0],))],
+        }
+        workers_by_id = {1: w, 2: other}
+        exact = dfsearch(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+        bnb = dfsearch_bnb(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+        assert bnb.opt == exact.opt == 4
+        assert bnb.as_assignment_map() == {1: (1, 2), 2: (3, 4)}
+
+    def test_bound_is_admissible_on_dense_cluster(self):
+        """On a dense shared-task cluster the bound must never cut the true
+        optimum (equivalence) while pruning a large node fraction."""
+        rng = random.Random(31337)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 2.5, 0.0, 60.0)
+            for i in range(7)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 0.0, rng.uniform(6, 45))
+            for j in range(20)
+        ]
+        reachable = {
+            w.worker_id: reachable_tasks(w, tasks, 0.0, TRAVEL, max_tasks=10) for w in workers
+        }
+        sequences = {
+            w.worker_id: maximal_valid_sequences(
+                w, reachable[w.worker_id], 0.0, TRAVEL, max_length=3, max_sequences=32
+            )
+            for w in workers
+        }
+        tree = build_partition_tree_fast(build_adjacency(reachable))
+        workers_by_id = {w.worker_id: w for w in workers}
+        exact_nodes = bnb_nodes = 0
+        for root in tree.roots:
+            exact = dfsearch(root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+            bnb = dfsearch_bnb(root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+            assert bnb.opt == exact.opt
+            exact_nodes += exact.nodes_expanded
+            bnb_nodes += bnb.nodes_expanded
+        assert bnb_nodes * 2 <= exact_nodes, (exact_nodes, bnb_nodes)

@@ -241,3 +241,115 @@ class TestEngineBehaviour:
         outcome = planner.plan(workers, tasks + [arrival], 0.1)
         assert outcome.recomputed_workers == 1  # only worker 1 is nearby
         assert outcome.reused_workers == 1
+
+
+class TestAdjacencyRebuildSkip:
+    """When no worker version changes between epochs, the engine must not
+    rebuild the dependency adjacency (ROADMAP follow-on: per-epoch engine
+    overhead bounded the platform-replay speedup)."""
+
+    def _snapshot(self):
+        rng = random.Random(21)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 2.0, 0.0, 1000.0)
+            for i in range(6)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 0.0, 1000.0)
+            for j in range(25)
+        ]
+        return workers, tasks
+
+    def test_quiet_epochs_reuse_adjacency(self, monkeypatch):
+        import repro.assignment.incremental as incremental_module
+
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        calls = []
+        original = incremental_module.build_adjacency
+        monkeypatch.setattr(
+            incremental_module,
+            "build_adjacency",
+            lambda *args, **kwargs: calls.append(1) or original(*args, **kwargs),
+        )
+        planner.plan(workers, tasks, 0.0)
+        assert len(calls) == 1  # cold start builds it
+        quiet = planner.plan(workers, tasks, 0.05)
+        assert quiet.recomputed_workers == 0
+        assert len(calls) == 1  # identical epoch: no rebuild
+        planner.plan(workers, tasks, 0.1)
+        assert len(calls) == 1
+
+    def test_version_change_rebuilds_adjacency(self, monkeypatch):
+        import repro.assignment.incremental as incremental_module
+
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        full = TaskPlanner(PlannerConfig(incremental_replan=False), travel=TRAVEL)
+        calls = []
+        original = incremental_module.build_adjacency
+        monkeypatch.setattr(
+            incremental_module,
+            "build_adjacency",
+            lambda *args, **kwargs: calls.append(1) or original(*args, **kwargs),
+        )
+        planner.plan(workers, tasks, 0.0)
+        # Move a worker into a different neighbourhood: version bump must
+        # force an adjacency rebuild and results must still match a fresh
+        # full replan.
+        moved = list(workers)
+        moved[0] = moved[0].moved_to(Point(4.0, 4.0))
+        a = planner.plan(moved, tasks, 0.1)
+        assert len(calls) == 2
+        b = full.plan(moved, tasks, 0.1)
+        assert [
+            (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
+        ] == [(wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment]
+        assert a.nodes_expanded == b.nodes_expanded
+
+    def test_worker_set_change_rebuilds_adjacency(self, monkeypatch):
+        import repro.assignment.incremental as incremental_module
+
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        calls = []
+        original = incremental_module.build_adjacency
+        monkeypatch.setattr(
+            incremental_module,
+            "build_adjacency",
+            lambda *args, **kwargs: calls.append(1) or original(*args, **kwargs),
+        )
+        planner.plan(workers, tasks, 0.0)
+        # A worker leaving the stream changes the node set even when every
+        # remaining worker's version is untouched.
+        planner.plan(workers[1:], tasks, 0.1)
+        assert len(calls) == 2
+
+    def test_refresh_without_reachable_change_keeps_adjacency(self, monkeypatch):
+        import repro.assignment.incremental as incremental_module
+
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        full = TaskPlanner(PlannerConfig(incremental_replan=False), travel=TRAVEL)
+        calls = []
+        original = incremental_module.build_adjacency
+        monkeypatch.setattr(
+            incremental_module,
+            "build_adjacency",
+            lambda *args, **kwargs: calls.append(1) or original(*args, **kwargs),
+        )
+        planner.plan(workers, tasks, 0.0)
+        # A nudge far below the snapshot geometry forces a worker refresh
+        # (new fingerprint) but cannot change any reachable set: the
+        # dependency graph is provably identical, so no rebuild.
+        nudged = list(workers)
+        nudged[0] = nudged[0].moved_to(
+            Point(nudged[0].location.x + 1e-12, nudged[0].location.y)
+        )
+        a = planner.plan(nudged, tasks, 0.1)
+        assert a.recomputed_workers == 1
+        assert len(calls) == 1
+        b = full.plan(nudged, tasks, 0.1)
+        assert [
+            (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
+        ] == [(wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment]

@@ -10,6 +10,7 @@ from repro.assignment.reachability import reachable_tasks
 from repro.assignment.sequences import maximal_valid_sequences
 from repro.assignment.tree import PartitionNode, build_partition_tree
 from repro.assignment.tvf import FEATURE_DIM, TaskValueFunction, featurize_state_action
+from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.spatial.geometry import Point
@@ -171,6 +172,43 @@ class TestDFSearchTVF:
         exact = dfsearch(tree.roots[0], tasks, sequences, workers_by_id)
         guided = dfsearch_tvf(tree.roots[0], tasks, sequences, workers_by_id, tvf)
         assert guided.opt == exact.opt == 2
+
+    def test_untrained_fallback_picks_longest_sequence(self):
+        """The untrained-TVF fallback is documented as "longest / earliest"
+        — it must select by length even when the candidate list is not
+        pre-sorted (regression: it used to take ``candidates[0]``)."""
+        worker = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        tasks = [Task(i, Point(i * 0.5, 0), 0.0, 100.0) for i in range(1, 4)]
+        node = PartitionNode(workers=[1])
+        # Shortest first: a candidates[0] fallback would assign one task.
+        sequences = {
+            1: [
+                TaskSequence(worker, (tasks[0],)),
+                TaskSequence(worker, (tasks[2], tasks[1])),
+                TaskSequence(worker, (tasks[0], tasks[1], tasks[2])),
+                TaskSequence(worker, (tasks[1], tasks[2])),
+            ]
+        }
+        tvf = TaskValueFunction(seed=0)
+        assert not tvf.is_fitted
+        result = dfsearch_tvf(node, tasks, sequences, {1: worker}, tvf)
+        assert result.as_assignment_map() == {1: (1, 2, 3)}
+        assert result.opt == 3
+
+    def test_untrained_fallback_breaks_ties_earliest(self):
+        """Equal-length candidates: the earliest in candidate order wins."""
+        worker = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        tasks = [Task(i, Point(i * 0.5, 0), 0.0, 100.0) for i in range(1, 4)]
+        node = PartitionNode(workers=[1])
+        sequences = {
+            1: [
+                TaskSequence(worker, (tasks[1], tasks[0])),
+                TaskSequence(worker, (tasks[0], tasks[2])),
+            ]
+        }
+        tvf = TaskValueFunction(seed=0)
+        result = dfsearch_tvf(node, tasks, sequences, {1: worker}, tvf)
+        assert result.as_assignment_map() == {1: (2, 1)}
 
     def test_no_duplicate_assignments(self):
         workers = [Worker(i, Point(0, i * 0.2), 10.0, 0.0, 100.0) for i in range(1, 4)]
