@@ -17,7 +17,10 @@ safe to compare across a dev laptop and a CI runner:
   streaming-platform mean replan latency (per scale),
 * branch-and-bound search: nodes-expanded ratio and latency speedup vs
   the plain exact search, on one-shot dense components and on the dirty
-  dense-component replan stream.
+  dense-component replan stream,
+* road-network planning: the Euclidean/roadnet same-snapshot efficiency
+  ratio, the roadnet incremental-replan speedup, and the multi-source
+  Dijkstra row-cache (cold vs warm) speedup.
 
 Absolute wall-clock numbers (latencies, events/sec) are printed for
 context but never fail the check — they are not comparable across
@@ -77,6 +80,20 @@ def _iter_metrics(data):
             for info_key in ("bnb_nodes", "bnb_mean_nodes"):
                 if info_key in entry:
                     yield f"bnb_search.{family}.{scale}.{info_key}", entry[info_key], "info"
+    roadnet = data.get("roadnet_planning", {})
+    for scale, entry in roadnet.get("snapshot", {}).items():
+        yield f"roadnet_planning.snapshot.{scale}.efficiency", entry["efficiency"], "ratio"
+        yield f"roadnet_planning.snapshot.{scale}.roadnet_mean_ms", entry["roadnet_mean_ms"], "info"
+    for scale, entry in roadnet.get("incremental_stream", {}).items():
+        yield f"roadnet_planning.incremental_stream.{scale}.speedup", entry["speedup"], "ratio"
+        yield (
+            f"roadnet_planning.incremental_stream.{scale}.incremental_mean_ms",
+            entry["incremental_mean_ms"],
+            "info",
+        )
+    for scale, entry in roadnet.get("dijkstra_cache", {}).items():
+        yield f"roadnet_planning.dijkstra_cache.{scale}.speedup", entry["speedup"], "ratio"
+        yield f"roadnet_planning.dijkstra_cache.{scale}.warm_ms", entry["warm_ms"], "info"
 
 
 def compare(baseline: dict, candidate: dict, factor: float):

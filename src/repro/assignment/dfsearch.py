@@ -36,6 +36,29 @@ from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
 
+#: Adaptive-budget scaling: expansions granted per component worker and per
+#: candidate sequence.  Dense components solve to proven optimality well
+#: under these floors with the branch-and-bound engine (typically a few
+#: thousand expansions), while huge flat components get room to finish
+#: instead of degrading at a fixed cap sized for yesterday's cost profile.
+_BUDGET_PER_WORKER = 2000
+_BUDGET_PER_SEQUENCE = 250
+
+
+def adaptive_node_budget(base: int, num_workers: int, num_sequences: int) -> int:
+    """Search budget scaled to the component size (never below ``base``).
+
+    A pure function of the component's worker count and total candidate-
+    sequence count, so the full pipeline and the incremental engine — which
+    must stay bit-for-bit interchangeable — always derive the identical
+    budget for the identical component.
+    """
+    return max(
+        base,
+        num_workers * _BUDGET_PER_WORKER,
+        num_sequences * _BUDGET_PER_SEQUENCE,
+    )
+
 
 @dataclass
 class SearchContext:
@@ -247,6 +270,7 @@ class _BnBNode:
         "key",
         "children",
         "worker_ids",
+        "desc_worker_ids",
         "candidates",
         "own_bounds",
         "desc_bounds",
@@ -295,11 +319,15 @@ class _BnBNode:
             self.candidates.append(cands)
             self.own_bounds.append((union, longest))
 
-        #: Flattened (union mask, longest) of every descendant worker.
+        #: Flattened (union mask, longest) of every descendant worker, and
+        #: the matching flattened descendant worker ids (experience states).
         self.desc_bounds = []
+        self.desc_worker_ids = []
         for child in self.children:
             self.desc_bounds.extend(child.own_bounds)
             self.desc_bounds.extend(child.desc_bounds)
+            self.desc_worker_ids.extend(child.worker_ids)
+            self.desc_worker_ids.extend(child.desc_worker_ids)
 
         #: rel_from[i] — union mask of every task referenced by workers
         #: i.. of this node plus all descendants: the only tasks the
@@ -356,7 +384,17 @@ class _BnBNode:
 class _BnBContext:
     """Mutable state of one branch-and-bound invocation."""
 
-    __slots__ = ("bit_mask", "node_budget", "nodes_expanded", "memo_hits", "memo")
+    __slots__ = (
+        "bit_mask",
+        "node_budget",
+        "nodes_expanded",
+        "memo_hits",
+        "memo",
+        "collect_experience",
+        "experience",
+        "universe_tids",
+        "extra_tids",
+    )
 
     def __init__(self, bit_mask: Dict[int, int], node_budget: int) -> None:
         self.bit_mask = bit_mask
@@ -370,6 +408,29 @@ class _BnBContext:
         self.memo: Dict[
             Tuple[int, int, int], Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]
         ] = {}
+        #: TVF experience collection from the *explored* sub-problems.
+        #: Unlike the plain search (which disables memoisation to record
+        #: every visited state), the branch-and-bound engine keeps its
+        #: pruning on — the recorded tuples are exactly the branches it had
+        #: to evaluate, which makes experience collection dramatically
+        #: cheaper on dense components at the cost of a sparser sample.
+        self.collect_experience = False
+        self.experience: List[Tuple[dict, dict, float]] = []
+        #: Bit position -> task id (ascending, so mask iteration yields
+        #: sorted ids) and the available-but-unreferenced task ids that the
+        #: plain search would carry in every state snapshot.
+        self.universe_tids: List[int] = []
+        self.extra_tids: Tuple[int, ...] = ()
+
+    def mask_task_ids(self, mask: int) -> List[int]:
+        """Task ids of a universe bitmask, in ascending id order."""
+        ids: List[int] = []
+        tids = self.universe_tids
+        bits = mask
+        while bits:
+            ids.append(tids[(bits & -bits).bit_length() - 1])
+            bits &= bits - 1
+        return ids
 
 
 def _bnb_children(
@@ -464,6 +525,22 @@ def _bnb_solve(
         complete = complete and sub_complete
         tried.append(mask)
         value = length + sub_opt
+        if context.collect_experience:
+            pending = list(info.worker_ids[i:]) + info.desc_worker_ids
+            remaining = sorted(
+                context.mask_task_ids(available) + list(context.extra_tids)
+            )
+            context.experience.append(
+                (
+                    _state_snapshot(pending, remaining),
+                    {
+                        "worker_id": worker_id,
+                        "task_ids": task_ids,
+                        "sequence_length": length,
+                    },
+                    float(value),
+                )
+            )
         if value > best_opt:
             best_opt = value
             best_selection = ((worker_id, task_ids),) + sub_sel
@@ -506,18 +583,14 @@ def dfsearch_bnb(
       referenced task ids — never on ``now`` — so component results stay
       replayable by the incremental engine.
 
-    Experience collection requires the exhaustive enumeration, so that
-    mode delegates to the plain search.
+    With ``collect_experience`` the engine records a ``(state, action,
+    value)`` tuple for every branch it actually evaluates — the explored
+    sub-problems.  Pruning and memoisation stay on, so the sample is
+    sparser than the plain search's exhaustive trace but costs orders of
+    magnitude fewer expansions on dense components; recorded values are
+    the achieved values of the explored branches, identical in meaning to
+    the plain search's tuples.
     """
-    if collect_experience:
-        return dfsearch(
-            node,
-            tasks,
-            sequences_by_worker,
-            workers_by_id,
-            node_budget=node_budget,
-            collect_experience=True,
-        )
     available_ids = {task.task_id for task in tasks}
 
     # Universe: available tasks actually referenced by some sequence of a
@@ -534,13 +607,17 @@ def dfsearch_bnb(
     counter = [0]
     info = _BnBNode(node, bit_of, sequences_by_worker, counter)
     context = _BnBContext(bit_mask, node_budget)
+    if collect_experience:
+        context.collect_experience = True
+        context.universe_tids = sorted(referenced)
+        context.extra_tids = tuple(sorted(available_ids - referenced))
     available = (1 << len(bit_of)) - 1
     opt, selections, complete = _bnb_solve(info, 0, available, context)
     return DFSearchResult(
         opt=opt,
         selections=list(selections),
         nodes_expanded=context.nodes_expanded,
-        experience=[],
+        experience=context.experience,
         memo_hits=context.memo_hits,
         complete=complete,
     )

@@ -17,10 +17,15 @@ and recomputes only the dirty region, exploiting three structural facts:
   reachable_tasks_with_horizon` and :func:`~repro.assignment.sequences.
   maximal_valid_sequences`.
 * **Geometric locality.**  A task can enter a worker's reachable set only
-  from inside the ``(hops + 1) · reach`` ball around the worker (the same
-  bound the indexed reachability path relies on), so a task arrival
-  dirties only geometrically nearby workers, and a task removal dirties
-  only the workers whose uncapped reachable set contained it.
+  from inside the Euclidean ball covering ``(hops + 1)`` reach-length
+  travel legs around the worker — the travel model's
+  :meth:`~repro.spatial.travel.TravelModel.reach_bound` converts the
+  travel-distance budget into that Euclidean radius (identity for the
+  built-in models; a dilation-corrected radius for road networks; models
+  without a usable bound return ``inf`` and fall back to dirtying every
+  worker, which is always sound).  So a task arrival dirties only
+  geometrically nearby workers, and a task removal dirties only the
+  workers whose uncapped reachable set contained it.
 * **Time-free search.**  The exact DFSearch outcome of a partition
   component depends only on the component's tree, its workers' sequence
   id-sets and the availability of the referenced task ids — never on
@@ -42,7 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.assignment.dfsearch import dfsearch, dfsearch_bnb
+from repro.assignment.dfsearch import adaptive_node_budget, dfsearch, dfsearch_bnb
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
 from repro.assignment.fast_partition import (
     build_adjacency,
@@ -59,6 +64,7 @@ from repro.core.assignment import Assignment, WorkerPlan
 from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.spatial.geometry import euclidean_distance
 from repro.spatial.travel_matrix import TravelMatrix
 
 #: Transitive-expansion rounds of the planner's reachability (its default).
@@ -217,10 +223,11 @@ class IncrementalPlanEngine:
         self._epoch = 0
         self._last_now = float("-inf")
         self._context_key: Optional[tuple] = None
-        #: Strong reference to the TVF the caches were built against — an
-        #: identity check that (unlike ``id()``) cannot alias a new object
-        #: allocated at a freed address.
+        #: Strong references to the TVF / travel model the caches were built
+        #: against — identity checks that (unlike ``id()``) cannot alias a
+        #: new object allocated at a freed address.
         self._context_tvf = None
+        self._context_travel = None
 
     def note_dirty(self, dirty: DirtySet) -> None:
         """Force the hinted entities dirty at the next planning call."""
@@ -247,6 +254,7 @@ class IncrementalPlanEngine:
             config.max_sequence_length,
             config.max_sequences,
             config.node_budget,
+            config.adaptive_node_budget,
             config.search_mode,
             config.use_tvf,
             config.tvf_min_workers,
@@ -257,10 +265,12 @@ class IncrementalPlanEngine:
             now < self._last_now
             or context_key != self._context_key
             or tvf is not self._context_tvf
+            or travel is not self._context_travel
         ):
             self.invalidate()
             self._context_key = context_key
             self._context_tvf = tvf
+            self._context_travel = travel
         self._last_now = now
         self._epoch += 1
 
@@ -312,8 +322,14 @@ class IncrementalPlanEngine:
                         # fallback; a worker on the real pipeline with a
                         # non-empty set cannot be affected.
                         continue
-                radius = (_HOPS + 1.0) * worker.reachable_distance + 1e-6
-                if travel.distance(worker.location, task.location) <= radius:
+                # Euclidean check against the model's reach bound: sound
+                # for any travel model honouring the reach_bound contract,
+                # and bit-identical to the old travel.distance check for
+                # the Euclidean default (identity bound, same distance).
+                radius = travel.reach_bound(
+                    (_HOPS + 1.0) * worker.reachable_distance
+                ) + 1e-6
+                if euclidean_distance(worker.location, task.location) <= radius:
                     dirty.add(wid)
         self._forced_workers.clear()
         self._forced_tasks.clear()
@@ -415,12 +431,25 @@ class IncrementalPlanEngine:
                     )
                 else:
                     exact_engine = dfsearch if mode == "exact" else dfsearch_bnb
+                    # Same per-component budget formula as the full pipeline
+                    # (a pure function of the component's workers and their
+                    # candidate sets), so replays stay bit-for-bit.
+                    budget = config.node_budget
+                    if config.adaptive_node_budget:
+                        budget = adaptive_node_budget(
+                            budget,
+                            len(component),
+                            sum(
+                                len(sequences_by_worker.get(wid, []))
+                                for wid in component
+                            ),
+                        )
                     result = exact_engine(
                         root,
                         active,
                         sequences_by_worker,
                         workers_by_id,
-                        node_budget=config.node_budget,
+                        node_budget=budget,
                     )
                 selections = tuple(result.selections)
                 nodes = result.nodes_expanded
@@ -490,7 +519,9 @@ class IncrementalPlanEngine:
         """
         if not use_index or positions is None:
             return real
-        radius = (_HOPS + 1.0) * worker.reachable_distance + 1e-6
+        radius = self.planner.travel.reach_bound(
+            (_HOPS + 1.0) * worker.reachable_distance
+        ) + 1e-6
         in_scope = [
             tid
             for tid in self.planner.task_index.query_radius(worker.location, radius)

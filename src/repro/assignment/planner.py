@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.assignment.dfsearch import dfsearch, dfsearch_bnb
+from repro.assignment.dfsearch import adaptive_node_budget, dfsearch, dfsearch_bnb
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
 from repro.assignment.fast_partition import (
     build_adjacency,
@@ -61,7 +61,24 @@ class PlannerConfig:
     max_sequences:
         Cap on ``|Q_w|`` per worker.
     node_budget:
-        DFSearch expansion budget per partition-tree root.
+        Base DFSearch expansion budget per partition-tree root.  Raised
+        from the original 20k now that the branch-and-bound engine proves
+        optimality on dense components in a few thousand expansions — the
+        budget only matters on pathological instances, where more room
+        means feasible answers closer to the optimum.
+    adaptive_node_budget:
+        Scale the per-component budget with the component size
+        (:func:`repro.assignment.dfsearch.adaptive_node_budget` — never
+        below ``node_budget``), so huge components finish instead of
+        degrading at a cap sized for small ones.  Disable to reproduce a
+        fixed-budget search exactly.
+    travel_model:
+        Travel model for the whole pipeline (reachability, sequences,
+        travel matrices, dirty-region bounds).  ``None`` keeps the
+        Euclidean default; pass e.g. a
+        :class:`repro.roadnet.RoadNetworkTravelModel` to plan over a road
+        network.  An explicit ``travel=`` argument to :class:`TaskPlanner`
+        or a strategy takes precedence.
     search_mode:
         Exact-search engine for non-TVF components: ``"bnb"`` (default)
         is the anytime branch-and-bound engine — admissible relaxation
@@ -94,7 +111,9 @@ class PlannerConfig:
     max_reachable: int = 10
     max_sequence_length: int = 3
     max_sequences: int = 32
-    node_budget: int = 20000
+    node_budget: int = 50000
+    adaptive_node_budget: bool = True
+    travel_model: Optional[TravelModel] = None
     search_mode: str = "bnb"
     use_tvf: bool = False
     tvf_min_workers: int = 4
@@ -138,7 +157,7 @@ class TaskPlanner:
                 f"unknown search_mode: {self.config.search_mode!r} "
                 "(expected 'exact' or 'bnb')"
             )
-        self.travel = travel or EuclideanTravelModel(speed=1.0)
+        self.travel = travel or self.config.travel_model or EuclideanTravelModel(speed=1.0)
         self.tvf = tvf
         if self.config.use_tvf and self.tvf is None:
             self.tvf = TaskValueFunction()
@@ -251,15 +270,18 @@ class TaskPlanner:
         now:
             Current platform time.
         collect_experience:
-            When True the exact search records ``(state, action, opt)``
-            tuples for TVF training (forces exact DFSearch).
+            When True the configured exact engine records ``(state,
+            action, opt)`` tuples for TVF training — the plain search's
+            exhaustive trace under ``search_mode="exact"``, the explored
+            sub-problems under ``"bnb"`` (TVF-guided search is bypassed
+            either way).
         """
         config = self.config
         if config.incremental_replan and not collect_experience:
             # Dirty-region replanning: bit-for-bit the same outcome as the
             # full pipeline below, recomputing only what changed since the
-            # previous call (experience collection needs the exhaustive
-            # search and always takes the full path).
+            # previous call (experience collection records search-internal
+            # state and always takes the full path).
             return self._engine.plan(workers, tasks, now)
         active_tasks = [task for task in tasks if not task.is_expired(now)]
         workers_by_id = {worker.worker_id: worker for worker in workers}
@@ -348,26 +370,34 @@ class TaskPlanner:
         nodes_expanded = 0
         experience: List = []
         use_guided = config.use_tvf and not collect_experience and self.tvf is not None
-        # Experience collection needs the exhaustive enumeration; otherwise
-        # the configured engine decides (dfsearch_bnb self-delegates too).
-        exact_engine = (
-            dfsearch
-            if collect_experience or config.search_mode == "exact"
-            else dfsearch_bnb
-        )
+        # The configured engine decides; with collect_experience the B&B
+        # engine records its explored sub-problems natively (the plain
+        # search keeps its exhaustive trace for search_mode="exact").
+        exact_engine = dfsearch if config.search_mode == "exact" else dfsearch_bnb
 
         for root in roots:
-            if use_guided and len(root.all_workers()) >= config.tvf_min_workers:
+            root_workers = root.all_workers()
+            if use_guided and len(root_workers) >= config.tvf_min_workers:
                 result = dfsearch_tvf(
                     root, active_tasks, sequences_by_worker, workers_by_id, self.tvf
                 )
             else:
+                budget = config.node_budget
+                if config.adaptive_node_budget:
+                    budget = adaptive_node_budget(
+                        budget,
+                        len(root_workers),
+                        sum(
+                            len(sequences_by_worker.get(wid, []))
+                            for wid in root_workers
+                        ),
+                    )
                 result = exact_engine(
                     root,
                     active_tasks,
                     sequences_by_worker,
                     workers_by_id,
-                    node_budget=config.node_budget,
+                    node_budget=budget,
                     collect_experience=collect_experience,
                 )
                 experience.extend(result.experience)

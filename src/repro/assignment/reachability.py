@@ -186,9 +186,12 @@ def reachable_tasks_indexed(
     """Reachable tasks using a spatial index for the radius pre-filter.
 
     ``index`` maps task ids to locations; ``tasks_by_id`` resolves ids back
-    to :class:`Task` objects.  Only candidates within ``(hops + 1)`` reach
-    radii are examined in detail (each transitive hop extends the horizon by
-    one worker reach), which keeps per-event replanning cheap on large
+    to :class:`Task` objects.  Only candidates within the Euclidean radius
+    covering ``(hops + 1)`` reach-length travel legs are examined in detail
+    (each transitive hop extends the horizon by one worker reach; the
+    travel model's :meth:`~repro.spatial.travel.TravelModel.reach_bound`
+    converts that travel-distance budget into a Euclidean radius the index
+    can query), which keeps per-event replanning cheap on large
     instances.  Candidates keep the iteration order of ``tasks_by_id``, so
     the result is exactly what the full scan over ``tasks_by_id.values()``
     would return — independent of index-bucket iteration order.  Callers
@@ -197,7 +200,7 @@ def reachable_tasks_indexed(
     sort over the few candidates instead of a scan over every open task.
     """
     travel = travel or EuclideanTravelModel(speed=worker.speed)
-    radius = (hops + 1.0) * worker.reachable_distance + 1e-6
+    radius = travel.reach_bound((hops + 1.0) * worker.reachable_distance) + 1e-6
     candidate_ids = index.query_radius(worker.location, radius)
     if positions is not None:
         in_scope = [tid for tid in candidate_ids if tid in positions]

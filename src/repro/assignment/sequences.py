@@ -143,6 +143,19 @@ def maximal_valid_sequences(
             horizon_out.append(float("inf"))
         return []
 
+    # Eq. 10 comparisons (minimum-completion order per subset, and the
+    # final ranking) run on *relative* accumulated leg times — the same
+    # sums shifted to a time origin of zero.  Comparing absolute arrivals
+    # ``now + legs`` is not invariant under a shift of ``now``: two orders
+    # whose leg sums differ by less than one ulp of ``now`` can round to
+    # equality at one epoch and to either strict order at another, so the
+    # tie winner would change while every validity predicate — and hence
+    # the reuse horizon — stays constant.  Road-network models make such
+    # ties structural (tasks snapping to one node give permutations with
+    # literally identical sums), and the incremental engine's replay
+    # guarantee needs the winner to be a pure function of the leg times.
+    # Validity predicates keep using absolute arrivals, unchanged.
+
     if (
         matrix is not None
         and len(reachable) >= _MATRIX_MIN_TASKS
@@ -162,22 +175,24 @@ def maximal_valid_sequences(
 
     # Best ordering per task subset, keyed by the subset's index bitmask
     # (bijective with the task-id frozenset, far cheaper to build and hash):
-    # mask -> (completion_time, index order).
+    # mask -> (relative completion time, index order).
     best_by_subset: Dict[int, Tuple[float, Tuple[int, ...]]] = {}
 
     # Depth-first search on an explicit stack.  A frame is
-    # (prefix, used_bitmask, arrival_at_last, next_candidate, is_entry):
-    # ``is_entry`` marks the first visit of a search node (where the budget
-    # bailout applies); resumed frames continue the candidate loop after a
-    # deeper exploration returned.
+    # (prefix, used_bitmask, arrival_at_last, relative_arrival,
+    # next_candidate, is_entry): ``is_entry`` marks the first visit of a
+    # search node (where the budget bailout applies); resumed frames
+    # continue the candidate loop after a deeper exploration returned.
     worker_time = legs.worker_time
     worker_dist = legs.worker_dist
     task_time = legs.task_time
     task_dist = legs.task_dist
     min_slack = float("inf")
-    stack: List[Tuple[Tuple[int, ...], int, float, int, bool]] = [((), 0, now, 0, True)]
+    stack: List[Tuple[Tuple[int, ...], int, float, float, int, bool]] = [
+        ((), 0, now, 0.0, 0, True)
+    ]
     while stack:
-        prefix, used, time, start, is_entry = stack.pop()
+        prefix, used, time, rel_time, start, is_entry = stack.pop()
         if is_entry and len(best_by_subset) >= budget:
             continue
         if prefix:
@@ -194,19 +209,22 @@ def maximal_valid_sequences(
                 continue
             if dist_row[i] > reach:
                 continue
+            rel_arrive = rel_time + time_row[i]
             slack = min(expirations[i] - arrive, off_time - arrive)
             if slack < min_slack:
                 min_slack = slack
             key = used | (1 << i)
             existing = best_by_subset.get(key)
             new_prefix = prefix + (i,)
-            if existing is None or arrive < existing[0]:
-                best_by_subset[key] = (arrive, new_prefix)
+            if existing is None or rel_arrive < existing[0]:
+                best_by_subset[key] = (rel_arrive, new_prefix)
             # Only continue extending from the best-known order of this
             # subset to curb redundant exploration.
-            if len(new_prefix) < max_length and (existing is None or arrive <= existing[0]):
-                stack.append((prefix, used, time, i + 1, False))
-                stack.append((new_prefix, key, arrive, 0, True))
+            if len(new_prefix) < max_length and (
+                existing is None or rel_arrive <= existing[0]
+            ):
+                stack.append((prefix, used, time, rel_time, i + 1, False))
+                stack.append((new_prefix, key, arrive, rel_arrive, 0, True))
                 break
 
     if horizon_out is not None:
@@ -247,9 +265,11 @@ def maximal_valid_sequences(
                 continue
         maximal.append(mask)
 
-    # Rank by (more tasks, earlier completion) and bound the output size.
-    # The completion time was recorded during the search, so the sort key is
-    # a dictionary lookup rather than a fresh arrival-times recomputation.
+    # Rank by (more tasks, earlier relative completion) and bound the
+    # output size.  The relative completion was recorded during the search,
+    # so the sort key is a dictionary lookup rather than a fresh
+    # arrival-times recomputation (and, being now-free, ranks identically
+    # at every epoch the sequence set itself is unchanged).
     ranked = sorted(
         maximal, key=lambda mask: (-mask.bit_count(), best_by_subset[mask][0])
     )

@@ -101,8 +101,10 @@ class _PlannerBackedStrategy(AssignmentStrategy):
         travel: Optional[TravelModel] = None,
         tvf: Optional[TaskValueFunction] = None,
     ) -> None:
-        self.travel = travel or EuclideanTravelModel(speed=1.0)
         self.config = config or PlannerConfig()
+        # Resolution order mirrors TaskPlanner: explicit argument, then the
+        # config's pluggable travel_model, then the Euclidean default.
+        self.travel = travel or self.config.travel_model or EuclideanTravelModel(speed=1.0)
         self.planner = TaskPlanner(self.config, travel=self.travel, tvf=tvf)
 
     def reset(self) -> None:

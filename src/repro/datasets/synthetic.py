@@ -25,7 +25,7 @@ from repro.core.problem import ATAInstance
 from repro.core.task import Task
 from repro.core.worker import AvailabilityWindow, Worker
 from repro.spatial.geometry import BoundingBox, Point
-from repro.spatial.travel import EuclideanTravelModel
+from repro.spatial.travel import EuclideanTravelModel, TravelModel
 
 
 @dataclass(frozen=True)
@@ -157,9 +157,19 @@ def default_city(seed: int = 0, size_km: float = 10.0) -> CityModel:
 class SyntheticWorkloadGenerator:
     """Generates tasks and workers from a :class:`CityModel`."""
 
-    def __init__(self, city: Optional[CityModel] = None, config: Optional[WorkloadConfig] = None) -> None:
+    def __init__(
+        self,
+        city: Optional[CityModel] = None,
+        config: Optional[WorkloadConfig] = None,
+        travel: Optional[TravelModel] = None,
+    ) -> None:
         self.config = config or WorkloadConfig()
         self.city = city or default_city(seed=self.config.seed)
+        #: Travel model attached to the generated instance; ``None`` keeps
+        #: the Euclidean default.  Passing a road-network model makes every
+        #: platform replay and planner consultation use network times
+        #: (see :mod:`repro.roadnet.scenario` for a ready-made builder).
+        self.travel = travel
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------ #
@@ -324,7 +334,7 @@ class SyntheticWorkloadGenerator:
         instance = ATAInstance(
             workers=workers,
             tasks=tasks,
-            travel=EuclideanTravelModel(speed=config.worker_speed),
+            travel=self.travel or EuclideanTravelModel(speed=config.worker_speed),
             name=config.name,
         )
         return SyntheticWorkload(

@@ -1,0 +1,38 @@
+"""Road-network travel: directed graphs, shortest paths, a TravelModel backend.
+
+The paper treats the road network abstractly (travel time = distance /
+speed).  This subsystem makes it concrete: a lightweight directed road
+graph in CSR form (:class:`RoadNetwork`, with synthetic grid/radial
+generators and an edge-list file loader), NumPy-backed many-to-many
+shortest-path rows (:mod:`repro.roadnet.dijkstra`), and
+:class:`RoadNetworkTravelModel` — a drop-in
+:class:`~repro.spatial.travel.TravelModel` backend that snaps workers and
+tasks to their nearest network node and serves asymmetric, non-metric
+travel times through the same vectorized kernel the Euclidean planner
+uses.  :mod:`repro.roadnet.scenario` builds complete road-network
+workloads for the simulation platform.
+"""
+
+from repro.roadnet.dijkstra import dijkstra_row, many_to_many
+from repro.roadnet.graph import (
+    RoadNetwork,
+    grid_network,
+    load_edge_list,
+    radial_network,
+    save_edge_list,
+)
+from repro.roadnet.model import RoadNetworkTravelModel
+from repro.roadnet.scenario import roadnet_city, roadnet_workload
+
+__all__ = [
+    "RoadNetwork",
+    "grid_network",
+    "radial_network",
+    "load_edge_list",
+    "save_edge_list",
+    "dijkstra_row",
+    "many_to_many",
+    "RoadNetworkTravelModel",
+    "roadnet_city",
+    "roadnet_workload",
+]

@@ -1,0 +1,111 @@
+"""NumPy-backed shortest-path rows over a :class:`RoadNetwork`.
+
+The planner needs *many-to-many* travel costs: every replan epoch asks for
+worker→task and task→task blocks over the snapshot's snapped nodes.  Full
+all-pairs preprocessing would not survive a city-scale graph, so the unit
+of work here is the **row**: one Dijkstra run from a source node to every
+node, returning both the fastest travel times and the lengths of those
+fastest paths.  Rows are pure functions of the graph, which is what makes
+the :class:`~repro.roadnet.model.RoadNetworkTravelModel` row cache safe to
+reuse across replan epochs.
+
+The heap loop is classic Dijkstra, but each settled node relaxes its whole
+out-neighbourhood with vectorized CSR slices (candidate times, candidate
+lengths and the improvement mask are single array expressions) — the
+Python-level work is proportional to the number of *improving* edges, not
+all edges.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.roadnet.graph import RoadNetwork
+
+__all__ = ["dijkstra_row", "many_to_many"]
+
+
+def dijkstra_row(network: RoadNetwork, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Fastest-path ``(times, lengths)`` from ``source`` to every node.
+
+    ``times[v]`` is the minimum travel time from ``source`` to ``v`` and
+    ``lengths[v]`` the length of that fastest path (``inf`` for
+    unreachable nodes).  Ties on time are broken deterministically by the
+    heap's ``(time, node)`` ordering, so repeated calls return identical
+    arrays — a requirement for the bit-for-bit replay guarantees of the
+    incremental planner.
+    """
+    n = network.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source node {source} outside [0, {n})")
+    times = np.full(n, np.inf, dtype=np.float64)
+    lengths = np.full(n, np.inf, dtype=np.float64)
+    times[source] = 0.0
+    lengths[source] = 0.0
+    settled = np.zeros(n, dtype=bool)
+    indptr = network.indptr
+    indices = network.indices
+    edge_time = network.edge_time
+    edge_length = network.edge_length
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        t_u, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        start, end = int(indptr[u]), int(indptr[u + 1])
+        if start == end:
+            continue
+        nbrs = indices[start:end]
+        cand_t = t_u + edge_time[start:end]
+        cand_l = lengths[u] + edge_length[start:end]
+        improving = cand_t < times[nbrs]
+        if not improving.any():
+            continue
+        for v, t_v, l_v in zip(
+            nbrs[improving].tolist(), cand_t[improving].tolist(), cand_l[improving].tolist()
+        ):
+            # Recheck per element: parallel edges to the same neighbour can
+            # both pass the vectorized mask; only the best may win.
+            if t_v < times[v]:
+                times[v] = t_v
+                lengths[v] = l_v
+                heapq.heappush(heap, (t_v, v))
+    return times, lengths
+
+
+def many_to_many(
+    network: RoadNetwork,
+    sources: Sequence[int],
+    targets: Optional[Sequence[int]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(times, lengths)`` matrices between node sets, shape |S|×|T|.
+
+    Runs one row per *unique* source and gathers target columns, so
+    repeated sources cost nothing extra.  ``targets=None`` keeps every
+    node as a column.
+    """
+    source_list = [int(s) for s in sources]
+    target_cols = (
+        None if targets is None else np.asarray(list(targets), dtype=np.int64)
+    )
+    width = network.num_nodes if target_cols is None else len(target_cols)
+    times = np.empty((len(source_list), width), dtype=np.float64)
+    lengths = np.empty((len(source_list), width), dtype=np.float64)
+    cache: dict = {}
+    for i, source in enumerate(source_list):
+        row = cache.get(source)
+        if row is None:
+            row = dijkstra_row(network, source)
+            cache[source] = row
+        row_t, row_l = row
+        if target_cols is None:
+            times[i] = row_t
+            lengths[i] = row_l
+        else:
+            times[i] = row_t[target_cols]
+            lengths[i] = row_l[target_cols]
+    return times, lengths

@@ -13,6 +13,7 @@ Algorithm 3.
 from __future__ import annotations
 
 import heapq
+import math
 import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -112,13 +113,21 @@ class SCPlatform:
         )
 
     def _index_cell_size(self) -> float:
-        """Bucket size for the open-task index (~ the typical query radius)."""
+        """Bucket size for the open-task index (~ the typical query radius).
+
+        The index is Euclidean, so under a non-Euclidean travel model the
+        typical query radius is the model's ``reach_bound`` of the median
+        reachable distance (identity for the Euclidean default).
+        """
         if self.config.task_index_cell_size is not None:
             return self.config.task_index_cell_size
         reaches = sorted(w.reachable_distance for w in self.instance.workers)
         if not reaches:
             return 1.0
-        return max(reaches[len(reaches) // 2], 1e-6)
+        radius = self.instance.travel.reach_bound(reaches[len(reaches) // 2])
+        if not math.isfinite(radius):
+            radius = reaches[len(reaches) // 2]
+        return max(radius, 1e-6)
 
     # ------------------------------------------------------------------ #
     # Public API

@@ -5,17 +5,102 @@ arrival event, so the reachable-task query (all items within radius ``d`` of
 a point) must be cheap.  A uniform bucket index gives expected O(1) insertion
 and O(k) range queries for the densities we deal with, without external
 dependencies.
+
+Buckets store their members as parallel item/coordinate arrays: a radius
+query filters each bucket with one vectorized ``sqrt(dx*dx + dy*dy)`` mask
+(the exact IEEE-754 operation sequence of the scalar
+:func:`~repro.spatial.geometry.euclidean_distance` check, so vectorized and
+scalar filtering accept the identical item set), falling back to the scalar
+loop for buckets too small to amortise NumPy call overhead.  Removal is
+O(1) swap-with-last; the per-bucket arrays are rebuilt lazily after
+mutations.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from typing import Dict, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
+
+import numpy as np
 
 from repro.spatial.geometry import Point, euclidean_distance
 
 T = TypeVar("T", bound=Hashable)
+
+#: Below this bucket population the scalar distance loop beats NumPy's
+#: per-call overhead; both paths accept bit-identical item sets.
+_VECTOR_MIN_BUCKET = 24
+
+
+class _Bucket(Generic[T]):
+    """One grid cell: parallel item/coordinate storage + lazy arrays."""
+
+    __slots__ = ("items", "xs", "ys", "_pos", "_arrays")
+
+    def __init__(self) -> None:
+        self.items: List[T] = []
+        self.xs: List[float] = []
+        self.ys: List[float] = []
+        self._pos: Dict[T, int] = {}
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def add(self, item: T, x: float, y: float) -> None:
+        self._pos[item] = len(self.items)
+        self.items.append(item)
+        self.xs.append(x)
+        self.ys.append(y)
+        self._arrays = None
+
+    def remove(self, item: T) -> None:
+        """Swap-with-last removal; no-op if absent."""
+        position = self._pos.pop(item, None)
+        if position is None:
+            return
+        last = len(self.items) - 1
+        if position != last:
+            self.items[position] = self.items[last]
+            self.xs[position] = self.xs[last]
+            self.ys[position] = self.ys[last]
+            self._pos[self.items[position]] = position
+        self.items.pop()
+        self.xs.pop()
+        self.ys.pop()
+        self._arrays = None
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._arrays is None:
+            self._arrays = (
+                np.array(self.xs, dtype=np.float64),
+                np.array(self.ys, dtype=np.float64),
+            )
+        return self._arrays
+
+    def collect_within(self, center: Point, radius: float, out: List[T]) -> None:
+        """Append every member within ``radius`` of ``center`` to ``out``.
+
+        The vectorized mask performs the same ``sqrt(dx*dx + dy*dy)``
+        float operations as the scalar check, so both paths keep the
+        identical members.
+        """
+        n = len(self.items)
+        if n < _VECTOR_MIN_BUCKET:
+            xs, ys, items = self.xs, self.ys, self.items
+            cx, cy = center.x, center.y
+            for i in range(n):
+                dx = xs[i] - cx
+                dy = ys[i] - cy
+                if math.sqrt(dx * dx + dy * dy) <= radius:
+                    out.append(items[i])
+            return
+        bx, by = self.arrays()
+        dx = bx - center.x
+        dy = by - center.y
+        inside = np.sqrt(dx * dx + dy * dy) <= radius
+        items = self.items
+        out.extend(items[i] for i in np.flatnonzero(inside))
 
 
 class SpatialIndex(Generic[T]):
@@ -32,7 +117,7 @@ class SpatialIndex(Generic[T]):
         if cell_size <= 0:
             raise ValueError("cell_size must be positive")
         self.cell_size = cell_size
-        self._buckets: Dict[Tuple[int, int], set] = defaultdict(set)
+        self._buckets: Dict[Tuple[int, int], _Bucket] = {}
         self._locations: Dict[T, Point] = {}
 
     # ------------------------------------------------------------------ #
@@ -51,7 +136,11 @@ class SpatialIndex(Generic[T]):
         if item in self._locations:
             self.remove(item)
         self._locations[item] = location
-        self._buckets[self._key(location)].add(item)
+        key = self._key(location)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
+        bucket.add(item, location.x, location.y)
 
     def remove(self, item: T) -> None:
         """Remove ``item``; raises ``KeyError`` if it is not indexed."""
@@ -59,8 +148,8 @@ class SpatialIndex(Generic[T]):
         key = self._key(location)
         bucket = self._buckets.get(key)
         if bucket is not None:
-            bucket.discard(item)
-            if not bucket:
+            bucket.remove(item)
+            if not len(bucket):
                 del self._buckets[key]
 
     def discard(self, item: T) -> None:
@@ -80,6 +169,11 @@ class SpatialIndex(Generic[T]):
         """Return every item within Euclidean ``radius`` of ``center``."""
         if radius < 0:
             raise ValueError("radius must be non-negative")
+        if math.isinf(radius):
+            # Everything is within an infinite radius.  Travel models whose
+            # reach_bound degrades to inf (no usable Euclidean bound) turn
+            # every radius prefilter into a full scan through this path.
+            return list(self._locations)
         # euclidean_distance computes sqrt(dx*dx + dy*dy); squaring
         # underflows to zero for offsets below sqrt(DBL_MIN), the sum rounds
         # at relative epsilon, and the box-corner subtraction itself rounds
@@ -100,18 +194,13 @@ class SpatialIndex(Generic[T]):
             # enumerating the (possibly astronomically large) cell range.
             for (kx, ky), bucket in self._buckets.items():
                 if min_kx <= kx <= max_kx and min_ky <= ky <= max_ky:
-                    for item in bucket:
-                        if euclidean_distance(self._locations[item], center) <= radius:
-                            out.append(item)
+                    bucket.collect_within(center, radius, out)
             return out
         for kx in range(min_kx, max_kx + 1):
             for ky in range(min_ky, max_ky + 1):
                 bucket = self._buckets.get((kx, ky))
-                if not bucket:
-                    continue
-                for item in bucket:
-                    if euclidean_distance(self._locations[item], center) <= radius:
-                        out.append(item)
+                if bucket is not None:
+                    bucket.collect_within(center, radius, out)
         return out
 
     def nearest(self, center: Point, k: int = 1) -> List[Tuple[T, float]]:

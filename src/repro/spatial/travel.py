@@ -2,15 +2,53 @@
 
 Definition 3 and the reachability constraints use two primitives: travel
 *distance* ``td(a, b)`` and travel *time* ``c(a, b)``.  The paper treats the
-road network abstractly, so we model travel time as distance divided by a
-constant worker speed; a Manhattan variant approximates street grids.
+road network abstractly; this module turns that abstraction into a small
+pluggable protocol so the whole planning stack — travel matrices,
+reachability, sequence enumeration, the incremental replan engine, the
+platform — runs unchanged over straight-line models, street-grid
+approximations, or a real road network
+(:class:`repro.roadnet.RoadNetworkTravelModel`).
+
+A travel model provides three layers:
+
+* **Scalar primitives** — :meth:`TravelModel.distance` and
+  :meth:`TravelModel.time`, the reference semantics every other layer must
+  agree with bit-for-bit.
+* **Vectorized kernel** — :meth:`TravelModel.distance_matrix` /
+  :meth:`TravelModel.time_matrix` over coordinate arrays.  The built-in
+  models implement them with the exact IEEE-754 operation sequence of the
+  scalar primitives, so vectorized planning is *provably* a pure
+  optimisation; a model may return ``None`` to request the cached scalar
+  fallback instead.
+* **Locality bound** — :meth:`TravelModel.reach_bound` maps a travel-distance
+  budget to a Euclidean radius guaranteed to contain it, which is what lets
+  Euclidean spatial indexes (and the incremental engine's dirty balls)
+  stay sound under non-Euclidean travel.
+
+The entity-level helpers :meth:`pairwise`, :meth:`legs` and
+:meth:`single_row` wrap the kernel for callers holding workers / tasks
+rather than coordinate arrays.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.spatial.geometry import Point, euclidean_distance, manhattan_distance
+
+
+def _points_of(entities) -> list:
+    """Locations of a sequence of workers/tasks (plain Points pass through)."""
+    return [getattr(entity, "location", entity) for entity in entities]
+
+
+def _coords(points) -> Tuple[np.ndarray, np.ndarray]:
+    xs = np.array([p.x for p in points], dtype=np.float64)
+    ys = np.array([p.y for p in points], dtype=np.float64)
+    return xs, ys
 
 
 class TravelModel(ABC):
@@ -21,6 +59,9 @@ class TravelModel(ABC):
             raise ValueError("speed must be positive")
         self.speed = speed
 
+    # ------------------------------------------------------------------ #
+    # Scalar primitives (the reference semantics)
+    # ------------------------------------------------------------------ #
     @abstractmethod
     def distance(self, origin: Point, destination: Point) -> float:
         """Travel distance ``td(a, b)``."""
@@ -29,6 +70,117 @@ class TravelModel(ABC):
         """Travel time ``c(a, b) = td(a, b) / speed``."""
         return self.distance(origin, destination) / self.speed
 
+    # ------------------------------------------------------------------ #
+    # Vectorized kernel (optional; None requests the scalar fallback)
+    # ------------------------------------------------------------------ #
+    def distance_matrix(
+        self, ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """|A|×|B| travel-distance matrix for coordinate arrays.
+
+        Implementations must be bit-for-bit consistent with
+        :meth:`distance` (same IEEE-754 operation sequence): the planner
+        mixes scalar and vectorized paths freely and relies on them
+        producing identical floats.  Return ``None`` (the default) to make
+        callers evaluate the scalar primitive per pair instead.
+        """
+        return None
+
+    def time_matrix(
+        self,
+        ax: np.ndarray,
+        ay: np.ndarray,
+        bx: np.ndarray,
+        by: np.ndarray,
+        dist: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """|A|×|B| travel-time matrix; ``dist`` may carry the distances.
+
+        The default handles every model that keeps the base-class relation
+        ``time = distance / speed``; models overriding :meth:`time` must
+        either override this too or accept the scalar fallback.
+        """
+        if type(self).time is not TravelModel.time:
+            return None
+        if dist is None:
+            dist = self.distance_matrix(ax, ay, bx, by)
+        if dist is None:
+            return None
+        return dist / self.speed
+
+    # ------------------------------------------------------------------ #
+    # Entity-level protocol (workers / tasks / points)
+    # ------------------------------------------------------------------ #
+    def pairwise(
+        self, origins: Sequence, destinations: Sequence
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distance, time)`` matrices between two entity sequences.
+
+        ``origins`` / ``destinations`` may be workers, tasks, or plain
+        :class:`Point` objects.  Uses the vectorized kernel when the model
+        provides one and falls back to exact per-pair scalar evaluation
+        otherwise, so the result is always bit-identical to the scalar
+        primitives.
+        """
+        pts_a = _points_of(origins)
+        pts_b = _points_of(destinations)
+        ax, ay = _coords(pts_a)
+        bx, by = _coords(pts_b)
+        dist = self.distance_matrix(ax, ay, bx, by)
+        if dist is None:
+            dist = np.empty((len(pts_a), len(pts_b)), dtype=np.float64)
+            for i, a in enumerate(pts_a):
+                for j, b in enumerate(pts_b):
+                    dist[i, j] = self.distance(a, b)
+        time = self.time_matrix(ax, ay, bx, by, dist=dist)
+        if time is None:
+            time = np.empty((len(pts_a), len(pts_b)), dtype=np.float64)
+            for i, a in enumerate(pts_a):
+                for j, b in enumerate(pts_b):
+                    time[i, j] = self.time(a, b)
+        return dist, time
+
+    def legs(
+        self, origins: Sequence, destinations: Sequence
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Task→task leg matrices (alias of :meth:`pairwise` by default).
+
+        Kept as a separate protocol entry so models whose worker→task and
+        task→task costs differ (e.g. different access rules) can split
+        them without touching callers.
+        """
+        return self.pairwise(origins, destinations)
+
+    def single_row(
+        self, origin, destinations: Sequence
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distance, time)`` rows from one origin to many destinations."""
+        dist, time = self.pairwise([origin], destinations)
+        return dist[0], time[0]
+
+    # ------------------------------------------------------------------ #
+    # Locality bound
+    # ------------------------------------------------------------------ #
+    def reach_bound(self, reach: float) -> float:
+        """Euclidean radius covering every travel chain of total length ``reach``.
+
+        Contract: for any chain of legs ``a_0 → a_1 → … → a_k`` with
+        ``sum(distance(a_i, a_i+1)) <= reach``, the straight-line distance
+        from ``a_0`` to ``a_k`` must be ``<= reach_bound(reach)``.  The
+        spatial-index radius queries and the incremental engine's dirty
+        balls rely on this to over-approximate travel-distance balls with
+        Euclidean ones.
+
+        The default returns ``reach`` unchanged, which is sound whenever
+        ``distance(a, b) >= euclidean(a, b)`` (true for the built-in
+        Euclidean and Manhattan models, and for road networks whose edge
+        lengths are at least the straight-line segment lengths).  Models
+        violating that property must override this — returning
+        ``float("inf")`` is always sound and merely disables the
+        geometric pruning.
+        """
+        return reach
+
 
 class EuclideanTravelModel(TravelModel):
     """Straight-line travel at constant speed (the paper's default)."""
@@ -36,9 +188,21 @@ class EuclideanTravelModel(TravelModel):
     def distance(self, origin: Point, destination: Point) -> float:
         return euclidean_distance(origin, destination)
 
+    def distance_matrix(self, ax, ay, bx, by):
+        dx = ax[:, None] - bx[None, :]
+        dy = ay[:, None] - by[None, :]
+        # Same operation sequence as geometry.euclidean_distance: the
+        # results are bit-identical to the scalar path.
+        return np.sqrt(dx * dx + dy * dy)
+
 
 class ManhattanTravelModel(TravelModel):
     """City-block travel at constant speed, approximating a street grid."""
 
     def distance(self, origin: Point, destination: Point) -> float:
         return manhattan_distance(origin, destination)
+
+    def distance_matrix(self, ax, ay, bx, by):
+        dx = ax[:, None] - bx[None, :]
+        dy = ay[:, None] - by[None, :]
+        return np.abs(dx) + np.abs(dy)

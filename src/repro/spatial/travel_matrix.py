@@ -11,13 +11,13 @@ set and the transitive-expansion frontiers).  Every downstream feasibility
 check (reachability, sequence validity, TVF geometry features) becomes an
 array lookup or an O(n) vectorized mask.
 
-The matrices are exact: for the Euclidean and Manhattan travel models the
-vectorized formulas perform the same IEEE-754 operations as the scalar
-:mod:`repro.spatial.geometry` functions, so scalar and vectorized planning
-paths produce bit-for-bit identical floats (and therefore identical
-assignments).  Unknown :class:`TravelModel` subclasses fall back to a
-cached per-pair scalar evaluation, which preserves exactness at reduced
-speed.
+All travel numbers come from the :class:`~repro.spatial.travel.TravelModel`
+protocol: the model's ``distance_matrix`` / ``time_matrix`` kernel when it
+provides one (the built-in Euclidean/Manhattan kernels and the road-network
+backend perform the same IEEE-754 operations as their scalar primitives, so
+scalar and vectorized planning paths produce bit-for-bit identical floats
+and therefore identical assignments), and an exact cached per-pair scalar
+evaluation otherwise.
 """
 
 from __future__ import annotations
@@ -26,28 +26,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.spatial.travel import EuclideanTravelModel, ManhattanTravelModel, TravelModel
+from repro.spatial.travel import TravelModel
 
 if TYPE_CHECKING:  # break the spatial <-> core import cycle (hints only)
     from repro.core.task import Task
     from repro.core.worker import Worker
 
 __all__ = ["TravelMatrix", "LegTimes"]
-
-
-def _block_distances(
-    ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray, travel: TravelModel
-) -> Optional[np.ndarray]:
-    """Vectorized |A|×|B| distance matrix for the built-in travel models."""
-    dx = ax[:, None] - bx[None, :]
-    dy = ay[:, None] - by[None, :]
-    if isinstance(travel, ManhattanTravelModel):
-        return np.abs(dx) + np.abs(dy)
-    if isinstance(travel, EuclideanTravelModel):
-        # Same operation sequence as geometry.euclidean_distance: the
-        # results are bit-identical to the scalar path.
-        return np.sqrt(dx * dx + dy * dy)
-    return None
 
 
 class TravelMatrix:
@@ -76,33 +61,13 @@ class TravelMatrix:
             task.task_id: col for col, task in enumerate(self.tasks)
         }
 
-        wx = np.array([w.location.x for w in self.workers], dtype=np.float64)
-        wy = np.array([w.location.y for w in self.workers], dtype=np.float64)
         #: Task coordinates, shape (T,) each — the base data for task→task blocks.
         self.tx: np.ndarray = np.array([t.location.x for t in self.tasks], dtype=np.float64)
         self.ty: np.ndarray = np.array([t.location.y for t in self.tasks], dtype=np.float64)
-        # Subclasses may override time() away from distance/speed; only use
-        # the vectorized division when the base-class relation holds.
-        self._default_time = type(travel).time is TravelModel.time
 
-        wt = _block_distances(wx, wy, self.tx, self.ty, travel)
-        if wt is None:
-            wt = np.empty((len(self.workers), len(self.tasks)), dtype=np.float64)
-            for i, worker in enumerate(self.workers):
-                for j, task in enumerate(self.tasks):
-                    wt[i, j] = travel.distance(worker.location, task.location)
-
-        #: Worker→task distances ``td(w.l, s.l)``, shape (W, T).
-        self.wt_dist: np.ndarray = wt
-        #: Worker→task travel times ``c(w.l, s.l)``, shape (W, T).
-        if self._default_time:
-            self.wt_time: np.ndarray = wt / travel.speed
-        else:
-            wt_time = np.empty_like(wt)
-            for i, worker in enumerate(self.workers):
-                for j, task in enumerate(self.tasks):
-                    wt_time[i, j] = travel.time(worker.location, task.location)
-            self.wt_time = wt_time
+        #: Worker→task distances ``td(w.l, s.l)`` (W, T) and travel times
+        #: ``c(w.l, s.l)`` (W, T), via the model's ``pairwise`` protocol.
+        self.wt_dist, self.wt_time = travel.pairwise(self.workers, self.tasks)
         #: Per-task expiration times ``s.e``, shape (T,).
         self.expirations: np.ndarray = np.array(
             [t.expiration_time for t in self.tasks], dtype=np.float64
@@ -151,8 +116,8 @@ class TravelMatrix:
 
     def tt_dist_block(self, from_cols: np.ndarray, to_cols: np.ndarray) -> np.ndarray:
         """Task→task distance block (|from| × |to|), computed vectorized."""
-        block = _block_distances(
-            self.tx[from_cols], self.ty[from_cols], self.tx[to_cols], self.ty[to_cols], self.travel
+        block = self.travel.distance_matrix(
+            self.tx[from_cols], self.ty[from_cols], self.tx[to_cols], self.ty[to_cols]
         )
         if block is None:
             block = np.empty((len(from_cols), len(to_cols)), dtype=np.float64)
@@ -163,16 +128,28 @@ class TravelMatrix:
                     )
         return block
 
-    def tt_time_block(self, from_cols: np.ndarray, to_cols: np.ndarray) -> np.ndarray:
-        """Task→task travel-time block (|from| × |to|)."""
-        if self._default_time:
-            return self.tt_dist_block(from_cols, to_cols) / self.travel.speed
-        block = np.empty((len(from_cols), len(to_cols)), dtype=np.float64)
-        for i, a in enumerate(from_cols):
-            for j, b in enumerate(to_cols):
-                block[i, j] = self.travel.time(
-                    self.tasks[a].location, self.tasks[b].location
-                )
+    def tt_time_block(
+        self,
+        from_cols: np.ndarray,
+        to_cols: np.ndarray,
+        dist: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Task→task travel-time block (|from| × |to|).
+
+        ``dist`` may carry the matching distance block to let default-time
+        models reuse it instead of recomputing distances.
+        """
+        block = self.travel.time_matrix(
+            self.tx[from_cols], self.ty[from_cols], self.tx[to_cols], self.ty[to_cols],
+            dist=dist,
+        )
+        if block is None:
+            block = np.empty((len(from_cols), len(to_cols)), dtype=np.float64)
+            for i, a in enumerate(from_cols):
+                for j, b in enumerate(to_cols):
+                    block[i, j] = self.travel.time(
+                        self.tasks[a].location, self.tasks[b].location
+                    )
         return block
 
     def task_task_distance(self, from_id: int, to_id: int) -> float:
@@ -181,12 +158,9 @@ class TravelMatrix:
         return float(self.tt_dist_block(cols_a, cols_b)[0, 0])
 
     def task_task_time(self, from_id: int, to_id: int) -> float:
-        if self._default_time:
-            return self.task_task_distance(from_id, to_id) / self.travel.speed
-        return self.travel.time(
-            self.tasks[self._task_col[from_id]].location,
-            self.tasks[self._task_col[to_id]].location,
-        )
+        cols_a = np.array([self._task_col[from_id]], dtype=np.intp)
+        cols_b = np.array([self._task_col[to_id]], dtype=np.intp)
+        return float(self.tt_time_block(cols_a, cols_b)[0, 0])
 
     # ------------------------------------------------------------------ #
     def reachability_mask(
@@ -219,10 +193,7 @@ class TravelMatrix:
         cols = self.task_cols(tasks)
         row = self._worker_row[worker.worker_id]
         dist_block = self.tt_dist_block(cols, cols)
-        if self._default_time:
-            time_block = dist_block / self.travel.speed
-        else:
-            time_block = self.tt_time_block(cols, cols)
+        time_block = self.tt_time_block(cols, cols, dist=dist_block)
         return LegTimes(
             worker_time=self.wt_time[row, cols],
             worker_dist=self.wt_dist[row, cols],

@@ -22,7 +22,7 @@ try:
 except ImportError:  # pragma: no cover - optional dependency
     HAVE_HYPOTHESIS = False
 
-from repro.assignment.dfsearch import dfsearch, dfsearch_bnb
+from repro.assignment.dfsearch import adaptive_node_budget, dfsearch, dfsearch_bnb
 from repro.assignment.fast_partition import build_adjacency, build_partition_tree_fast
 from repro.assignment.planner import PlannerConfig, TaskPlanner
 from repro.assignment.reachability import reachable_tasks
@@ -256,6 +256,156 @@ class TestSearchLayerRegressions:
     def test_search_mode_validation(self):
         with pytest.raises(ValueError):
             TaskPlanner(PlannerConfig(search_mode="astar"))
+
+
+class TestAdaptiveNodeBudget:
+    """The per-component budget scales with component size (PR 3 follow-on):
+    a base budget sized for small components must not truncate big ones."""
+
+    def test_helper_floors(self):
+        assert adaptive_node_budget(50_000, 1, 4) == 50_000  # base dominates
+        assert adaptive_node_budget(100, 40, 0) == 40 * 2000
+        assert adaptive_node_budget(100, 1, 1000) == 1000 * 250
+        # Monotone in every argument.
+        assert adaptive_node_budget(100, 50, 10) >= adaptive_node_budget(100, 40, 10)
+
+    def _dense_component(self):
+        rng = random.Random(4711)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 2.5, 0.0, 60.0)
+            for i in range(7)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 0.0, rng.uniform(6, 45))
+            for j in range(22)
+        ]
+        return workers, tasks
+
+    def test_budget_scaling_regression(self):
+        """With a starvation-level base budget, the adaptive floor must
+        restore the complete search (same planned tasks as an ample fixed
+        budget); disabling adaptivity must reproduce the truncated search."""
+        workers, tasks = self._dense_component()
+        outcomes = {}
+        for label, adaptive, base in (
+            ("ample", False, AMPLE_BUDGET),
+            ("adaptive", True, 1),
+            ("starved", False, 1),
+        ):
+            planner = TaskPlanner(
+                PlannerConfig(
+                    incremental_replan=False,
+                    node_budget=base,
+                    adaptive_node_budget=adaptive,
+                ),
+                travel=TRAVEL,
+            )
+            outcomes[label] = planner.plan(workers, tasks, 0.0)
+        assert outcomes["adaptive"].planned_tasks == outcomes["ample"].planned_tasks
+        assert outcomes["starved"].planned_tasks <= outcomes["adaptive"].planned_tasks
+        assert outcomes["starved"].nodes_expanded < outcomes["adaptive"].nodes_expanded
+
+    def test_incremental_and_full_agree_under_adaptive_budget(self):
+        workers, tasks = self._dense_component()
+        incremental = TaskPlanner(
+            PlannerConfig(incremental_replan=True, node_budget=1), travel=TRAVEL
+        )
+        full = TaskPlanner(
+            PlannerConfig(incremental_replan=False, node_budget=1), travel=TRAVEL
+        )
+        for now in (0.0, 0.5, 1.0):
+            a = incremental.plan(workers, tasks, now)
+            b = full.plan(workers, tasks, now)
+            assert [
+                (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
+            ] == [(wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment]
+            assert a.nodes_expanded == b.nodes_expanded
+
+
+class TestBnBExperienceCollection:
+    """PR 3 follow-on: the branch-and-bound engine records TVF experience
+    from its explored sub-problems instead of delegating to the plain
+    exhaustive search."""
+
+    def test_bnb_collects_well_formed_experience(self):
+        rng = random.Random(2024)
+        roots, tasks, sequences, workers_by_id = random_problem(rng)
+        total = 0
+        for root in roots:
+            result = dfsearch_bnb(
+                root, tasks, sequences, workers_by_id,
+                node_budget=AMPLE_BUDGET, collect_experience=True,
+            )
+            exact = dfsearch_bnb(
+                root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET
+            )
+            assert result.opt == exact.opt  # collection must not change search
+            for state, action, value in result.experience:
+                assert value >= 1.0
+                assert state["num_tasks"] == len(state["task_ids"])
+                assert state["num_workers"] == len(state["worker_ids"])
+                assert action["worker_id"] in state["worker_ids"]
+                assert set(action["task_ids"]) <= set(state["task_ids"])
+                assert action["sequence_length"] == len(action["task_ids"])
+                assert state["task_ids"] == tuple(sorted(state["task_ids"]))
+            total += len(result.experience)
+        assert total > 0
+
+    def test_bnb_experience_is_cheaper_than_exhaustive(self):
+        # The point of collecting from B&B: far fewer recorded states on
+        # dense components, at full search quality.
+        rng = random.Random(31338)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 2.5, 0.0, 60.0)
+            for i in range(6)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 0.0, rng.uniform(6, 45))
+            for j in range(18)
+        ]
+        reachable = {
+            w.worker_id: reachable_tasks(w, tasks, 0.0, TRAVEL, max_tasks=10)
+            for w in workers
+        }
+        sequences = {
+            w.worker_id: maximal_valid_sequences(
+                w, reachable[w.worker_id], 0.0, TRAVEL, max_length=3, max_sequences=32
+            )
+            for w in workers
+        }
+        tree = build_partition_tree_fast(build_adjacency(reachable))
+        workers_by_id = {w.worker_id: w for w in workers}
+        exhaustive = explored = 0
+        for root in tree.roots:
+            plain = dfsearch(
+                root, tasks, sequences, workers_by_id,
+                node_budget=AMPLE_BUDGET, collect_experience=True,
+            )
+            bnb = dfsearch_bnb(
+                root, tasks, sequences, workers_by_id,
+                node_budget=AMPLE_BUDGET, collect_experience=True,
+            )
+            assert bnb.opt == plain.opt
+            exhaustive += len(plain.experience)
+            explored += len(bnb.experience)
+        assert 0 < explored < exhaustive
+
+    def test_train_tvf_through_bnb_engine(self):
+        rng = random.Random(808)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 6), rng.uniform(0, 6)), 2.0, 0.0, 50.0)
+            for i in range(6)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 6), rng.uniform(0, 6)), 0.0, rng.uniform(5, 40))
+            for j in range(20)
+        ]
+        planner = TaskPlanner(
+            PlannerConfig(use_tvf=True, search_mode="bnb"), travel=TRAVEL
+        )
+        losses = planner.train_tvf(workers, tasks, 0.0, epochs=5)
+        assert planner.tvf.is_fitted
+        assert losses
 
 
 class TestBnBPruning:

@@ -225,6 +225,33 @@ class TestEngineBehaviour:
             (wp.worker.worker_id, wp.sequence.task_ids) for wp in regressed.assignment
         ] == [(wp.worker.worker_id, wp.sequence.task_ids) for wp in reference.assignment]
 
+    def test_travel_model_swap_invalidates_caches(self):
+        # Every cached horizon and travel row was computed under one travel
+        # model; swapping the planner's model must drop them wholesale.
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 0.0)
+        assert planner.plan(workers, tasks, 0.1).recomputed_workers == 0
+        swapped = EuclideanTravelModel(speed=0.5)
+        planner.travel = swapped
+        reference = TaskPlanner(
+            PlannerConfig(incremental_replan=False), travel=swapped
+        ).plan(workers, tasks, 0.2)
+        outcome = planner.plan(workers, tasks, 0.2)
+        assert outcome.recomputed_workers == len(workers)
+        assert [
+            (wp.worker.worker_id, wp.sequence.task_ids) for wp in outcome.assignment
+        ] == [(wp.worker.worker_id, wp.sequence.task_ids) for wp in reference.assignment]
+
+    def test_adaptive_budget_toggle_invalidates_caches(self):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 0.0)
+        assert planner.plan(workers, tasks, 0.1).recomputed_workers == 0
+        planner.config.adaptive_node_budget = False
+        outcome = planner.plan(workers, tasks, 0.2)
+        assert outcome.recomputed_workers == len(workers)
+
     def test_single_task_arrival_dirties_only_nearby_workers(self):
         # Workers far from the new task keep their cached state.
         workers = [

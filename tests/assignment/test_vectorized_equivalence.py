@@ -311,6 +311,62 @@ class TestPlannerEquivalence:
         ) == sorted((wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment)
 
 
+class TestTravelModelAbstraction:
+    """The pluggable travel-model plumbing must be invisible for the
+    Euclidean backend: planning through ``PlannerConfig(travel_model=...)``
+    is bit-for-bit the legacy ``travel=`` pipeline (the acceptance
+    criterion of the travel-model subsystem)."""
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_config_travel_model_matches_legacy_argument(self, incremental):
+        rng = random.Random(4500)
+        via_config = TaskPlanner(
+            PlannerConfig(
+                travel_model=EuclideanTravelModel(speed=1.0),
+                incremental_replan=incremental,
+            )
+        )
+        legacy = TaskPlanner(
+            PlannerConfig(incremental_replan=incremental), travel=TRAVEL
+        )
+        now = 0.0
+        for _ in range(6):
+            workers, tasks = random_instance(rng, max_workers=10, max_tasks=30)
+            a = via_config.plan(workers, tasks, now)
+            b = legacy.plan(workers, tasks, now)
+            assert _outcome_signature(a) == _outcome_signature(b)
+            now += rng.uniform(0.0, 1.0)
+            # Stream continuity only makes sense for stable entities, so
+            # reset between random snapshots in the incremental case.
+            via_config.reset_cache()
+            legacy.reset_cache()
+
+    def test_kernel_matches_scalar_primitives(self):
+        rng = random.Random(4600)
+        workers, tasks = random_instance(rng, max_workers=6, max_tasks=20)
+        for model in (EuclideanTravelModel(speed=1.7),):
+            dist, time = model.pairwise(workers, tasks)
+            for i, worker in enumerate(workers):
+                for j, task in enumerate(tasks):
+                    assert dist[i, j] == model.distance(worker.location, task.location)
+                    assert time[i, j] == model.time(worker.location, task.location)
+            row_d, row_t = model.single_row(workers[0], tasks)
+            assert np.array_equal(row_d, dist[0])
+            assert np.array_equal(row_t, time[0])
+            legs_d, legs_t = model.legs(tasks, tasks)
+            for i, a in enumerate(tasks):
+                for j, b in enumerate(tasks):
+                    assert legs_d[i, j] == model.distance(a.location, b.location)
+                    assert legs_t[i, j] == model.time(a.location, b.location)
+
+    def test_reach_bound_identity_for_builtin_models(self):
+        from repro.spatial.travel import ManhattanTravelModel
+
+        for model in (EuclideanTravelModel(), ManhattanTravelModel()):
+            for value in (0.0, 1.7, 123.456):
+                assert model.reach_bound(value) == value
+
+
 class TestFastPartition:
     @pytest.mark.parametrize("seed", range(8))
     def test_matches_networkx_reference(self, seed):

@@ -1,0 +1,272 @@
+"""Road-network subsystem unit tests: graphs, Dijkstra rows, the model."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.roadnet import (
+    RoadNetwork,
+    RoadNetworkTravelModel,
+    dijkstra_row,
+    grid_network,
+    load_edge_list,
+    many_to_many,
+    radial_network,
+    save_edge_list,
+)
+from repro.spatial.geometry import Point, euclidean_distance
+
+
+def _as_nx(network):
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(network.num_nodes))
+    for u in range(network.num_nodes):
+        nbrs, lengths, times = network.out_edges(u)
+        for v, length, time in zip(nbrs.tolist(), lengths.tolist(), times.tolist()):
+            graph.add_edge(u, v, time=time, length=length)
+    return graph
+
+
+class TestGraph:
+    def test_grid_shape_and_dilation(self):
+        net = grid_network(5, 7, spacing=0.5)
+        assert net.num_nodes == 35
+        # 4 horizontal + ... each undirected pair contributes 2 directed edges.
+        undirected = 5 * 6 + 7 * 4
+        assert net.num_edges == 2 * undirected
+        assert net.min_dilation == pytest.approx(1.0)
+        assert net.node_point(0) == Point(0.0, 0.0)
+
+    def test_radial_shape(self):
+        net = radial_network(rings=3, spokes=6, ring_spacing=1.0)
+        assert net.num_nodes == 1 + 3 * 6
+        assert net.min_dilation >= 1.0 - 1e-12
+        # CSR is internally consistent.
+        assert net.indptr[0] == 0
+        assert net.indptr[-1] == net.num_edges
+        assert (np.diff(net.indptr) >= 0).all()
+
+    def test_speed_jitter_makes_times_asymmetric(self):
+        net = grid_network(4, 4, seed=11, speed_jitter=0.4)
+        asym = 0
+        for u in range(net.num_nodes):
+            nbrs, _, times = net.out_edges(u)
+            for v, t_uv in zip(nbrs.tolist(), times.tolist()):
+                back_nbrs, _, back_times = net.out_edges(v)
+                for w, t_vu in zip(back_nbrs.tolist(), back_times.tolist()):
+                    if w == u and t_uv != t_vu:
+                        asym += 1
+        assert asym > 0
+
+    def test_one_way_fraction_drops_reverse_edges(self):
+        full = grid_network(5, 5, seed=3)
+        one_way = grid_network(5, 5, seed=3, one_way_fraction=0.5)
+        assert one_way.num_edges < full.num_edges
+
+    def test_jitter_and_one_way_apply_without_seed(self):
+        # Regression: seed=None used to silently disable both knobs.
+        full = grid_network(5, 5)
+        net = grid_network(5, 5, speed_jitter=0.4, one_way_fraction=0.5)
+        assert net.num_edges < full.num_edges
+        assert len(set(net.edge_time.tolist())) > 1
+
+    def test_from_edges_validation(self):
+        with pytest.raises(ValueError):
+            RoadNetwork.from_edges([(0.0, 0.0)], [(0, 5, 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            RoadNetwork.from_edges([(0.0, 0.0), (1.0, 0.0)], [(0, 1, -1.0, 1.0)])
+
+    def test_edge_list_round_trip(self, tmp_path):
+        net = grid_network(4, 3, spacing=0.7, seed=5, speed_jitter=0.3)
+        path = tmp_path / "net.txt"
+        save_edge_list(net, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == net.num_nodes
+        assert loaded.num_edges == net.num_edges
+        assert np.array_equal(loaded.node_x, net.node_x)
+        assert np.array_equal(loaded.node_y, net.node_y)
+        assert np.array_equal(loaded.indptr, net.indptr)
+        assert np.array_equal(loaded.indices, net.indices)
+        assert np.array_equal(loaded.edge_length, net.edge_length)
+        assert np.array_equal(loaded.edge_time, net.edge_time)
+
+    def test_edge_list_default_time_and_errors(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text(
+            "# tiny\nnode 10 0.0 0.0\nnode 20 3.0 4.0\nedge 10 20 5.0\n"
+        )
+        net = load_edge_list(path, default_speed=2.0)
+        assert net.num_nodes == 2
+        assert net.edge_time[0] == pytest.approx(2.5)
+        bad = tmp_path / "bad.txt"
+        bad.write_text("street 1 2\n")
+        with pytest.raises(ValueError):
+            load_edge_list(bad)
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        net = grid_network(6, 5, seed=seed, speed_jitter=0.35, one_way_fraction=0.15)
+        graph = _as_nx(net)
+        for source in (0, net.num_nodes // 2, net.num_nodes - 1):
+            times, lengths = dijkstra_row(net, source)
+            reference = nx.single_source_dijkstra_path_length(graph, source, weight="time")
+            for v in range(net.num_nodes):
+                if v in reference:
+                    assert times[v] == pytest.approx(reference[v], abs=1e-12)
+                    assert math.isfinite(lengths[v])
+                else:
+                    assert math.isinf(times[v]) and math.isinf(lengths[v])
+
+    def test_deterministic_rows(self):
+        net = grid_network(6, 6, seed=2, speed_jitter=0.3)
+        a_t, a_l = dijkstra_row(net, 7)
+        b_t, b_l = dijkstra_row(net, 7)
+        assert np.array_equal(a_t, b_t)
+        assert np.array_equal(a_l, b_l)
+
+    def test_length_follows_fastest_path(self):
+        # Two routes 0 -> 2: direct (length 1, slow) and via 1 (length 4,
+        # fast).  Time must pick the detour and length must report the
+        # detour's length, not the shortest length.
+        nodes = [(0.0, 0.0), (1.0, 1.0), (1.0, 0.0)]
+        edges = [
+            (0, 2, 1.0, 10.0),
+            (0, 1, 2.0, 1.0),
+            (1, 2, 2.0, 1.0),
+        ]
+        net = RoadNetwork.from_edges(nodes, edges)
+        times, lengths = dijkstra_row(net, 0)
+        assert times[2] == pytest.approx(2.0)
+        assert lengths[2] == pytest.approx(4.0)
+
+    def test_many_to_many_shapes_and_duplicates(self):
+        net = grid_network(4, 4, seed=1)
+        times, lengths = many_to_many(net, [0, 3, 0], [1, 2])
+        assert times.shape == lengths.shape == (3, 2)
+        assert np.array_equal(times[0], times[2])
+
+    def test_invalid_source(self):
+        net = grid_network(2, 2)
+        with pytest.raises(ValueError):
+            dijkstra_row(net, 99)
+
+
+class TestRoadNetworkTravelModel:
+    @pytest.fixture
+    def model(self):
+        net = grid_network(7, 7, spacing=1.0, speed=1.5, seed=9, speed_jitter=0.3)
+        return RoadNetworkTravelModel(net, speed=1.5)
+
+    def test_scalar_matrix_bit_identical(self, model):
+        rng = np.random.default_rng(4)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 6, (9, 2))]
+        dist, time = model.pairwise(points, points)
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                assert dist[i, j] == model.distance(a, b)
+                assert time[i, j] == model.time(a, b)
+
+    def test_single_row_and_legs_match_pairwise(self, model):
+        rng = np.random.default_rng(8)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 6, (6, 2))]
+        dist, time = model.pairwise(points[:1], points)
+        row_d, row_t = model.single_row(points[0], points)
+        assert np.array_equal(row_d, dist[0])
+        assert np.array_equal(row_t, time[0])
+        legs_d, legs_t = model.legs(points, points)
+        full_d, full_t = model.pairwise(points, points)
+        assert np.array_equal(legs_d, full_d)
+        assert np.array_equal(legs_t, full_t)
+
+    def test_times_are_asymmetric_somewhere(self, model):
+        rng = np.random.default_rng(12)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 6, (12, 2))]
+        assert any(
+            model.time(a, b) != model.time(b, a)
+            for a in points
+            for b in points
+            if a != b
+        )
+
+    def test_snap_nearest_and_deterministic(self, model):
+        rng = np.random.default_rng(3)
+        nodes = [model.network.node_point(i) for i in range(model.network.num_nodes)]
+        for x, y in rng.uniform(-1, 7, (20, 2)):
+            point = Point(float(x), float(y))
+            node, access = model.snap(point)
+            best = min(euclidean_distance(n, point) for n in nodes)
+            assert access == pytest.approx(best)
+            assert euclidean_distance(nodes[node], point) == access
+            assert model.snap(point) == (node, access)  # cache hit identical
+
+    def test_snap_equidistant_breaks_ties_by_node_id(self):
+        net = grid_network(2, 2, spacing=2.0)
+        model = RoadNetworkTravelModel(net)
+        # Centre of the cell: all four nodes equidistant -> smallest id.
+        node, _ = model.snap(Point(1.0, 1.0))
+        assert node == 0
+
+    def test_distance_dominates_euclidean(self, model):
+        # min_dilation == 1 networks: network distance >= straight line,
+        # the property behind the identity reach_bound.
+        rng = np.random.default_rng(21)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 6, (10, 2))]
+        for a in points:
+            for b in points:
+                assert model.distance(a, b) >= euclidean_distance(a, b) - 1e-9
+        assert model.reach_bound(3.7) == 3.7
+
+    def test_reach_bound_scales_for_shortcut_networks(self):
+        # An edge shorter than its straight-line segment (dilation < 1)
+        # must widen the Euclidean bound accordingly.
+        nodes = [(0.0, 0.0), (4.0, 0.0)]
+        edges = [(0, 1, 2.0, 2.0), (1, 0, 2.0, 2.0)]
+        net = RoadNetwork.from_edges(nodes, edges)
+        model = RoadNetworkTravelModel(net)
+        assert net.min_dilation == pytest.approx(0.5)
+        assert model.reach_bound(1.0) == pytest.approx(2.0)
+
+    def test_row_cache_hits(self, model):
+        model.clear_caches()
+        a, b = Point(0.2, 0.3), Point(5.1, 4.2)
+        model.time(a, b)
+        misses = model.row_cache_misses
+        model.time(a, b)
+        model.distance(a, b)
+        assert model.row_cache_misses == misses
+        assert model.row_cache_hits >= 2
+
+    def test_unreachable_pairs_are_infinite(self):
+        nodes = [(0.0, 0.0), (10.0, 0.0)]
+        net = RoadNetwork.from_edges(nodes, [(0, 1, 10.0, 5.0)])
+        model = RoadNetworkTravelModel(net)
+        forward = model.time(Point(0.1, 0.0), Point(9.9, 0.0))
+        backward = model.time(Point(9.9, 0.0), Point(0.1, 0.0))
+        assert math.isfinite(forward)
+        assert math.isinf(backward)
+
+    def test_empty_network_rejected(self):
+        net = RoadNetwork.from_edges([], [])
+        with pytest.raises(ValueError):
+            RoadNetworkTravelModel(net)
+
+    def test_zero_length_edge_degrades_reach_bound_to_inf(self):
+        # Regression: a zero-length edge between distinct nodes (dilation
+        # 0) used to raise ZeroDivisionError at construction; no finite
+        # Euclidean bound exists, so the model must degrade to inf.
+        nodes = [(0.0, 0.0), (5.0, 0.0)]
+        edges = [(0, 1, 0.0, 0.1), (1, 0, 0.0, 0.1)]
+        net = RoadNetwork.from_edges(nodes, edges)
+        assert net.min_dilation == 0.0
+        model = RoadNetworkTravelModel(net)
+        assert math.isinf(model.reach_bound(1.0))
+        # Planning through an inf bound stays functional (full scans).
+        assert model.time(Point(0.0, 0.0), Point(5.0, 0.0)) == pytest.approx(0.1)

@@ -89,6 +89,87 @@ class TestQueries:
         assert index.nearest(Point(0, 0), k=0) == []
 
 
+class TestVectorizedBuckets:
+    """The NumPy-backed bucket storage must accept the bit-identical item
+    set as the scalar distance loop, under arbitrary churn."""
+
+    def _churned_index(self, seed, cell_size=2.0):
+        rng = np.random.default_rng(seed)
+        index = SpatialIndex(cell_size=cell_size)
+        live = {}
+        next_id = 0
+        for _ in range(400):
+            action = rng.random()
+            if action < 0.6 or not live:
+                point = Point(float(rng.uniform(0, 12)), float(rng.uniform(0, 12)))
+                index.insert(next_id, point)
+                live[next_id] = point
+                next_id += 1
+            elif action < 0.8:
+                victim = int(rng.choice(sorted(live)))
+                index.remove(victim)
+                del live[victim]
+            else:
+                mover = int(rng.choice(sorted(live)))
+                point = Point(float(rng.uniform(0, 12)), float(rng.uniform(0, 12)))
+                index.insert(mover, point)  # move
+                live[mover] = point
+        return index, live
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_query_matches_brute_force_after_churn(self, seed):
+        index, live = self._churned_index(seed)
+        rng = np.random.default_rng(100 + seed)
+        for _ in range(20):
+            center = Point(float(rng.uniform(-2, 14)), float(rng.uniform(-2, 14)))
+            radius = float(rng.uniform(0.0, 8.0))
+            expected = {
+                item
+                for item, point in live.items()
+                if euclidean_distance(point, center) <= radius
+            }
+            assert set(index.query_radius(center, radius)) == expected
+
+    @pytest.mark.parametrize("forced", [0, 10**9], ids=["all-vector", "all-scalar"])
+    def test_vector_and_scalar_paths_identical(self, forced, monkeypatch):
+        import repro.spatial.index as index_mod
+
+        monkeypatch.setattr(index_mod, "_VECTOR_MIN_BUCKET", forced)
+        index, live = self._churned_index(99, cell_size=5.0)  # big, full buckets
+        rng = np.random.default_rng(7)
+        results = []
+        for _ in range(10):
+            center = Point(float(rng.uniform(0, 12)), float(rng.uniform(0, 12)))
+            radius = float(rng.uniform(0.5, 6.0))
+            expected = sorted(
+                item
+                for item, point in live.items()
+                if euclidean_distance(point, center) <= radius
+            )
+            results.append(sorted(index.query_radius(center, radius)))
+            assert results[-1] == expected
+
+    def test_swap_pop_removal_keeps_bucket_consistent(self):
+        index = SpatialIndex(cell_size=100.0)  # everything in one bucket
+        points = {i: Point(float(i), 0.0) for i in range(10)}
+        for item, point in points.items():
+            index.insert(item, point)
+        index.remove(0)  # head removal swaps the tail into its slot
+        index.remove(5)
+        assert sorted(index.query_radius(Point(0, 0), 50.0)) == [
+            i for i in range(10) if i not in (0, 5)
+        ]
+        index.insert(0, Point(0.0, 0.0))
+        assert 0 in index
+        assert sorted(index.query_radius(Point(0, 0), 0.5)) == [0]
+
+    def test_infinite_radius_returns_everything(self):
+        index = SpatialIndex(cell_size=1.0)
+        for i in range(5):
+            index.insert(i, Point(float(i * 1000), 0.0))
+        assert sorted(index.query_radius(Point(0, 0), float("inf"))) == list(range(5))
+
+
 class TestNearestFarOutsideExtent:
     """Regression: the expanding-ring cap must be measured from the query
     center, not from the data extent — a far-away center used to terminate

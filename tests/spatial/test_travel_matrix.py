@@ -118,6 +118,59 @@ class TestExactness:
         assert from_matrix.task_dist == from_scalar.task_dist
 
 
+class TestTravelModelProtocol:
+    """The entity-level protocol (pairwise / legs / single_row) must be
+    bit-identical to the scalar primitives for kernel and fallback models."""
+
+    def _models(self):
+        class WeirdModel(TravelModel):
+            def distance(self, origin, destination):
+                return 2.0 * euclidean_distance(origin, destination) + 0.25
+
+        return [
+            EuclideanTravelModel(speed=1.7),
+            ManhattanTravelModel(speed=0.8),
+            WeirdModel(speed=1.1),
+        ]
+
+    def test_pairwise_matches_scalar(self):
+        workers, tasks = _random_instance(23, num_workers=4, num_tasks=9)
+        for model in self._models():
+            dist, time = model.pairwise(workers, tasks)
+            assert dist.shape == time.shape == (4, 9)
+            for i, worker in enumerate(workers):
+                for j, task in enumerate(tasks):
+                    assert dist[i, j] == model.distance(worker.location, task.location)
+                    assert time[i, j] == model.time(worker.location, task.location)
+
+    def test_single_row_and_legs(self):
+        workers, tasks = _random_instance(29, num_workers=3, num_tasks=7)
+        for model in self._models():
+            dist, time = model.pairwise(workers[:1], tasks)
+            row_d, row_t = model.single_row(workers[0], tasks)
+            assert np.array_equal(row_d, dist[0])
+            assert np.array_equal(row_t, time[0])
+            legs_d, legs_t = model.legs(tasks, tasks)
+            full_d, full_t = model.pairwise(tasks, tasks)
+            assert np.array_equal(legs_d, full_d)
+            assert np.array_equal(legs_t, full_t)
+
+    def test_pairwise_accepts_plain_points(self):
+        from repro.spatial.geometry import Point
+
+        model = EuclideanTravelModel(speed=2.0)
+        points = [Point(0.0, 0.0), Point(3.0, 4.0)]
+        dist, time = model.pairwise(points, points)
+        assert dist[0, 1] == 5.0
+        assert time[0, 1] == 2.5
+
+    def test_empty_sequences(self):
+        model = EuclideanTravelModel()
+        dist, time = model.pairwise([], [])
+        assert dist.shape == (0, 0)
+        assert time.shape == (0, 0)
+
+
 class TestReachabilityMask:
     def test_mask_matches_is_reachable(self):
         from repro.assignment.reachability import is_reachable
