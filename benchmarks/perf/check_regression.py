@@ -20,7 +20,10 @@ safe to compare across a dev laptop and a CI runner:
   dense-component replan stream,
 * road-network planning: the Euclidean/roadnet same-snapshot efficiency
   ratio, the roadnet incremental-replan speedup, and the multi-source
-  Dijkstra row-cache (cold vs warm) speedup.
+  Dijkstra row-cache (cold vs warm) speedup,
+* time-dependent (rush-hour) planning: the incremental-replan speedup on
+  boundary-crossing streams over the time-dependent Euclidean wrapper
+  and over the per-edge-class road-network backend.
 
 Absolute wall-clock numbers (latencies, events/sec) are printed for
 context but never fail the check — they are not comparable across
@@ -94,6 +97,15 @@ def _iter_metrics(data):
     for scale, entry in roadnet.get("dijkstra_cache", {}).items():
         yield f"roadnet_planning.dijkstra_cache.{scale}.speedup", entry["speedup"], "ratio"
         yield f"roadnet_planning.dijkstra_cache.{scale}.warm_ms", entry["warm_ms"], "info"
+    timedep = data.get("timedep_planning", {})
+    for family in ("incremental_stream", "rushhour_roadnet_stream"):
+        for scale, entry in timedep.get(family, {}).items():
+            yield f"timedep_planning.{family}.{scale}.speedup", entry["speedup"], "ratio"
+            yield (
+                f"timedep_planning.{family}.{scale}.incremental_mean_ms",
+                entry["incremental_mean_ms"],
+                "info",
+            )
 
 
 def compare(baseline: dict, candidate: dict, factor: float):

@@ -33,6 +33,9 @@ import pytest
 
 from conftest import print_figure
 
+#: Perf smoke: separate CI job (see pytest.ini).
+pytestmark = pytest.mark.perf
+
 REPO_ROOT = Path(__file__).resolve().parents[2]
 RESULT_FILE = REPO_ROOT / "BENCH_planning.json"
 

@@ -1,0 +1,288 @@
+"""Time-dependent (rush-hour) planning microbenchmarks.
+
+Two measurements, written into the ``timedep_planning`` section of
+``BENCH_planning.json`` (merged, so the sections owned by the other perf
+modules survive):
+
+* **incremental_stream** — the single-event replan stream under a
+  :class:`~repro.spatial.timedep.TimeDependentTravelModel` (rush-hour
+  profile over the Euclidean kernel): full pipeline vs dirty-region
+  engine, assignments asserted bit-identical per event.  The stream
+  crosses profile boundaries — where the clamped horizons force a full
+  recompute — but between boundaries the engine must keep its replan
+  win; the ``speedup`` ratio is regression-gated.
+* **rushhour_roadnet_stream** — the same stream over the road-network
+  backend with per-edge-class congestion (time-dependent Dijkstra rows
+  keyed on the profile window).  Proves the whole PR 2 + PR 4 cache
+  stack survives travel costs that change with the clock; gated.
+
+``boundary_crossings`` and per-event recompute fractions are reported as
+context (not gated): they show the cost is concentrated at the
+boundaries, which is the design.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import print_figure
+
+#: Perf smoke: separate CI job (see pytest.ini).
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULT_FILE = REPO_ROOT / "BENCH_planning.json"
+
+#: (name, workers, tasks) — matches the stream scales of the other modules.
+SCALES = [
+    ("small", 25, 150),
+    ("medium", 100, 800),
+]
+
+DENSITY = 8.0
+
+#: Profile window length relative to the stream: boundaries every
+#: ``_WINDOW`` time units while events advance ``_EVENT_DT`` per event, so
+#: a 16-event stream crosses 2-3 boundaries and replans mostly in-window.
+_WINDOW = 1.2
+_EVENT_DT = 0.2
+
+
+def _profile():
+    from repro.spatial.profiles import SpeedProfile
+
+    return SpeedProfile(
+        breakpoints=(0.0, _WINDOW, 2.0 * _WINDOW),
+        multipliers=(1.0, 0.5, 1.1),
+        period=3.0 * _WINDOW,
+    )
+
+
+def make_snapshot(num_workers, num_tasks, seed=7, reach=1.0):
+    from repro.core.task import Task
+    from repro.core.worker import Worker
+    from repro.spatial.geometry import Point
+
+    rng = random.Random(seed)
+    area = math.sqrt(num_tasks * math.pi * reach * reach / DENSITY)
+    workers = [
+        Worker(
+            i,
+            Point(rng.uniform(0, area), rng.uniform(0, area)),
+            reach * rng.uniform(0.8, 1.2),
+            0.0,
+            240.0,
+        )
+        for i in range(num_workers)
+    ]
+    tasks = [
+        Task(
+            10_000 + j,
+            Point(rng.uniform(0, area), rng.uniform(0, area)),
+            0.0,
+            rng.uniform(20.0, 80.0),
+        )
+        for j in range(num_tasks)
+    ]
+    return workers, tasks, area, rng
+
+
+def _plan_signature(outcome):
+    return [
+        (wp.worker.worker_id, wp.sequence.task_ids) for wp in outcome.assignment
+    ]
+
+
+def _mean_ms(samples):
+    return float(np.asarray(samples, dtype=np.float64).mean() * 1000.0)
+
+
+def _run_stream(model_factory, num_workers, num_tasks, num_events, boundary_of):
+    """Drive the single-event stream; returns the measurement dict.
+
+    Each pipeline gets its *own* model instance (``model_factory``), so
+    backends with internal caches (Dijkstra rows) pay their own window
+    switches instead of the first-measured pipeline warming the second.
+    Travel costs are pure functions of the network and window, so the
+    outcomes stay bit-comparable.
+    """
+    from repro.assignment.planner import PlannerConfig, TaskPlanner
+    from repro.core.task import Task
+    from repro.spatial.geometry import Point
+
+    workers, tasks, area, rng = make_snapshot(num_workers, num_tasks)
+    full = TaskPlanner(
+        PlannerConfig(incremental_replan=False, travel_model=model_factory())
+    )
+    incremental = TaskPlanner(
+        PlannerConfig(incremental_replan=True, travel_model=model_factory())
+    )
+    incremental.plan(workers, tasks, 0.0)
+    full.plan(workers, tasks, 0.0)
+
+    now = 0.0
+    next_id = 50_000
+    full_samples = []
+    incremental_samples = []
+    reused = recomputed = 0
+    crossings = 0
+    for event in range(num_events):
+        boundary = boundary_of(now)
+        now += _EVENT_DT
+        if now >= boundary:
+            now = boundary  # land exactly on the profile boundary
+            crossings += 1
+        if event % 3 == 2 and tasks:
+            task = tasks.pop(rng.randrange(len(tasks)))
+            widx = rng.randrange(len(workers))
+            workers[widx] = workers[widx].moved_to(task.location)
+        else:
+            tasks.append(
+                Task(
+                    next_id,
+                    Point(rng.uniform(0, area), rng.uniform(0, area)),
+                    now,
+                    now + rng.uniform(20.0, 80.0),
+                )
+            )
+            next_id += 1
+        start = time.perf_counter()
+        inc_outcome = incremental.plan(workers, tasks, now)
+        incremental_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        full_outcome = full.plan(workers, tasks, now)
+        full_samples.append(time.perf_counter() - start)
+        # The speedup only counts on provably equivalent work.
+        assert _plan_signature(inc_outcome) == _plan_signature(full_outcome)
+        assert inc_outcome.nodes_expanded == full_outcome.nodes_expanded
+        reused += inc_outcome.reused_workers
+        recomputed += inc_outcome.recomputed_workers
+
+    full_mean = _mean_ms(full_samples)
+    inc_mean = _mean_ms(incremental_samples)
+    return {
+        "workers": num_workers,
+        "tasks": num_tasks,
+        "events": num_events,
+        "boundary_crossings": crossings,
+        "full_mean_ms": round(full_mean, 3),
+        "incremental_mean_ms": round(inc_mean, 3),
+        "worker_reuse_fraction": round(reused / max(reused + recomputed, 1), 3),
+        "speedup": round(full_mean / max(inc_mean, 1e-9), 2),
+    }
+
+
+@pytest.fixture(scope="module")
+def timedep_results():
+    """This module's numbers; merged into BENCH_planning.json at teardown."""
+    section = {}
+    yield section
+    merged = json.loads(RESULT_FILE.read_text()) if RESULT_FILE.exists() else {}
+    merged["timedep_planning"] = section
+    RESULT_FILE.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+class TestTimedepIncrementalStream:
+    def test_single_event_stream_timedep_euclidean(self, bench_scale, timedep_results):
+        from repro.spatial.timedep import TimeDependentTravelModel
+        from repro.spatial.travel import EuclideanTravelModel
+
+        num_events = 10 if bench_scale.name == "quick" else 20
+        profile = _profile()
+        section = {}
+        rows = []
+        for name, num_workers, num_tasks in SCALES:
+            entry = _run_stream(
+                lambda: TimeDependentTravelModel(
+                    EuclideanTravelModel(speed=1.0), profile
+                ),
+                num_workers,
+                num_tasks,
+                num_events,
+                profile.next_boundary,
+            )
+            section[name] = entry
+            rows.append(
+                {
+                    "scale": f"{name} ({num_workers}w/{num_tasks}t)",
+                    "full_mean_ms": f"{entry['full_mean_ms']:.1f}",
+                    "incr_mean_ms": f"{entry['incremental_mean_ms']:.1f}",
+                    "crossings": entry["boundary_crossings"],
+                    "worker_reuse": f"{entry['worker_reuse_fraction']:.0%}",
+                    "speedup": f"{entry['speedup']:.2f}x",
+                }
+            )
+        timedep_results["incremental_stream"] = section
+        print_figure(
+            "Rush-hour single-event replan — full pipeline vs incremental engine",
+            rows,
+            ["scale", "full_mean_ms", "incr_mean_ms", "crossings", "worker_reuse", "speedup"],
+        )
+        # Floors well below the committed ratios (machine-noise headroom);
+        # check_regression.py gates the committed numbers.  The >2x
+        # between-boundaries win is the acceptance bar for the medium scale.
+        assert section["medium"]["boundary_crossings"] >= 1
+        assert section["medium"]["speedup"] >= 2.0
+        assert section["small"]["speedup"] >= 1.0
+
+    def test_single_event_stream_rushhour_roadnet(self, bench_scale, timedep_results):
+        from repro.roadnet import (
+            RoadNetworkTravelModel,
+            classify_edges_by_speed,
+            grid_network,
+        )
+        from repro.spatial.profiles import SpeedProfile
+
+        num_events = 10 if bench_scale.name == "quick" else 20
+        name, num_workers, num_tasks = SCALES[0]
+        _, _, area, _ = make_snapshot(num_workers, num_tasks)
+        cells = max(int(math.ceil(area)) + 1, 2)
+        network = grid_network(
+            cells, cells, spacing=1.0, speed=1.0, seed=3,
+            speed_jitter=0.3, one_way_fraction=0.1,
+        )
+        profiles = tuple(
+            SpeedProfile(
+                breakpoints=(0.0, _WINDOW, 2.0 * _WINDOW),
+                multipliers=(1.0, m, 1.0),
+                period=3.0 * _WINDOW,
+            )
+            for m in (0.75, 0.45)
+        )
+        edge_class = classify_edges_by_speed(network, len(profiles))
+
+        def model_factory():
+            return RoadNetworkTravelModel(
+                network, speed=1.0, edge_profiles=profiles, edge_class=edge_class
+            )
+
+        entry = _run_stream(
+            model_factory,
+            num_workers,
+            num_tasks,
+            num_events,
+            model_factory().next_profile_boundary,
+        )
+        timedep_results["rushhour_roadnet_stream"] = {name: entry}
+        print_figure(
+            "Rush-hour road-network replan — full pipeline vs incremental engine",
+            [
+                {
+                    "scale": f"{name} ({num_workers}w/{num_tasks}t)",
+                    "full_mean_ms": f"{entry['full_mean_ms']:.1f}",
+                    "incr_mean_ms": f"{entry['incremental_mean_ms']:.1f}",
+                    "crossings": entry["boundary_crossings"],
+                    "speedup": f"{entry['speedup']:.2f}x",
+                }
+            ],
+            ["scale", "full_mean_ms", "incr_mean_ms", "crossings", "speedup"],
+        )
+        assert entry["boundary_crossings"] >= 1
+        assert entry["speedup"] >= 1.0

@@ -9,6 +9,11 @@ from repro.demand.timeseries import build_time_series, sliding_windows, train_te
 from repro.demand.training import DemandTrainer
 from repro.spatial.grid import GridSpec
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def test_ablation_dynamic_vs_static_adjacency(benchmark, yueche_workload, bench_scale):
     workload = yueche_workload

@@ -5,6 +5,11 @@ from conftest import print_figure
 from repro.assignment.planner import PlannerConfig, TaskPlanner
 from test_ablation_tvf import _planning_snapshot
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def test_ablation_worker_dependency_separation(benchmark, yueche_workload):
     workers, tasks, now = _planning_snapshot(yueche_workload)

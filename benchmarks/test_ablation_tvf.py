@@ -11,6 +11,11 @@ from conftest import print_figure
 
 from repro.assignment.planner import PlannerConfig, TaskPlanner
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def _planning_snapshot(workload, max_workers=40, max_tasks=80):
     """A dense, static planning instant derived from the generated workload.

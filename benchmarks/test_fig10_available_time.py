@@ -4,6 +4,11 @@ from conftest import run_assignment_figure
 
 from repro.experiments.config import ASSIGNMENT_METHODS
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 METHODS = list(ASSIGNMENT_METHODS)
 
 #: Hours, as in Table III (subset keeping the end points and the default).

@@ -7,6 +7,11 @@ from repro.experiments.config import PREDICTION_METHODS
 from repro.experiments.prediction_experiments import PredictionExperiment
 from repro.experiments.reporting import pivot_rows
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 #: The paper sweeps delta_T in {5..9} seconds on the full trace; at benchmark
 #: scale the trace is sparser, so the sweep uses proportionally longer
 #: intervals while keeping the same structure (three increasing values).

@@ -7,6 +7,11 @@ from repro.experiments.config import PREDICTION_METHODS
 from repro.experiments.prediction_experiments import PredictionExperiment
 from repro.experiments.reporting import pivot_rows
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 DELTA_T_VALUES = (30.0, 45.0, 60.0)
 
 

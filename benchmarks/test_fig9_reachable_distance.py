@@ -4,6 +4,11 @@ from conftest import run_assignment_figure
 
 from repro.experiments.config import ASSIGNMENT_METHODS, PAPER_PARAMETERS
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 METHODS = list(ASSIGNMENT_METHODS)
 
 #: The paper's Table III values (km); the two extremes plus the default keep

@@ -4,6 +4,11 @@ from conftest import print_figure
 
 from repro.experiments.reporting import table2_rows
 
+import pytest
+
+#: Paper-figure/ablation sweep: marked slow (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def test_table2_dataset_statistics(benchmark, yueche_workload, didi_workload, bench_scale):
     """Regenerate Table II (scaled by ``bench_scale.workload_scale``)."""

@@ -15,7 +15,12 @@ and recomputes only the dirty region, exploiting three structural facts:
   *literally identical* until the minimum such boundary — the horizons
   reported by :func:`~repro.assignment.reachability.
   reachable_tasks_with_horizon` and :func:`~repro.assignment.sequences.
-  maximal_valid_sequences`.
+  maximal_valid_sequences`.  Time-dependent travel models hold ``legs``
+  constant only inside one speed-profile window, so those horizons are
+  additionally clamped to the model's ``next_profile_boundary`` and the
+  engine re-latches the window via ``begin_epoch(now)`` at every call —
+  inside a window the model is literally static, and at a boundary
+  everything stale is recomputed.
 * **Geometric locality.**  A task can enter a worker's reachable set only
   from inside the Euclidean ball covering ``(hops + 1)`` reach-length
   travel legs around the worker — the travel model's
@@ -220,6 +225,11 @@ class IncrementalPlanEngine:
         self._forced_workers: Set[int] = set()
         self._forced_tasks: Set[int] = set()
         self._task_epoch = 0
+        #: Next speed-profile boundary of the travel model; crossing it is
+        #: treated like a task-set change for the guided (TVF) search,
+        #: whose snapshot statistics read travel costs (-inf so a fresh
+        #: engine latches the first window unconditionally).
+        self._next_travel_boundary = float("-inf")
         self._epoch = 0
         self._last_now = float("-inf")
         self._context_key: Optional[tuple] = None
@@ -242,6 +252,11 @@ class IncrementalPlanEngine:
         planner = self.planner
         config = planner.config
         travel = planner.travel
+        # Latch the travel model's speed-profile window for this decision
+        # point (no-op for static models): every cost computed below — and
+        # every cached cost being reused, whose horizons were clamped to
+        # the previous window — now refers to one consistent multiplier.
+        travel.begin_epoch(now)
         active = [task for task in tasks if not task.is_expired(now)]
         if not workers or not active:
             return PlanningOutcome(Assignment(), 0, 0, 0)
@@ -273,6 +288,15 @@ class IncrementalPlanEngine:
             self._context_travel = travel
         self._last_now = now
         self._epoch += 1
+        if now >= self._next_travel_boundary:
+            # Crossed into a new speed-profile window: worker entries are
+            # already covered by their clamped horizons, but guided (TVF)
+            # component results read travel-cost statistics and must not be
+            # replayed across windows — bump the epoch their reuse is
+            # keyed on.  Static models report inf and never take this path
+            # after the first call.
+            self._task_epoch += 1
+            self._next_travel_boundary = travel.next_profile_boundary(now)
 
         real = [task for task in active if not task.predicted]
         has_predicted = len(real) != len(active)
@@ -550,7 +574,7 @@ class IncrementalPlanEngine:
 
         candidates = self._candidates_for(worker, real, use_index, positions)
         matrix = (
-            TravelMatrix.for_single_worker(worker, candidates, travel)
+            TravelMatrix.for_single_worker(worker, candidates, travel, now=now)
             if len(candidates) >= VECTOR_MIN_TASKS
             else None
         )
@@ -570,7 +594,7 @@ class IncrementalPlanEngine:
             # snapshot so prediction-aware strategies can reposition it.
             fallback = True
             matrix = (
-                TravelMatrix.for_single_worker(worker, active, travel)
+                TravelMatrix.for_single_worker(worker, active, travel, now=now)
                 if len(active) >= VECTOR_MIN_TASKS
                 else None
             )

@@ -277,6 +277,9 @@ class TaskPlanner:
             either way).
         """
         config = self.config
+        # Latch the travel model's speed-profile window for this decision
+        # point (idempotent; no-op for static models).
+        self.travel.begin_epoch(now)
         if config.incremental_replan and not collect_experience:
             # Dirty-region replanning: bit-for-bit the same outcome as the
             # full pipeline below, recomputing only what changed since the
@@ -299,7 +302,7 @@ class TaskPlanner:
         # Tiny snapshots are cheaper scalar: the matrix only pays for itself
         # once enough (worker, task) pairs share it.
         matrix = (
-            TravelMatrix(workers, active_tasks, self.travel)
+            TravelMatrix(workers, active_tasks, self.travel, now=now)
             if config.use_travel_matrix and len(active_tasks) >= VECTOR_MIN_TASKS // 2
             else None
         )

@@ -249,6 +249,12 @@ def reachable_tasks_with_horizon(
     members) is crossed.  Workers with extra availability windows have a
     non-monotone ``availability_remaining`` and get ``horizon = now``
     (never cacheable).
+
+    Under a time-dependent travel model the monotone-shrink argument only
+    holds *inside* one speed-profile window (a faster next window can make
+    tasks re-enter the set), so the horizon is additionally clamped to the
+    model's ``next_profile_boundary(now)`` — infinite for static models,
+    leaving their horizons untouched.
     """
     travel = travel or EuclideanTravelModel(speed=worker.speed)
     tasks = list(tasks)
@@ -281,6 +287,17 @@ def reachable_tasks_with_horizon(
                 # set when it expires (its anchors' departures are covered
                 # by the direct boundaries above).
                 horizon = min(horizon, task.expiration_time)
+        # Travel costs themselves may flip at the next speed-profile
+        # boundary (an empty set can become non-empty there, which no
+        # per-task boundary above covers).  Either source may have
+        # produced the costs (the matrix on large candidate sets, the
+        # scalar model otherwise and in the horizon loop above), so clamp
+        # to the minimum boundary over both — over-clamping is sound, and
+        # when both reference the same model (the supported
+        # configuration) the minimum is that model's boundary.
+        horizon = min(horizon, travel.next_profile_boundary(now))
+        if matrix is not None:
+            horizon = min(horizon, matrix.travel.next_profile_boundary(now))
     return capped, frozenset(task.task_id for task in uncapped), horizon
 
 

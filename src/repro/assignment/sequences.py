@@ -133,14 +133,32 @@ def maximal_valid_sequences(
         ``bound`` time-invariant, so each evaluated-and-true predicate
         flips exactly at ``bound - legs``; predicates that are false stay
         false as ``now`` grows.  The minimum over those flip times is
-        therefore a sound reuse horizon for incremental replanning.
+        therefore a sound reuse horizon for incremental replanning.  The
+        leg times themselves are only time-invariant inside one
+        speed-profile window of the travel model, so the horizon is
+        additionally clamped to ``next_profile_boundary(now)`` (infinite
+        for static models).
     """
     if max_length < 1:
         raise ValueError("max_length must be at least 1")
+    # Boundary clamp for every reported horizon.  Either source may feed
+    # the legs (the matrix when it covers the worker and every task, the
+    # scalar model otherwise), so take the minimum boundary over both —
+    # over-clamping is always sound, and for the supported configuration
+    # (both referencing the same model) the minimum *is* that model's
+    # boundary.
+    if horizon_out is not None:
+        profile_boundary = float("inf")
+        if travel is not None:
+            profile_boundary = travel.next_profile_boundary(now)
+        if matrix is not None:
+            profile_boundary = min(
+                profile_boundary, matrix.travel.next_profile_boundary(now)
+            )
     reachable = list(reachable)
     if not reachable:
         if horizon_out is not None:
-            horizon_out.append(float("inf"))
+            horizon_out.append(profile_boundary)
         return []
 
     # Eq. 10 comparisons (minimum-completion order per subset, and the
@@ -228,7 +246,7 @@ def maximal_valid_sequences(
                 break
 
     if horizon_out is not None:
-        horizon_out.append(now + min_slack)
+        horizon_out.append(min(now + min_slack, profile_boundary))
 
     if not best_by_subset:
         return []

@@ -87,6 +87,7 @@ class GreedyStrategy(AssignmentStrategy):
         self.max_sequence_length = max_sequence_length
 
     def plan(self, idle_workers, pending_tasks, now):
+        self.travel.begin_epoch(now)
         return greedy_assignment(
             idle_workers, pending_tasks, now, self.travel, self.max_sequence_length
         )

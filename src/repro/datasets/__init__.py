@@ -16,6 +16,9 @@ from repro.datasets.synthetic import (
     SyntheticWorkload,
     SyntheticWorkloadGenerator,
     WorkloadConfig,
+    evaluation_peak_windows,
+    evaluation_rush_profile,
+    rush_hour_workload,
 )
 from repro.datasets.yueche import yueche_config, generate_yueche
 from repro.datasets.didi import didi_config, generate_didi
@@ -29,6 +32,9 @@ __all__ = [
     "SyntheticWorkload",
     "SyntheticWorkloadGenerator",
     "WorkloadConfig",
+    "evaluation_peak_windows",
+    "evaluation_rush_profile",
+    "rush_hour_workload",
     "yueche_config",
     "generate_yueche",
     "didi_config",

@@ -25,6 +25,8 @@ from repro.core.problem import ATAInstance
 from repro.core.task import Task
 from repro.core.worker import AvailabilityWindow, Worker
 from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.profiles import DAY_SECONDS, SpeedProfile
+from repro.spatial.timedep import TimeDependentTravelModel
 from repro.spatial.travel import EuclideanTravelModel, TravelModel
 
 
@@ -152,6 +154,72 @@ def default_city(seed: int = 0, size_km: float = 10.0) -> CityModel:
         DemandFlow(source="restaurants", target="residential", lag=900.0, strength=0.30),
     ]
     return CityModel(bounds=bounds, hotspots=hotspots, flows=flows)
+
+
+def evaluation_peak_windows(
+    evaluation_start: float, horizon: float, period: float = DAY_SECONDS
+):
+    """Rush-hour peak intervals placed inside an evaluation window.
+
+    Real rush hours sit at fixed clock times; for the compressed synthetic
+    horizons the morning peak is placed at 25–45 % and the evening peak at
+    65–85 % of the window ``[evaluation_start, evaluation_start +
+    horizon)`` — every replay crosses four profile boundaries, the
+    workload the time-dependent planning stack exists for.  Shared by the
+    Euclidean (:func:`rush_hour_workload`) and road-network
+    (:func:`repro.roadnet.scenario.roadnet_rushhour`) scenario builders so
+    the two cannot drift apart.
+    """
+    peaks = (
+        (evaluation_start + 0.25 * horizon, evaluation_start + 0.45 * horizon),
+        (evaluation_start + 0.65 * horizon, evaluation_start + 0.85 * horizon),
+    )
+    if peaks[-1][1] > period:
+        raise ValueError(
+            "evaluation window does not fit inside the profile period; "
+            "pass a larger period"
+        )
+    return peaks
+
+
+def evaluation_rush_profile(
+    config: "WorkloadConfig",
+    peak_multiplier: float = 0.55,
+    offpeak_multiplier: float = 1.0,
+    period: float = DAY_SECONDS,
+) -> SpeedProfile:
+    """A rush-hour :class:`SpeedProfile` whose peaks hit the evaluation
+    window (see :func:`evaluation_peak_windows` for the placement)."""
+    peaks = evaluation_peak_windows(config.history_horizon, config.horizon, period)
+    return SpeedProfile.rush_hour(
+        peaks=peaks,
+        peak_multiplier=peak_multiplier,
+        offpeak_multiplier=offpeak_multiplier,
+        period=period,
+    )
+
+
+def rush_hour_workload(
+    config: Optional["WorkloadConfig"] = None,
+    city: Optional[CityModel] = None,
+    peak_multiplier: float = 0.55,
+) -> "SyntheticWorkload":
+    """A synthetic workload whose travel times follow a rush-hour profile.
+
+    The instance travels on a
+    :class:`~repro.spatial.timedep.TimeDependentTravelModel` wrapping the
+    Euclidean default — the ride-hailing-trace shape (cf.
+    :mod:`repro.datasets.didi` / :mod:`repro.datasets.yueche`) where the
+    street geometry is abstracted away but congestion is not.  See
+    :func:`repro.roadnet.scenario.roadnet_rushhour` for the variant with
+    per-edge-class congestion on a real street graph.
+    """
+    config = config or WorkloadConfig(name="rushhour")
+    profile = evaluation_rush_profile(config, peak_multiplier=peak_multiplier)
+    travel = TimeDependentTravelModel(
+        EuclideanTravelModel(speed=config.worker_speed), profile
+    )
+    return SyntheticWorkloadGenerator(city=city, config=config, travel=travel).generate()
 
 
 class SyntheticWorkloadGenerator:

@@ -16,13 +16,19 @@ workloads for the simulation platform.
 from repro.roadnet.dijkstra import dijkstra_row, many_to_many
 from repro.roadnet.graph import (
     RoadNetwork,
+    classify_edges_by_speed,
     grid_network,
     load_edge_list,
     radial_network,
     save_edge_list,
 )
 from repro.roadnet.model import RoadNetworkTravelModel
-from repro.roadnet.scenario import roadnet_city, roadnet_workload
+from repro.roadnet.scenario import (
+    roadnet_city,
+    roadnet_rushhour,
+    roadnet_workload,
+    rush_hour_edge_profiles,
+)
 
 __all__ = [
     "RoadNetwork",
@@ -30,9 +36,12 @@ __all__ = [
     "radial_network",
     "load_edge_list",
     "save_edge_list",
+    "classify_edges_by_speed",
     "dijkstra_row",
     "many_to_many",
     "RoadNetworkTravelModel",
     "roadnet_city",
     "roadnet_workload",
+    "roadnet_rushhour",
+    "rush_hour_edge_profiles",
 ]

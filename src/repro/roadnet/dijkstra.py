@@ -28,7 +28,9 @@ from repro.roadnet.graph import RoadNetwork
 __all__ = ["dijkstra_row", "many_to_many"]
 
 
-def dijkstra_row(network: RoadNetwork, source: int) -> Tuple[np.ndarray, np.ndarray]:
+def dijkstra_row(
+    network: RoadNetwork, source: int, edge_time: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Fastest-path ``(times, lengths)`` from ``source`` to every node.
 
     ``times[v]`` is the minimum travel time from ``source`` to ``v`` and
@@ -37,10 +39,21 @@ def dijkstra_row(network: RoadNetwork, source: int) -> Tuple[np.ndarray, np.ndar
     heap's ``(time, node)`` ordering, so repeated calls return identical
     arrays — a requirement for the bit-for-bit replay guarantees of the
     incremental planner.
+
+    ``edge_time`` optionally replaces the network's per-edge travel times
+    (same alignment as ``network.indices``); edge *lengths* always come
+    from the network.  This is how time-dependent backends run one Dijkstra
+    per speed-profile window: the window rescales the times, the street
+    geometry stays put, and the fastest path — and hence the reported
+    length — may differ per window.
     """
     n = network.num_nodes
     if not 0 <= source < n:
         raise ValueError(f"source node {source} outside [0, {n})")
+    if edge_time is None:
+        edge_time = network.edge_time
+    elif len(edge_time) != network.num_edges:
+        raise ValueError("edge_time override must align with network edges")
     times = np.full(n, np.inf, dtype=np.float64)
     lengths = np.full(n, np.inf, dtype=np.float64)
     times[source] = 0.0
@@ -48,7 +61,6 @@ def dijkstra_row(network: RoadNetwork, source: int) -> Tuple[np.ndarray, np.ndar
     settled = np.zeros(n, dtype=bool)
     indptr = network.indptr
     indices = network.indices
-    edge_time = network.edge_time
     edge_length = network.edge_length
     heap: List[Tuple[float, int]] = [(0.0, source)]
     while heap:
@@ -81,12 +93,14 @@ def many_to_many(
     network: RoadNetwork,
     sources: Sequence[int],
     targets: Optional[Sequence[int]] = None,
+    edge_time: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """``(times, lengths)`` matrices between node sets, shape |S|×|T|.
 
     Runs one row per *unique* source and gathers target columns, so
     repeated sources cost nothing extra.  ``targets=None`` keeps every
-    node as a column.
+    node as a column.  ``edge_time`` forwards to :func:`dijkstra_row`
+    (per-window travel times).
     """
     source_list = [int(s) for s in sources]
     target_cols = (
@@ -99,7 +113,7 @@ def many_to_many(
     for i, source in enumerate(source_list):
         row = cache.get(source)
         if row is None:
-            row = dijkstra_row(network, source)
+            row = dijkstra_row(network, source, edge_time=edge_time)
             cache[source] = row
         row_t, row_l = row
         if target_cols is None:

@@ -40,6 +40,7 @@ __all__ = [
     "radial_network",
     "load_edge_list",
     "save_edge_list",
+    "classify_edges_by_speed",
 ]
 
 
@@ -254,6 +255,33 @@ def radial_network(
         for spoke in range(spokes):
             add_pair(node_id(ring, spoke), node_id(ring, (spoke + 1) % spokes))
     return RoadNetwork.from_edges(nodes, edges, name=name)
+
+
+def classify_edges_by_speed(network: RoadNetwork, num_classes: int = 2) -> np.ndarray:
+    """Assign each directed edge a class index by free-flow speed quantile.
+
+    Class ``num_classes - 1`` holds the fastest edges (arterials), class
+    ``0`` the slowest (local streets) — the split real rush-hour profiles
+    care about, since congestion hits arterials hardest.  Classification is
+    a pure function of the network (speed = ``length / time``, quantile
+    thresholds over the finite speeds), so it is deterministic and
+    reusable across runs.  Zero-time or zero-length edges land in class 0.
+    """
+    if num_classes < 1:
+        raise ValueError("num_classes must be at least 1")
+    classes = np.zeros(network.num_edges, dtype=np.int64)
+    if num_classes == 1 or network.num_edges == 0:
+        return classes
+    with np.errstate(divide="ignore", invalid="ignore"):
+        speed = network.edge_length / network.edge_time
+    finite = np.isfinite(speed) & (speed > 0.0)
+    if not finite.any():
+        return classes
+    thresholds = np.quantile(
+        speed[finite], [k / num_classes for k in range(1, num_classes)]
+    )
+    classes[finite] = np.searchsorted(thresholds, speed[finite], side="left")
+    return classes
 
 
 # --------------------------------------------------------------------- #

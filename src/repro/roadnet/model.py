@@ -31,16 +31,29 @@ Caching makes the model fast enough for per-event replanning:
   nodes, and consecutive epochs touch almost the same set, so the
   many-to-many matrices of a steady replay are pure gathers.
 
-Every cached value is a pure function of the network, so cache hits are
-bit-identical to cold computation — the property all scalar/vectorized
-equivalence in the planner rests on.
+Every cached value is a pure function of the network (and, with
+time-dependent profiles, of the active speed-profile *window*), so cache
+hits are bit-identical to cold computation — the property all
+scalar/vectorized equivalence in the planner rests on.
+
+Rush-hour support: pass ``edge_profiles`` (one
+:class:`~repro.spatial.profiles.SpeedProfile` per edge class, with
+``edge_class`` assigning each directed edge a class — e.g. arterials vs
+local streets from :func:`~repro.roadnet.graph.classify_edges_by_speed`).
+Edge travel *times* are divided by the class's multiplier active at the
+epoch latched by :meth:`~RoadNetworkTravelModel.begin_epoch`; edge lengths
+never change, but the *fastest path* (and hence the reported distance,
+the length of that path) may differ per window.  Dijkstra rows are keyed
+on ``(node, window signature)`` in the same LRU, where the signature is
+the tuple of active multipliers — windows that happen to share all
+multipliers (e.g. the same rush hour on consecutive days) share rows.
 """
 
 from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +61,7 @@ from repro.roadnet.dijkstra import dijkstra_row
 from repro.roadnet.graph import RoadNetwork
 from repro.spatial.geometry import Point, euclidean_distance
 from repro.spatial.index import SpatialIndex
+from repro.spatial.profiles import SpeedProfile
 from repro.spatial.travel import TravelModel, _coords, _points_of
 
 __all__ = ["RoadNetworkTravelModel"]
@@ -69,6 +83,13 @@ class RoadNetworkTravelModel(TravelModel):
         source node).
     snap_cache_size:
         Maximum number of cached coordinate→node snaps.
+    edge_profiles:
+        Optional per-edge-class speed profiles (rush hour).  ``None``
+        keeps the static backend exactly as before.
+    edge_class:
+        Per-edge class indices into ``edge_profiles`` (aligned with the
+        network's CSR edge arrays).  ``None`` with profiles puts every
+        edge in class 0.
     """
 
     def __init__(
@@ -77,18 +98,44 @@ class RoadNetworkTravelModel(TravelModel):
         speed: float = 1.0,
         row_cache_size: int = 1024,
         snap_cache_size: int = 65536,
+        edge_profiles: Optional[Sequence[SpeedProfile]] = None,
+        edge_class: Optional[np.ndarray] = None,
     ) -> None:
         super().__init__(speed=speed)
         if network.num_nodes == 0:
             raise ValueError("road network has no nodes")
         self.network = network
+        self.edge_profiles: Optional[Tuple[SpeedProfile, ...]] = (
+            tuple(edge_profiles) if edge_profiles else None
+        )
+        if self.edge_profiles is not None:
+            if edge_class is None:
+                edge_class = np.zeros(network.num_edges, dtype=np.int64)
+            else:
+                edge_class = np.asarray(edge_class, dtype=np.int64)
+                if len(edge_class) != network.num_edges:
+                    raise ValueError("edge_class must align with network edges")
+                if edge_class.size and (
+                    edge_class.min() < 0
+                    or edge_class.max() >= len(self.edge_profiles)
+                ):
+                    raise ValueError("edge_class indices outside edge_profiles")
+        self.edge_class = edge_class if self.edge_profiles is not None else None
+        #: Active window signature (the multiplier per class) and the
+        #: matching scaled edge-time array; ``()`` / the network's own
+        #: times for static models.  Scaled arrays are memoised per
+        #: signature — recurring windows (tomorrow's rush hour) are free.
+        self._window_sig: Tuple[float, ...] = ()
+        self._edge_time: np.ndarray = network.edge_time
+        self._edge_time_by_sig: Dict[Tuple[float, ...], np.ndarray] = {}
         cell = float(np.mean(network.edge_length)) if network.num_edges else 1.0
         self._nodes_index: SpatialIndex = SpatialIndex(cell_size=max(cell, 1e-9))
         for node in range(network.num_nodes):
             self._nodes_index.insert(node, network.node_point(node))
         self._row_cache_size = max(int(row_cache_size), 1)
         self._snap_cache_size = max(int(snap_cache_size), 1)
-        self._row_cache: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        #: node + window signature -> (times, lengths) Dijkstra row.
+        self._row_cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._snap_cache: "OrderedDict[Tuple[float, float], Tuple[int, float]]" = OrderedDict()
         #: Cache diagnostics (read by the perf smoke benchmarks).
         self.row_cache_hits = 0
@@ -110,8 +157,41 @@ class RoadNetworkTravelModel(TravelModel):
         #: One-entry memo of the last coordinate-block request:
         #: ``TravelMatrix`` asks for the distance and the time block of the
         #: same coordinates back to back, and the snap/row-gather pass is
-        #: the expensive part — one pass serves both.
+        #: the expensive part — one pass serves both.  Scoped to the
+        #: active profile window (reset on window changes).
         self._last_blocks = None
+        if self.edge_profiles is not None:
+            self.begin_epoch(0.0)
+
+    # ------------------------------------------------------------------ #
+    # Epoch clock (speed-profile windows)
+    # ------------------------------------------------------------------ #
+    def begin_epoch(self, now: float) -> None:
+        """Latch the per-class multipliers active at ``now``.
+
+        Same-window calls are free; a window change swaps in the scaled
+        edge-time array of the new signature (memoised per signature) and
+        drops the coordinate-block memo.  Cached Dijkstra rows are keyed
+        on the signature, so rows of recurring windows survive in the LRU.
+        """
+        if self.edge_profiles is None:
+            return
+        sig = tuple(profile.multiplier_at(now) for profile in self.edge_profiles)
+        if sig == self._window_sig:
+            return
+        self._window_sig = sig
+        self._last_blocks = None
+        scaled = self._edge_time_by_sig.get(sig)
+        if scaled is None:
+            multiplier = np.asarray(sig, dtype=np.float64)[self.edge_class]
+            scaled = self.network.edge_time / multiplier
+            self._edge_time_by_sig[sig] = scaled
+        self._edge_time = scaled
+
+    def next_profile_boundary(self, now: float) -> float:
+        if self.edge_profiles is None:
+            return float("inf")
+        return min(profile.next_boundary(now) for profile in self.edge_profiles)
 
     # ------------------------------------------------------------------ #
     # Snapping
@@ -161,16 +241,23 @@ class RoadNetworkTravelModel(TravelModel):
     # Shortest-path rows
     # ------------------------------------------------------------------ #
     def _row(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Cached ``(times, lengths)`` Dijkstra row from ``node``."""
+        """Cached ``(times, lengths)`` Dijkstra row from ``node``.
+
+        Keyed on ``(node, window signature)``: the fastest paths of one
+        speed-profile window are useless in another, but windows sharing
+        every multiplier (a recurring rush hour) share rows.  Static
+        models carry the empty signature, keeping one row per node.
+        """
         cache = self._row_cache
-        hit = cache.get(node)
+        key = (node, self._window_sig)
+        hit = cache.get(key)
         if hit is not None:
-            cache.move_to_end(node)
+            cache.move_to_end(key)
             self.row_cache_hits += 1
             return hit
         self.row_cache_misses += 1
-        row = dijkstra_row(self.network, node)
-        cache[node] = row
+        row = dijkstra_row(self.network, node, edge_time=self._edge_time)
+        cache[key] = row
         if len(cache) > self._row_cache_size:
             cache.popitem(last=False)
         return row
@@ -250,6 +337,12 @@ class RoadNetworkTravelModel(TravelModel):
         ``min_dilation >= 1`` (all generated networks), keeping the bound
         bit-identical to the Euclidean default.  Networks with zero-length
         edges between distinct nodes have no finite bound and return inf.
+
+        The bound is window-independent under rush-hour profiles: any
+        reported distance is the length of a real network path (whichever
+        path is time-fastest in the active window), and ``min_dilation``
+        bounds displacement per unit length for *every* path, so the same
+        factor covers every window.
         """
         if math.isinf(self._reach_factor):
             return float("inf")

@@ -21,12 +21,19 @@ from repro.datasets.synthetic import (
     SyntheticWorkload,
     SyntheticWorkloadGenerator,
     WorkloadConfig,
+    evaluation_peak_windows,
 )
-from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.graph import RoadNetwork, classify_edges_by_speed, grid_network
 from repro.roadnet.model import RoadNetworkTravelModel
 from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.profiles import DAY_SECONDS, SpeedProfile
 
-__all__ = ["roadnet_city", "roadnet_workload"]
+__all__ = [
+    "roadnet_city",
+    "roadnet_workload",
+    "rush_hour_edge_profiles",
+    "roadnet_rushhour",
+]
 
 #: Temporal intensity presets cycled over the generated hotspots (same
 #: shape vocabulary as :func:`repro.datasets.synthetic.default_city`).
@@ -102,6 +109,76 @@ def roadnet_workload(
     """
     config = config or WorkloadConfig(name=f"{network.name}-workload")
     model = travel or RoadNetworkTravelModel(network, speed=config.worker_speed)
+    city = roadnet_city(network, num_hotspots=num_hotspots, seed=config.seed)
+    generator = SyntheticWorkloadGenerator(city=city, config=config, travel=model)
+    return generator.generate()
+
+
+def rush_hour_edge_profiles(
+    evaluation_start: float,
+    horizon: float,
+    peak_multipliers=(0.75, 0.45),
+    period: float = DAY_SECONDS,
+):
+    """One :class:`SpeedProfile` per edge class, congestion rising with class.
+
+    Class 0 (local streets) gets the mildest peak, the last class
+    (arterials, the fastest edges) the deepest — how real rush hours
+    behave, and what makes the *fastest path* itself change per window:
+    during the peak the arterial detour loses to the side street.  Peak
+    placement is the shared :func:`~repro.datasets.synthetic.
+    evaluation_peak_windows` (every replay crosses four boundaries).
+    """
+    peaks = evaluation_peak_windows(evaluation_start, horizon, period)
+    return tuple(
+        SpeedProfile.rush_hour(
+            peaks=peaks,
+            peak_multiplier=multiplier,
+            offpeak_multiplier=1.0,
+            period=period,
+        )
+        for multiplier in peak_multipliers
+    )
+
+
+def roadnet_rushhour(
+    network: Optional[RoadNetwork] = None,
+    config: Optional[WorkloadConfig] = None,
+    num_hotspots: int = 4,
+    peak_multipliers=(0.75, 0.45),
+) -> SyntheticWorkload:
+    """A road-network workload with per-edge-class rush-hour congestion.
+
+    The instance's travel model is a
+    :class:`~repro.roadnet.model.RoadNetworkTravelModel` whose edges are
+    split into speed classes (:func:`~repro.roadnet.graph.
+    classify_edges_by_speed`) with one rush-hour profile per class —
+    time-dependent Dijkstra rows, horizon clamping and all.  ``network``
+    defaults to a jittered one-way street grid sized like the other
+    roadnet scenarios.
+    """
+    config = config or WorkloadConfig(name="roadnet-rushhour")
+    if network is None:
+        network = grid_network(
+            12,
+            12,
+            spacing=0.8,
+            speed=config.worker_speed,
+            seed=config.seed,
+            speed_jitter=0.3,
+            one_way_fraction=0.1,
+            name="rushhour-grid",
+        )
+    profiles = rush_hour_edge_profiles(
+        config.history_horizon, config.horizon, peak_multipliers=peak_multipliers
+    )
+    edge_class = classify_edges_by_speed(network, num_classes=len(profiles))
+    model = RoadNetworkTravelModel(
+        network,
+        speed=config.worker_speed,
+        edge_profiles=profiles,
+        edge_class=edge_class,
+    )
     city = roadnet_city(network, num_hotspots=num_hotspots, seed=config.seed)
     generator = SyntheticWorkloadGenerator(city=city, config=config, travel=model)
     return generator.generate()

@@ -192,6 +192,10 @@ class SCPlatform:
 
     def _step(self, now: float) -> None:
         """One decision point: clean up, (maybe) replan, dispatch."""
+        # Latch the travel model's speed-profile window: the dispatch and
+        # repositioning costs below (and any plan computed this step) all
+        # use the multiplier active *now* (no-op for static models).
+        self.instance.travel.begin_epoch(now)
         for runtime in self._workers.values():
             if runtime.reposition is not None:
                 # The worker moves along its repositioning leg, so its

@@ -16,11 +16,15 @@ from repro.spatial.geometry import (
 )
 from repro.spatial.grid import GridCell, GridSpec
 from repro.spatial.index import SpatialIndex
+from repro.spatial.profiles import SpeedProfile
+from repro.spatial.timedep import TimeDependentTravelModel
 from repro.spatial.travel import TravelModel, EuclideanTravelModel, ManhattanTravelModel
 from repro.spatial.travel_matrix import TravelMatrix
 
 __all__ = [
     "TravelMatrix",
+    "SpeedProfile",
+    "TimeDependentTravelModel",
     "Point",
     "BoundingBox",
     "euclidean_distance",

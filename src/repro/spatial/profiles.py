@@ -1,0 +1,193 @@
+"""Piecewise-constant speed profiles: the time axis of travel costs.
+
+Real urban travel speeds are not constant over the day — rush-hour peaks
+roughly halve effective speeds on the same streets.  A
+:class:`SpeedProfile` models that as a piecewise-constant *speed
+multiplier* over a repeating period (a day by default): multiplier ``1.0``
+is free-flow, ``0.5`` means everything takes twice as long, ``1.2`` is a
+quiet-night bonus.
+
+The profile is deliberately piecewise-constant rather than continuous
+because the whole planning stack rests on travel costs being **static per
+ordered pair between profile boundaries**: inside one window a
+time-dependent model behaves exactly like a static model scaled by a
+constant, so every validity-horizon and replay argument of the incremental
+engine applies verbatim — provided horizons are clamped to
+:meth:`next_boundary` (see :meth:`repro.spatial.travel.TravelModel.
+next_profile_boundary`).  A continuous profile would invalidate every
+cached quantity at every instant.
+
+Boundary semantics are half-open: the multiplier of window ``i`` applies on
+``[breakpoints[i], breakpoints[i+1])``, and an event landing *exactly* on a
+boundary already sees the new window.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["SpeedProfile", "DAY_SECONDS"]
+
+#: Default profile period: one day, in seconds.
+DAY_SECONDS = 86400.0
+
+
+@dataclass(frozen=True)
+class SpeedProfile:
+    """A repeating piecewise-constant speed multiplier.
+
+    Attributes
+    ----------
+    breakpoints:
+        Ascending times-of-period; the first must be ``0.0`` so the whole
+        period is covered, and all must lie in ``[0, period)``.
+    multipliers:
+        One positive speed multiplier per breakpoint;
+        ``multipliers[i]`` is active on
+        ``[breakpoints[i], breakpoints[i+1])`` (wrapping at ``period``).
+    period:
+        Length of the repeating cycle (seconds); a day by default.
+    """
+
+    breakpoints: Tuple[float, ...]
+    multipliers: Tuple[float, ...]
+    period: float = DAY_SECONDS
+
+    def __post_init__(self) -> None:
+        breakpoints = tuple(float(b) for b in self.breakpoints)
+        multipliers = tuple(float(m) for m in self.multipliers)
+        object.__setattr__(self, "breakpoints", breakpoints)
+        object.__setattr__(self, "multipliers", multipliers)
+        if not breakpoints:
+            raise ValueError("a profile needs at least one window")
+        if len(breakpoints) != len(multipliers):
+            raise ValueError("breakpoints and multipliers must align")
+        if breakpoints[0] != 0.0:
+            raise ValueError("the first breakpoint must be 0.0 (full coverage)")
+        if self.period <= 0 or not math.isfinite(self.period):
+            raise ValueError("period must be positive and finite")
+        if any(b >= self.period for b in breakpoints):
+            raise ValueError("breakpoints must lie inside [0, period)")
+        if any(b2 <= b1 for b1, b2 in zip(breakpoints, breakpoints[1:])):
+            raise ValueError("breakpoints must be strictly ascending")
+        if any(m <= 0 or not math.isfinite(m) for m in multipliers):
+            raise ValueError("multipliers must be positive and finite")
+        # Normalize: merge adjacent windows with equal multipliers — a
+        # breakpoint where the multiplier does not change is not a real
+        # boundary, and reporting it would make every horizon clamp (and
+        # hence the incremental engine) recompute at an instant where no
+        # travel cost moves.  (The wrap between the last and the first
+        # window is handled in :meth:`next_boundary`.)
+        if any(m1 == m2 for m1, m2 in zip(multipliers, multipliers[1:])):
+            merged_b = [breakpoints[0]]
+            merged_m = [multipliers[0]]
+            for b, m in zip(breakpoints[1:], multipliers[1:]):
+                if m != merged_m[-1]:
+                    merged_b.append(b)
+                    merged_m.append(m)
+            breakpoints = tuple(merged_b)
+            multipliers = tuple(merged_m)
+            object.__setattr__(self, "breakpoints", breakpoints)
+            object.__setattr__(self, "multipliers", multipliers)
+        #: A uniform profile (every window at the same multiplier) never
+        #: changes travel costs, so it reports no boundaries at all —
+        #: the static special case stays exactly the static pipeline.
+        object.__setattr__(
+            self, "_uniform", min(multipliers) == max(multipliers)
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def constant(cls, multiplier: float = 1.0, period: float = DAY_SECONDS) -> "SpeedProfile":
+        """A profile with one all-day window (no boundaries)."""
+        return cls(breakpoints=(0.0,), multipliers=(multiplier,), period=period)
+
+    @classmethod
+    def rush_hour(
+        cls,
+        peaks: Sequence[Tuple[float, float]] = ((7.0 * 3600, 9.0 * 3600), (17.0 * 3600, 19.0 * 3600)),
+        peak_multiplier: float = 0.5,
+        offpeak_multiplier: float = 1.0,
+        period: float = DAY_SECONDS,
+    ) -> "SpeedProfile":
+        """The classic commuter shape: off-peak flow with slow peak windows.
+
+        ``peaks`` are non-overlapping ascending ``(start, end)`` intervals
+        inside ``[0, period)``.
+        """
+        breakpoints = [0.0]
+        multipliers = [offpeak_multiplier]
+        cursor = 0.0
+        for start, end in peaks:
+            if start < cursor or end <= start or end > period:
+                raise ValueError("peaks must be ascending, non-overlapping, inside the period")
+            if start == 0.0:
+                multipliers[0] = peak_multiplier
+            elif start > cursor:
+                breakpoints.append(float(start))
+                multipliers.append(peak_multiplier)
+            else:
+                # Peak starting exactly where the previous one ended: the
+                # just-appended off-peak window has zero length; repaint
+                # it (construction-time merging dedups the rest).
+                multipliers[-1] = peak_multiplier
+            if end < period:
+                breakpoints.append(float(end))
+                multipliers.append(offpeak_multiplier)
+            cursor = end
+        return cls(breakpoints=tuple(breakpoints), multipliers=tuple(multipliers), period=period)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def min_multiplier(self) -> float:
+        """The slowest (most congested) multiplier of the cycle."""
+        return min(self.multipliers)
+
+    def _phase(self, now: float) -> float:
+        """Fold an absolute time into ``[0, period)``."""
+        phase = math.fmod(now, self.period)
+        if phase < 0.0:
+            phase += self.period
+        return phase
+
+    def window_index(self, now: float) -> int:
+        """Index of the window active at ``now`` (half-open boundaries)."""
+        return bisect_right(self.breakpoints, self._phase(now)) - 1
+
+    def multiplier_at(self, now: float) -> float:
+        """The speed multiplier active at absolute time ``now``."""
+        return self.multipliers[self.window_index(now)]
+
+    def next_boundary(self, now: float) -> float:
+        """First absolute time strictly after ``now`` where the multiplier
+        may change (``inf`` for uniform profiles).
+
+        This is the horizon clamp of the time-dependent planning stack:
+        every cached quantity computed at ``now`` is valid on
+        ``[now, next_boundary(now))`` and must be recomputed at the
+        boundary.  The result is strictly greater than ``now`` (when two
+        times are closer than one ulp the next representable float is
+        returned, which degrades caching to per-call recomputation but
+        never to a stale window).
+        """
+        if self._uniform:
+            return float("inf")
+        phase = self._phase(now)
+        index = bisect_right(self.breakpoints, phase)
+        if index < len(self.breakpoints):
+            delta = self.breakpoints[index] - phase
+        elif self.multipliers[0] != self.multipliers[-1]:
+            delta = self.period - phase
+        else:
+            # The last window continues across the period wrap at the same
+            # multiplier (adjacent duplicates are merged at construction,
+            # so only the wrap can still be changeless); the first real
+            # change is the next cycle's second window.
+            delta = self.period - phase + self.breakpoints[1]
+        boundary = now + delta
+        if boundary <= now:  # ulp underflow on huge ``now``
+            boundary = math.nextafter(now, math.inf)
+        return boundary

@@ -24,6 +24,13 @@ A travel model provides three layers:
   budget to a Euclidean radius guaranteed to contain it, which is what lets
   Euclidean spatial indexes (and the incremental engine's dirty balls)
   stay sound under non-Euclidean travel.
+* **Epoch clock** — :meth:`TravelModel.begin_epoch` /
+  :meth:`TravelModel.next_profile_boundary`, the hooks time-dependent
+  models (:class:`repro.spatial.timedep.TimeDependentTravelModel`, the
+  road-network backend with rush-hour profiles) use to latch the speed
+  profile of the current decision point and to tell the caching layers
+  when their cached travel costs stop being valid.  Static models keep the
+  no-op defaults, so nothing changes for them.
 
 The entity-level helpers :meth:`pairwise`, :meth:`legs` and
 :meth:`single_row` wrap the kernel for callers holding workers / tasks
@@ -58,6 +65,31 @@ class TravelModel(ABC):
         if speed <= 0:
             raise ValueError("speed must be positive")
         self.speed = speed
+
+    # ------------------------------------------------------------------ #
+    # Epoch clock (time-dependent models; static models keep the no-ops)
+    # ------------------------------------------------------------------ #
+    def begin_epoch(self, now: float) -> None:
+        """Latch the travel costs of the decision point at ``now``.
+
+        Time-dependent models freeze the speed-profile window active at
+        ``now`` so that every cost evaluated until the next call uses one
+        consistent multiplier (frozen-at-departure semantics; see
+        :mod:`repro.spatial.timedep`).  The planner, the incremental
+        engine and the platform call this at every decision point; the
+        call is idempotent for a fixed ``now``.  Static models ignore it.
+        """
+
+    def next_profile_boundary(self, now: float) -> float:
+        """First time strictly after ``now`` at which travel costs may change.
+
+        The caching layers clamp every validity horizon to this value:
+        a reachable set / sequence set / travel row computed at ``now`` may
+        be reused only on ``[now, next_profile_boundary(now))``.  Static
+        models return ``inf`` (costs never change), keeping every cache
+        exactly as durable as before.
+        """
+        return float("inf")
 
     # ------------------------------------------------------------------ #
     # Scalar primitives (the reference semantics)

@@ -46,11 +46,23 @@ class TravelMatrix:
         The open (and predicted) tasks of the epoch.
     travel:
         The travel model shared by the planning pipeline.
+    now:
+        Optional epoch time.  When given, the travel model's profile
+        window is latched (:meth:`~repro.spatial.travel.TravelModel.
+        begin_epoch`) before any cost is computed, so the matrix is
+        self-consistently stamped with the decision point it serves; a
+        no-op for static models.
     """
 
     def __init__(
-        self, workers: Sequence["Worker"], tasks: Sequence["Task"], travel: TravelModel
+        self,
+        workers: Sequence["Worker"],
+        tasks: Sequence["Task"],
+        travel: TravelModel,
+        now: Optional[float] = None,
     ) -> None:
+        if now is not None:
+            travel.begin_epoch(now)
         self.travel = travel
         self.workers: List["Worker"] = list(workers)
         self.tasks: List["Task"] = list(tasks)
@@ -76,7 +88,11 @@ class TravelMatrix:
     # ------------------------------------------------------------------ #
     @classmethod
     def for_single_worker(
-        cls, worker: "Worker", tasks: Sequence["Task"], travel: TravelModel
+        cls,
+        worker: "Worker",
+        tasks: Sequence["Task"],
+        travel: TravelModel,
+        now: Optional[float] = None,
     ) -> "TravelMatrix":
         """A 1×T matrix holding only ``worker``'s row.
 
@@ -86,7 +102,7 @@ class TravelMatrix:
         same vectorized formulas as the full constructor, so its floats are
         bit-identical to both the full matrix and the scalar travel model.
         """
-        return cls([worker], tasks, travel)
+        return cls([worker], tasks, travel, now=now)
 
     # ------------------------------------------------------------------ #
     def __contains__(self, task_id: int) -> bool:

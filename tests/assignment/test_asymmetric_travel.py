@@ -4,7 +4,8 @@ The Euclidean suite never exercises ``c(a, b) != c(b, a)`` or triangle
 violations, yet nothing in reachability, sequence enumeration, horizon
 caching or the incremental engine's dirty balls is *supposed* to depend on
 those properties — only on travel costs being static per ordered pair.
-These tests pin that down with two adversarial models:
+These tests pin that down with the suite's two shared adversarial models
+(``tests/spatial/conformance.py``):
 
 * :class:`AsymmetricTimeModel` — Euclidean distances but direction- and
   pair-dependent times with explicit triangle-inequality violations (the
@@ -13,6 +14,11 @@ These tests pin that down with two adversarial models:
 * :class:`ShortcutModel` — travel distances *below* the Euclidean
   distance, whose overridden ``reach_bound`` (infinite) must keep the
   dirty-ball machinery sound by degrading it to full recomputation.
+
+Protocol-level identity checks (scalar vs matrix, TravelMatrix) live in
+the shared conformance suite; this file keeps the *planning-stack*
+behaviours: reachability/sequence path equivalence, horizons and the
+incremental engine's dirty-ball soundness.
 """
 
 import math
@@ -20,6 +26,11 @@ import random
 
 import pytest
 
+from conformance import (
+    AsymmetricTimeModel,
+    ShortcutModel,
+    check_travel_matrix_identity,
+)
 from repro.assignment.planner import PlannerConfig, TaskPlanner
 from repro.assignment.reachability import (
     reachable_tasks,
@@ -28,41 +39,9 @@ from repro.assignment.reachability import (
 from repro.assignment.sequences import maximal_valid_sequences
 from repro.core.task import Task
 from repro.core.worker import Worker
-from repro.spatial.geometry import Point, euclidean_distance
+from repro.spatial.geometry import Point
 from repro.spatial.index import SpatialIndex
-from repro.spatial.travel import TravelModel
 from repro.spatial.travel_matrix import TravelMatrix
-
-
-def _pair_factor(a: Point, b: Point) -> float:
-    """Deterministic, direction-dependent time multiplier in [0.3, 1.8]."""
-    h = math.sin(a.x * 12.9898 + a.y * 78.233 + b.x * 37.719 + b.y * 4.581) * 43758.5453
-    return 0.3 + 1.5 * (h - math.floor(h))
-
-
-class AsymmetricTimeModel(TravelModel):
-    """Euclidean distances; times warped per ordered pair (non-metric)."""
-
-    def distance(self, origin, destination):
-        return euclidean_distance(origin, destination)
-
-    def time(self, origin, destination):
-        return (
-            self.distance(origin, destination)
-            / self.speed
-            * _pair_factor(origin, destination)
-        )
-
-
-class ShortcutModel(TravelModel):
-    """Travel distance below the straight line: the identity reach bound
-    would be unsound, so the model opts out of geometric pruning."""
-
-    def distance(self, origin, destination):
-        return 0.4 * euclidean_distance(origin, destination)
-
-    def reach_bound(self, reach):
-        return float("inf")
 
 
 def random_instance(rng, max_workers=8, max_tasks=30):
@@ -110,12 +89,8 @@ class TestScalarMatrixEquivalence:
         model = AsymmetricTimeModel(speed=1.3)
         rng = random.Random(300 + seed)
         workers, tasks = random_instance(rng)
+        check_travel_matrix_identity(model, workers, tasks)
         matrix = TravelMatrix(workers, tasks, model)
-        for worker in workers:
-            for task in tasks:
-                assert matrix.worker_task_time(
-                    worker.worker_id, task.task_id
-                ) == model.time(worker.location, task.location)
         now = rng.uniform(0.0, 2.0)
         for worker in workers:
             scalar = reachable_tasks(worker, tasks, now, model, max_tasks=8)

@@ -380,3 +380,94 @@ class TestAdjacencyRebuildSkip:
         assert [
             (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
         ] == [(wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment]
+
+
+class TestProfileHorizonClamping:
+    """Horizons must never claim validity past the next speed-profile
+    boundary; static models (infinite boundary) keep their old horizons."""
+
+    def _timedep(self, multipliers=(1.0, 0.5), breakpoints=(0.0, 10.0), period=50.0):
+        from repro.spatial.profiles import SpeedProfile
+        from repro.spatial.timedep import TimeDependentTravelModel
+
+        profile = SpeedProfile(
+            breakpoints=breakpoints, multipliers=multipliers, period=period
+        )
+        return TimeDependentTravelModel(EuclideanTravelModel(speed=1.0), profile)
+
+    def test_reach_horizon_clamped_to_boundary(self):
+        model = self._timedep()
+        model.begin_epoch(0.0)
+        worker = Worker(1, Point(0.0, 0.0), 5.0, 0.0, 1000.0)
+        tasks = [Task(1, Point(1.0, 0.0), 0.0, 1000.0)]
+        _, _, horizon = reachable_tasks_with_horizon(worker, tasks, 0.0, model)
+        # Per-task boundaries are ~1000; the profile boundary (10) wins.
+        assert horizon == 10.0
+
+    def test_reach_horizon_clamped_even_when_set_is_empty(self):
+        # An empty set has no member boundary at all, yet a faster window
+        # can make it non-empty — the clamp is the only guard.
+        model = self._timedep(multipliers=(0.5, 2.0))
+        model.begin_epoch(0.0)
+        worker = Worker(1, Point(0.0, 0.0), 10.0, 0.0, 1000.0)
+        tasks = [Task(1, Point(8.0, 0.0), 0.0, 15.0)]  # congested time 16 >= 15
+        capped, _, horizon = reachable_tasks_with_horizon(worker, tasks, 0.0, model)
+        assert capped == []
+        assert horizon == 10.0
+
+    def test_sequence_horizon_clamped_to_boundary(self):
+        model = self._timedep()
+        model.begin_epoch(0.0)
+        worker = Worker(1, Point(0.0, 0.0), 5.0, 0.0, 1000.0)
+        tasks = [Task(1, Point(1.0, 0.0), 0.0, 1000.0)]
+        box = []
+        sequences = maximal_valid_sequences(
+            worker, tasks, 0.0, model, horizon_out=box
+        )
+        assert sequences
+        assert box[0] == 10.0
+        # Empty reachable set: still clamped (re-enumeration is trivial).
+        box = []
+        assert maximal_valid_sequences(worker, [], 0.0, model, horizon_out=box) == []
+        assert box[0] == 10.0
+
+    def test_static_model_horizons_unchanged(self):
+        worker = Worker(1, Point(0.0, 0.0), 5.0, 0.0, 40.0)
+        tasks = [Task(1, Point(1.0, 0.0), 0.0, 30.0)]
+        _, _, horizon = reachable_tasks_with_horizon(worker, tasks, 0.0, TRAVEL)
+        assert horizon == 29.0  # e - leg: the PR 2 boundary, unclamped
+
+    def test_engine_recomputes_exactly_at_boundary_epochs(self):
+        from repro.assignment.planner import PlannerConfig, TaskPlanner
+
+        model = self._timedep()
+        planner = TaskPlanner(
+            PlannerConfig(incremental_replan=True, travel_model=model)
+        )
+        workers = [Worker(1, Point(0.0, 0.0), 5.0, 0.0, 1000.0)]
+        tasks = [Task(1, Point(1.0, 0.0), 0.0, 1000.0)]
+        first = planner.plan(workers, tasks, 0.0)
+        assert first.recomputed_workers == 1
+        inside = planner.plan(workers, tasks, 5.0)  # same window: pure reuse
+        assert inside.reused_workers == 1 and inside.recomputed_workers == 0
+        at_boundary = planner.plan(workers, tasks, 10.0)  # exactly on it
+        assert at_boundary.recomputed_workers == 1
+        next_window = planner.plan(workers, tasks, 12.0)  # inside new window
+        assert next_window.reused_workers == 1
+
+    def test_uniform_profile_reuses_like_static(self):
+        from repro.assignment.planner import PlannerConfig, TaskPlanner
+        from repro.spatial.profiles import SpeedProfile
+        from repro.spatial.timedep import TimeDependentTravelModel
+
+        model = TimeDependentTravelModel(
+            EuclideanTravelModel(speed=1.0), SpeedProfile.constant(1.0)
+        )
+        planner = TaskPlanner(
+            PlannerConfig(incremental_replan=True, travel_model=model)
+        )
+        workers = [Worker(1, Point(0.0, 0.0), 5.0, 0.0, 1000.0)]
+        tasks = [Task(1, Point(1.0, 0.0), 0.0, 1000.0)]
+        planner.plan(workers, tasks, 0.0)
+        later = planner.plan(workers, tasks, 500.0)
+        assert later.reused_workers == 1 and later.recomputed_workers == 0

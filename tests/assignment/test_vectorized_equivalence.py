@@ -584,6 +584,200 @@ class TestIncrementalEquivalence:
                 benched.symmetric_difference_update({wid})
             now += rng.uniform(0.0, 1.5)
 
+    @pytest.mark.parametrize("seed", range(6))
+    def test_timedep_stream_matches_full_across_boundaries(self, seed):
+        # Rush-hour profiles break the "static per ordered pair" assumption
+        # between windows; horizon clamping must keep the engine bit-for-bit
+        # equivalent through (and exactly on) every profile boundary.
+        from repro.spatial.profiles import SpeedProfile
+        from repro.spatial.timedep import TimeDependentTravelModel
+
+        rng = random.Random(9100 + seed)
+        profile = SpeedProfile(
+            breakpoints=(0.0, 8.0, 16.0, 30.0),
+            multipliers=(1.0, rng.uniform(0.3, 0.8), rng.uniform(1.0, 1.6), 0.9),
+            period=40.0,
+        )
+        model = TimeDependentTravelModel(EuclideanTravelModel(speed=1.0), profile)
+        workers = {
+            i: Worker(
+                i,
+                Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                rng.uniform(0.5, 3.0),
+                0.0,
+                rng.uniform(20, 60),
+            )
+            for i in range(rng.randint(2, 10))
+        }
+        tasks = {
+            100 + j: Task(
+                100 + j,
+                Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                0.0,
+                rng.uniform(5, 45),
+            )
+            for j in range(rng.randint(5, 35))
+        }
+        incremental = TaskPlanner(
+            PlannerConfig(incremental_replan=True, travel_model=model)
+        )
+        full = TaskPlanner(PlannerConfig(incremental_replan=False, travel_model=model))
+        now = 0.0
+        next_tid = 1000
+        for _ in range(22):
+            snapshot_workers = [w for _, w in sorted(workers.items())]
+            snapshot_tasks = [t for _, t in sorted(tasks.items())]
+            a = incremental.plan(snapshot_workers, snapshot_tasks, now)
+            b = full.plan(snapshot_workers, snapshot_tasks, now)
+            assert _outcome_signature(a) == _outcome_signature(b)
+            event = rng.random()
+            if event < 0.25 and tasks:
+                del tasks[rng.choice(sorted(tasks))]
+            elif event < 0.55:
+                tasks[next_tid] = Task(
+                    next_tid,
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    now,
+                    now + rng.uniform(2, 40),
+                )
+                next_tid += 1
+            elif workers:
+                wid = rng.choice(sorted(workers))
+                workers[wid] = workers[wid].moved_to(
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10))
+                )
+            advance = rng.random()
+            if advance < 0.2:
+                now = profile.next_boundary(now)  # land exactly on a boundary
+            elif advance < 0.4:
+                now = profile.next_boundary(now) + rng.uniform(0.0, 1.0)
+            else:
+                now += rng.uniform(0.0, 2.0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_roadnet_rushhour_stream_matches_full(self, seed):
+        # Per-edge-class congestion: the fastest paths themselves (and the
+        # Dijkstra rows behind every travel cost) change per window.
+        from repro.roadnet import (
+            RoadNetworkTravelModel,
+            classify_edges_by_speed,
+            grid_network,
+        )
+        from repro.spatial.profiles import SpeedProfile
+
+        rng = random.Random(9200 + seed)
+        network = grid_network(
+            8, 8, seed=seed, speed_jitter=0.35, one_way_fraction=0.1
+        )
+        profiles = (
+            SpeedProfile(
+                breakpoints=(0.0, 6.0, 14.0), multipliers=(1.0, 0.75, 1.0), period=30.0
+            ),
+            SpeedProfile(
+                breakpoints=(0.0, 6.0, 14.0), multipliers=(1.0, 0.4, 1.1), period=30.0
+            ),
+        )
+        model = RoadNetworkTravelModel(
+            network,
+            speed=1.0,
+            edge_profiles=profiles,
+            edge_class=classify_edges_by_speed(network, len(profiles)),
+        )
+        workers = {
+            i: Worker(
+                i,
+                Point(rng.uniform(0, 7), rng.uniform(0, 7)),
+                rng.uniform(1.0, 3.0),
+                0.0,
+                rng.uniform(20, 60),
+            )
+            for i in range(rng.randint(2, 8))
+        }
+        tasks = {
+            100 + j: Task(
+                100 + j,
+                Point(rng.uniform(0, 7), rng.uniform(0, 7)),
+                0.0,
+                rng.uniform(5, 45),
+            )
+            for j in range(rng.randint(5, 25))
+        }
+        incremental = TaskPlanner(
+            PlannerConfig(incremental_replan=True, travel_model=model)
+        )
+        full = TaskPlanner(PlannerConfig(incremental_replan=False, travel_model=model))
+        now = 0.0
+        next_tid = 1000
+        for _ in range(16):
+            snapshot_workers = [w for _, w in sorted(workers.items())]
+            snapshot_tasks = [t for _, t in sorted(tasks.items())]
+            a = incremental.plan(snapshot_workers, snapshot_tasks, now)
+            b = full.plan(snapshot_workers, snapshot_tasks, now)
+            assert _outcome_signature(a) == _outcome_signature(b)
+            event = rng.random()
+            if event < 0.25 and tasks:
+                del tasks[rng.choice(sorted(tasks))]
+            elif event < 0.55:
+                tasks[next_tid] = Task(
+                    next_tid,
+                    Point(rng.uniform(0, 7), rng.uniform(0, 7)),
+                    now,
+                    now + rng.uniform(2, 40),
+                )
+                next_tid += 1
+            elif workers:
+                wid = rng.choice(sorted(workers))
+                workers[wid] = workers[wid].moved_to(
+                    Point(rng.uniform(0, 7), rng.uniform(0, 7))
+                )
+            if rng.random() < 0.25:
+                now = model.next_profile_boundary(now)
+            else:
+                now += rng.uniform(0.0, 2.5)
+
+    def test_timedep_platform_replay_invariant_to_incremental_toggle(self):
+        # Full platform replay of the rush-hour workload: metrics identical
+        # with and without the dirty-region engine.
+        from repro.assignment.strategies import make_strategy
+        from repro.datasets.synthetic import WorkloadConfig, rush_hour_workload
+        from repro.simulation.platform import PlatformConfig, SCPlatform
+
+        workload = rush_hour_workload(
+            WorkloadConfig(
+                num_workers=12,
+                num_tasks=90,
+                seed=11,
+                task_valid_time=120.0,
+                worker_speed=0.05,
+            ),
+            peak_multiplier=0.5,
+        )
+        results = []
+        for incremental in (False, True):
+            strategy = make_strategy(
+                "dta",
+                config=PlannerConfig(
+                    incremental_replan=incremental,
+                    travel_model=workload.instance.travel,
+                ),
+            )
+            platform = SCPlatform(
+                workload.instance,
+                strategy,
+                PlatformConfig(replan_interval=0.0, maintain_task_index=True),
+            )
+            metrics = platform.run()
+            results.append(
+                (
+                    metrics.assigned_tasks,
+                    metrics.dispatched_tasks,
+                    metrics.expired_tasks,
+                    metrics.replans,
+                    dict(metrics.assigned_per_worker),
+                )
+            )
+        assert results[0] == results[1]
+
     def test_incremental_reuses_untouched_workers(self):
         # Diagnostics sanity: on a pure time-advance epoch well inside every
         # horizon, nothing is recomputed and every component is replayed.

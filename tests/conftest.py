@@ -12,6 +12,13 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+# The shared travel-model conformance suite (tests/spatial/conformance.py)
+# is imported by suites in several test directories; make it resolvable
+# regardless of which file pytest collects first.
+_CONFORMANCE_DIR = Path(__file__).resolve().parent / "spatial"
+if str(_CONFORMANCE_DIR) not in sys.path:
+    sys.path.insert(0, str(_CONFORMANCE_DIR))
+
 from repro.core.problem import ATAInstance            # noqa: E402
 from repro.core.task import Task                      # noqa: E402
 from repro.core.worker import Worker                  # noqa: E402

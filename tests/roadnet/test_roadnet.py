@@ -165,26 +165,15 @@ class TestRoadNetworkTravelModel:
         net = grid_network(7, 7, spacing=1.0, speed=1.5, seed=9, speed_jitter=0.3)
         return RoadNetworkTravelModel(net, speed=1.5)
 
-    def test_scalar_matrix_bit_identical(self, model):
+    def test_scalar_vector_identity_via_conformance(self, model):
+        # Scalar vs pairwise/legs/single_row/TravelMatrix batteries are the
+        # shared conformance checks (the full battery also runs in
+        # tests/spatial/test_conformance.py).
+        from conformance import check_scalar_vector_identity
+
         rng = np.random.default_rng(4)
         points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 6, (9, 2))]
-        dist, time = model.pairwise(points, points)
-        for i, a in enumerate(points):
-            for j, b in enumerate(points):
-                assert dist[i, j] == model.distance(a, b)
-                assert time[i, j] == model.time(a, b)
-
-    def test_single_row_and_legs_match_pairwise(self, model):
-        rng = np.random.default_rng(8)
-        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 6, (6, 2))]
-        dist, time = model.pairwise(points[:1], points)
-        row_d, row_t = model.single_row(points[0], points)
-        assert np.array_equal(row_d, dist[0])
-        assert np.array_equal(row_t, time[0])
-        legs_d, legs_t = model.legs(points, points)
-        full_d, full_t = model.pairwise(points, points)
-        assert np.array_equal(legs_d, full_d)
-        assert np.array_equal(legs_t, full_t)
+        check_scalar_vector_identity(model, points, points)
 
     def test_times_are_asymmetric_somewhere(self, model):
         rng = np.random.default_rng(12)
@@ -270,3 +259,127 @@ class TestRoadNetworkTravelModel:
         assert math.isinf(model.reach_bound(1.0))
         # Planning through an inf bound stays functional (full scans).
         assert model.time(Point(0.0, 0.0), Point(5.0, 0.0)) == pytest.approx(0.1)
+
+
+class TestRushHourRoadnet:
+    """Per-edge-class speed profiles: time-dependent Dijkstra rows."""
+
+    def _model(self, peak=(0.8, 0.4)):
+        from repro.roadnet import classify_edges_by_speed
+        from repro.spatial.profiles import SpeedProfile
+
+        net = grid_network(6, 6, spacing=1.0, speed=1.0, seed=3, speed_jitter=0.35)
+        profiles = tuple(
+            SpeedProfile(
+                breakpoints=(0.0, 10.0, 20.0), multipliers=(1.0, m, 1.0), period=60.0
+            )
+            for m in peak
+        )
+        classes = classify_edges_by_speed(net, len(profiles))
+        return RoadNetworkTravelModel(
+            net, speed=1.0, edge_profiles=profiles, edge_class=classes
+        )
+
+    def test_classify_edges_by_speed_quantiles(self):
+        from repro.roadnet import classify_edges_by_speed
+
+        net = grid_network(5, 5, seed=7, speed_jitter=0.4)
+        classes = classify_edges_by_speed(net, 2)
+        assert classes.shape == (net.num_edges,)
+        assert set(classes.tolist()) == {0, 1}
+        speed = net.edge_length / net.edge_time
+        # The fastest class is genuinely faster on average than the slowest.
+        assert speed[classes == 1].mean() > speed[classes == 0].mean()
+        # Deterministic and single-class degenerate forms.
+        assert np.array_equal(classes, classify_edges_by_speed(net, 2))
+        assert (classify_edges_by_speed(net, 1) == 0).all()
+
+    def test_peak_window_slows_travel_and_reverts(self):
+        model = self._model()
+        a, b = Point(0.3, 0.2), Point(4.6, 3.8)
+        model.begin_epoch(0.0)
+        off_t, off_d = model.time(a, b), model.distance(a, b)
+        model.begin_epoch(15.0)
+        peak_t = model.time(a, b)
+        assert peak_t > off_t
+        model.begin_epoch(25.0)
+        assert model.time(a, b) == off_t
+        assert model.distance(a, b) == off_d
+
+    def test_fastest_path_may_change_per_window(self):
+        # Distances are fastest-path lengths, so deep arterial congestion
+        # can reroute some pair somewhere on a jittered grid.
+        model = self._model(peak=(1.0, 0.25))
+        rng = np.random.default_rng(11)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 5, (14, 2))]
+        model.begin_epoch(0.0)
+        off = [model.distance(a, b) for a in points for b in points]
+        model.begin_epoch(15.0)
+        peak = [model.distance(a, b) for a in points for b in points]
+        assert off != peak
+
+    def test_rows_keyed_per_window_and_shared_across_cycles(self):
+        model = self._model()
+        a, b = Point(0.3, 0.2), Point(4.6, 3.8)
+        model.clear_caches()
+        model.begin_epoch(0.0)
+        model.time(a, b)
+        cold = model.row_cache_misses
+        model.begin_epoch(15.0)   # new window: rows must be recomputed
+        model.time(a, b)
+        assert model.row_cache_misses > cold
+        peak_misses = model.row_cache_misses
+        model.begin_epoch(75.0)   # next cycle's peak: same multipliers -> shared rows
+        model.time(a, b)
+        assert model.row_cache_misses == peak_misses
+        model.begin_epoch(60.0)   # next cycle off-peak: shared with window 0
+        model.time(a, b)
+        assert model.row_cache_misses == peak_misses
+
+    def test_next_profile_boundary_is_min_over_classes(self):
+        from repro.spatial.profiles import SpeedProfile
+
+        net = grid_network(3, 3, seed=1)
+        profiles = (
+            SpeedProfile(breakpoints=(0.0, 30.0), multipliers=(1.0, 0.5), period=100.0),
+            SpeedProfile(breakpoints=(0.0, 10.0), multipliers=(1.0, 0.5), period=100.0),
+        )
+        model = RoadNetworkTravelModel(net, edge_profiles=profiles)
+        assert model.next_profile_boundary(0.0) == 10.0
+        assert model.next_profile_boundary(10.0) == 30.0
+        static = RoadNetworkTravelModel(net)
+        assert static.next_profile_boundary(0.0) == float("inf")
+
+    def test_edge_class_validation(self):
+        from repro.spatial.profiles import SpeedProfile
+
+        net = grid_network(3, 3, seed=1)
+        profile = (SpeedProfile.constant(1.0),)
+        with pytest.raises(ValueError):
+            RoadNetworkTravelModel(
+                net, edge_profiles=profile, edge_class=np.zeros(3, dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            RoadNetworkTravelModel(
+                net,
+                edge_profiles=profile,
+                edge_class=np.full(net.num_edges, 5, dtype=np.int64),
+            )
+
+    def test_dijkstra_edge_time_override_matches_scaled_network(self):
+        net = grid_network(5, 5, seed=13, speed_jitter=0.3)
+        scaled = net.edge_time / 0.5
+        times, lengths = dijkstra_row(net, 0, edge_time=scaled)
+        slow = RoadNetwork(
+            node_x=net.node_x,
+            node_y=net.node_y,
+            indptr=net.indptr,
+            indices=net.indices,
+            edge_length=net.edge_length,
+            edge_time=scaled,
+        )
+        ref_times, ref_lengths = dijkstra_row(slow, 0)
+        assert np.array_equal(times, ref_times)
+        assert np.array_equal(lengths, ref_lengths)
+        with pytest.raises(ValueError):
+            dijkstra_row(net, 0, edge_time=scaled[:-1])

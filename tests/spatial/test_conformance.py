@@ -1,0 +1,118 @@
+"""Every shipped travel backend passes the shared conformance suite.
+
+One parametrized battery instead of per-backend copies: the built-in
+kernels, the kernel-less scalar fallback, the adversarial
+asymmetric/shortcut models, the road-network backend (static and
+rush-hour), and the time-dependent wrapper over several bases.  Epochs
+for the time-dependent entries straddle profile boundaries, so the
+epoch-clock contract is exercised in every window, not just free flow.
+"""
+
+import pytest
+
+from conformance import (
+    AsymmetricTimeModel,
+    ShortcutModel,
+    WeirdScalarModel,
+    run_conformance,
+)
+from repro.roadnet import (
+    RoadNetworkTravelModel,
+    classify_edges_by_speed,
+    grid_network,
+    radial_network,
+)
+from repro.spatial import (
+    EuclideanTravelModel,
+    ManhattanTravelModel,
+    SpeedProfile,
+    TimeDependentTravelModel,
+)
+
+#: A profile with a mid-cycle peak; epochs below probe every window and
+#: both boundaries.
+_PROFILE = SpeedProfile(
+    breakpoints=(0.0, 10.0, 25.0), multipliers=(1.0, 0.5, 1.2), period=50.0
+)
+_EPOCHS = (0.0, 10.0, 17.0, 25.0, 49.5)
+
+
+def _grid(seed=9, **kwargs):
+    return grid_network(
+        7, 7, spacing=1.0, speed=1.5, seed=seed, speed_jitter=0.3, **kwargs
+    )
+
+
+def _rushhour_roadnet():
+    network = _grid(one_way_fraction=0.1)
+    profiles = (
+        SpeedProfile(breakpoints=(0.0, 10.0, 25.0), multipliers=(1.0, 0.75, 1.0), period=50.0),
+        SpeedProfile(breakpoints=(0.0, 10.0, 25.0), multipliers=(1.0, 0.4, 1.1), period=50.0),
+    )
+    return RoadNetworkTravelModel(
+        network,
+        speed=1.5,
+        edge_profiles=profiles,
+        edge_class=classify_edges_by_speed(network, len(profiles)),
+    )
+
+
+BACKENDS = {
+    "euclidean": lambda: EuclideanTravelModel(speed=1.7),
+    "manhattan": lambda: ManhattanTravelModel(speed=0.8),
+    "scalar-fallback": lambda: WeirdScalarModel(speed=1.1),
+    "asymmetric": lambda: AsymmetricTimeModel(speed=1.3),
+    "shortcut": lambda: ShortcutModel(speed=1.0),
+    "roadnet": lambda: RoadNetworkTravelModel(_grid(), speed=1.5),
+    "roadnet-radial": lambda: RoadNetworkTravelModel(
+        radial_network(rings=3, spokes=8, seed=4, speed_jitter=0.25), speed=1.0
+    ),
+    "roadnet-rushhour": _rushhour_roadnet,
+    "timedep-euclidean": lambda: TimeDependentTravelModel(
+        EuclideanTravelModel(speed=1.7), _PROFILE
+    ),
+    "timedep-manhattan": lambda: TimeDependentTravelModel(
+        ManhattanTravelModel(speed=0.8), _PROFILE
+    ),
+    "timedep-scalar-fallback": lambda: TimeDependentTravelModel(
+        AsymmetricTimeModel(speed=1.3), _PROFILE
+    ),
+    "timedep-roadnet": lambda: TimeDependentTravelModel(
+        RoadNetworkTravelModel(_grid(), speed=1.5), _PROFILE
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_backend_conformance(name, seed):
+    run_conformance(BACKENDS[name](), seed=seed, extent=6.0, epochs=_EPOCHS)
+
+
+def test_static_backends_ignore_the_epoch_clock():
+    """begin_epoch on a static model is a no-op and the boundary is inf."""
+    model = EuclideanTravelModel(speed=1.0)
+    from repro.spatial.geometry import Point
+
+    a, b = Point(0.0, 0.0), Point(3.0, 4.0)
+    before = model.time(a, b)
+    model.begin_epoch(12345.0)
+    assert model.time(a, b) == before
+    assert model.next_profile_boundary(12345.0) == float("inf")
+
+
+def test_uniform_profile_is_literally_the_base_model():
+    """The static-profile special case reproduces the base floats exactly."""
+    import random
+
+    from conformance import make_entities
+
+    base = EuclideanTravelModel(speed=1.3)
+    wrapped = TimeDependentTravelModel(base, SpeedProfile.constant(1.0))
+    rng = random.Random(5)
+    workers, tasks = make_entities(rng, 4, 9)
+    base_d, base_t = base.pairwise(workers, tasks)
+    wrap_d, wrap_t = wrapped.pairwise(workers, tasks)
+    assert (base_d == wrap_d).all() and (base_t == wrap_t).all()
+    assert wrapped.next_profile_boundary(0.0) == float("inf")
+    assert wrapped.reach_bound(2.5) == base.reach_bound(2.5)

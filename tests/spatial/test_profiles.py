@@ -1,0 +1,137 @@
+"""SpeedProfile unit tests: windows, boundaries, validation, rush_hour."""
+
+import math
+
+import pytest
+
+from repro.spatial.profiles import DAY_SECONDS, SpeedProfile
+
+
+class TestWindows:
+    def test_half_open_boundaries(self):
+        profile = SpeedProfile(
+            breakpoints=(0.0, 10.0, 20.0), multipliers=(1.0, 0.5, 1.2), period=100.0
+        )
+        assert profile.multiplier_at(0.0) == 1.0
+        assert profile.multiplier_at(9.999) == 1.0
+        assert profile.multiplier_at(10.0) == 0.5  # boundary sees the new window
+        assert profile.multiplier_at(20.0) == 1.2
+        assert profile.multiplier_at(99.9) == 1.2
+        assert profile.multiplier_at(100.0) == 1.0  # wraps
+
+    def test_next_boundary_strictly_ahead(self):
+        profile = SpeedProfile(
+            breakpoints=(0.0, 10.0, 20.0), multipliers=(1.0, 0.5, 1.2), period=100.0
+        )
+        assert profile.next_boundary(0.0) == 10.0
+        assert profile.next_boundary(10.0) == 20.0
+        assert profile.next_boundary(15.0) == 20.0
+        assert profile.next_boundary(20.0) == 100.0  # period wrap
+        assert profile.next_boundary(250.0) == 300.0  # later cycles
+
+    def test_uniform_profiles_report_no_boundaries(self):
+        assert SpeedProfile.constant(0.7).next_boundary(5.0) == math.inf
+        uniform = SpeedProfile(
+            breakpoints=(0.0, 10.0), multipliers=(0.9, 0.9), period=50.0
+        )
+        assert uniform.next_boundary(0.0) == math.inf
+
+    def test_min_multiplier(self):
+        profile = SpeedProfile(
+            breakpoints=(0.0, 5.0), multipliers=(1.3, 0.4), period=10.0
+        )
+        assert profile.min_multiplier == 0.4
+
+    def test_negative_times_fold_into_the_period(self):
+        profile = SpeedProfile(
+            breakpoints=(0.0, 10.0), multipliers=(1.0, 0.5), period=100.0
+        )
+        assert profile.multiplier_at(-50.0) == 0.5  # phase 50
+        assert profile.next_boundary(-95.0) == -90.0  # phase 5 -> boundary at 10
+
+
+class TestRushHourFactory:
+    def test_default_commuter_shape(self):
+        profile = SpeedProfile.rush_hour()
+        assert profile.period == DAY_SECONDS
+        assert profile.multiplier_at(6.0 * 3600) == 1.0
+        assert profile.multiplier_at(8.0 * 3600) == 0.5
+        assert profile.multiplier_at(12.0 * 3600) == 1.0
+        assert profile.multiplier_at(18.0 * 3600) == 0.5
+        assert profile.multiplier_at(22.0 * 3600) == 1.0
+
+    def test_adjacent_and_leading_peaks(self):
+        leading = SpeedProfile.rush_hour(
+            peaks=((0.0, 5.0),), peak_multiplier=0.4, period=20.0
+        )
+        assert leading.multiplier_at(0.0) == 0.4
+        assert leading.multiplier_at(5.0) == 1.0
+        adjacent = SpeedProfile.rush_hour(
+            peaks=((2.0, 4.0), (4.0, 6.0)), peak_multiplier=0.4, period=20.0
+        )
+        assert adjacent.multiplier_at(3.0) == 0.4
+        assert adjacent.multiplier_at(5.0) == 0.4
+        assert adjacent.multiplier_at(6.0) == 1.0
+
+    def test_invalid_peaks_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedProfile.rush_hour(peaks=((5.0, 3.0),), period=20.0)
+        with pytest.raises(ValueError):
+            SpeedProfile.rush_hour(peaks=((2.0, 6.0), (4.0, 8.0)), period=20.0)
+        with pytest.raises(ValueError):
+            SpeedProfile.rush_hour(peaks=((2.0, 25.0),), period=20.0)
+
+
+class TestValidation:
+    def test_constructor_rejects_malformed_profiles(self):
+        with pytest.raises(ValueError):
+            SpeedProfile(breakpoints=(), multipliers=(), period=10.0)
+        with pytest.raises(ValueError):
+            SpeedProfile(breakpoints=(1.0,), multipliers=(1.0,), period=10.0)
+        with pytest.raises(ValueError):
+            SpeedProfile(breakpoints=(0.0, 5.0), multipliers=(1.0,), period=10.0)
+        with pytest.raises(ValueError):
+            SpeedProfile(breakpoints=(0.0, 5.0, 5.0), multipliers=(1.0, 1.0, 1.0), period=10.0)
+        with pytest.raises(ValueError):
+            SpeedProfile(breakpoints=(0.0, 12.0), multipliers=(1.0, 1.0), period=10.0)
+        with pytest.raises(ValueError):
+            SpeedProfile(breakpoints=(0.0,), multipliers=(0.0,), period=10.0)
+        with pytest.raises(ValueError):
+            SpeedProfile(breakpoints=(0.0,), multipliers=(1.0,), period=-5.0)
+
+
+class TestNormalization:
+    def test_adjacent_equal_windows_are_merged(self):
+        profile = SpeedProfile(
+            breakpoints=(0.0, 100.0, 200.0, 300.0),
+            multipliers=(1.0, 0.5, 0.5, 1.0),
+            period=1000.0,
+        )
+        assert profile.breakpoints == (0.0, 100.0, 300.0)
+        assert profile.multipliers == (1.0, 0.5, 1.0)
+        # No spurious boundary where the multiplier does not change.
+        assert profile.next_boundary(150.0) == 300.0
+
+    def test_wrap_boundary_skipped_when_multiplier_continues(self):
+        # Last and first window share a multiplier: the period wrap is not
+        # a real boundary; the next change is next cycle's second window.
+        profile = SpeedProfile(
+            breakpoints=(0.0, 10.0, 20.0),
+            multipliers=(1.0, 0.5, 1.0),
+            period=100.0,
+        )
+        assert profile.next_boundary(50.0) == 110.0
+        assert profile.multiplier_at(105.0) == 1.0
+        assert profile.multiplier_at(110.0) == 0.5
+        # Distinct wrap multiplier: the wrap itself is the boundary.
+        changing = SpeedProfile(
+            breakpoints=(0.0, 10.0), multipliers=(1.0, 0.5), period=100.0
+        )
+        assert changing.next_boundary(50.0) == 100.0
+
+    def test_rush_hour_adjacent_peaks_produce_no_spurious_boundary(self):
+        profile = SpeedProfile.rush_hour(
+            peaks=((2.0, 4.0), (4.0, 6.0)), peak_multiplier=0.4, period=20.0
+        )
+        assert profile.breakpoints == (0.0, 2.0, 6.0)
+        assert profile.next_boundary(3.0) == 6.0

@@ -1,14 +1,26 @@
-"""TravelMatrix: exactness against the scalar travel-model primitives."""
+"""TravelMatrix: exactness against the scalar travel-model primitives.
+
+The per-backend identity batteries (scalar vs ``pairwise``/``legs``/
+``single_row``/``TravelMatrix``) live in the shared conformance suite
+(``conformance.py`` / ``test_conformance.py``); this file keeps the
+matrix-specific behaviours — custom-model overrides, the reachability
+mask, lookup errors.
+"""
 
 import random
 
 import numpy as np
 import pytest
 
+from conformance import (
+    WeirdScalarModel,
+    check_scalar_vector_identity,
+    check_travel_matrix_identity,
+)
 from repro.core.task import Task
 from repro.core.worker import Worker
-from repro.spatial.geometry import Point, euclidean_distance, manhattan_distance
-from repro.spatial.travel import EuclideanTravelModel, ManhattanTravelModel, TravelModel
+from repro.spatial.geometry import Point, euclidean_distance
+from repro.spatial.travel import EuclideanTravelModel, ManhattanTravelModel
 from repro.spatial.travel_matrix import LegTimes, TravelMatrix
 
 
@@ -33,45 +45,15 @@ def _random_instance(seed, num_workers=6, num_tasks=25):
 
 class TestExactness:
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_euclidean_entries_bit_identical(self, seed):
+    def test_builtin_and_fallback_models_bit_identical(self, seed):
+        # One shared battery per backend (scalar primitives vs TravelMatrix).
         workers, tasks = _random_instance(seed)
-        travel = EuclideanTravelModel(speed=1.7)
-        matrix = TravelMatrix(workers, tasks, travel)
-        for worker in workers:
-            for task in tasks:
-                assert matrix.worker_task_distance(worker.worker_id, task.task_id) == (
-                    travel.distance(worker.location, task.location)
-                )
-                assert matrix.worker_task_time(worker.worker_id, task.task_id) == (
-                    travel.time(worker.location, task.location)
-                )
-
-    def test_manhattan_entries_bit_identical(self):
-        workers, tasks = _random_instance(7)
-        travel = ManhattanTravelModel(speed=2.0)
-        matrix = TravelMatrix(workers, tasks, travel)
-        for worker in workers[:3]:
-            for task in tasks[:10]:
-                assert matrix.worker_task_distance(worker.worker_id, task.task_id) == (
-                    manhattan_distance(worker.location, task.location)
-                )
-
-    def test_custom_model_fallback_is_exact(self):
-        class WeirdModel(TravelModel):
-            def distance(self, origin, destination):
-                return 2.0 * euclidean_distance(origin, destination) + 0.25
-
-        workers, tasks = _random_instance(3, num_workers=3, num_tasks=8)
-        travel = WeirdModel(speed=1.0)
-        matrix = TravelMatrix(workers, tasks, travel)
-        for worker in workers:
-            for task in tasks:
-                assert matrix.worker_task_distance(worker.worker_id, task.task_id) == (
-                    travel.distance(worker.location, task.location)
-                )
-        assert matrix.task_task_distance(tasks[0].task_id, tasks[1].task_id) == (
-            travel.distance(tasks[0].location, tasks[1].location)
-        )
+        for travel in (
+            EuclideanTravelModel(speed=1.7),
+            ManhattanTravelModel(speed=2.0),
+            WeirdScalarModel(speed=1.0),
+        ):
+            check_travel_matrix_identity(travel, workers[:4], tasks[:10])
 
     def test_overridden_time_is_honoured(self):
         class OverheadModel(EuclideanTravelModel):
@@ -120,40 +102,17 @@ class TestExactness:
 
 class TestTravelModelProtocol:
     """The entity-level protocol (pairwise / legs / single_row) must be
-    bit-identical to the scalar primitives for kernel and fallback models."""
+    bit-identical to the scalar primitives for kernel and fallback models
+    (the shared conformance check, run here over entity sequences)."""
 
-    def _models(self):
-        class WeirdModel(TravelModel):
-            def distance(self, origin, destination):
-                return 2.0 * euclidean_distance(origin, destination) + 0.25
-
-        return [
+    def test_pairwise_single_row_and_legs_match_scalar(self):
+        workers, tasks = _random_instance(23, num_workers=4, num_tasks=9)
+        for model in (
             EuclideanTravelModel(speed=1.7),
             ManhattanTravelModel(speed=0.8),
-            WeirdModel(speed=1.1),
-        ]
-
-    def test_pairwise_matches_scalar(self):
-        workers, tasks = _random_instance(23, num_workers=4, num_tasks=9)
-        for model in self._models():
-            dist, time = model.pairwise(workers, tasks)
-            assert dist.shape == time.shape == (4, 9)
-            for i, worker in enumerate(workers):
-                for j, task in enumerate(tasks):
-                    assert dist[i, j] == model.distance(worker.location, task.location)
-                    assert time[i, j] == model.time(worker.location, task.location)
-
-    def test_single_row_and_legs(self):
-        workers, tasks = _random_instance(29, num_workers=3, num_tasks=7)
-        for model in self._models():
-            dist, time = model.pairwise(workers[:1], tasks)
-            row_d, row_t = model.single_row(workers[0], tasks)
-            assert np.array_equal(row_d, dist[0])
-            assert np.array_equal(row_t, time[0])
-            legs_d, legs_t = model.legs(tasks, tasks)
-            full_d, full_t = model.pairwise(tasks, tasks)
-            assert np.array_equal(legs_d, full_d)
-            assert np.array_equal(legs_t, full_t)
+            WeirdScalarModel(speed=1.1),
+        ):
+            check_scalar_vector_identity(model, workers, tasks)
 
     def test_pairwise_accepts_plain_points(self):
         from repro.spatial.geometry import Point

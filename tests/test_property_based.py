@@ -209,3 +209,169 @@ class TestDemandProperties:
         assert normalized.shape == (n, n)
         assert np.isfinite(normalized).all()
         assert (normalized >= 0).all()
+
+
+# ------------------------------------------------------------------ #
+# Time-dependent travel: profiles and horizon clamping
+# ------------------------------------------------------------------ #
+@st.composite
+def speed_profiles(draw, period=64.0):
+    """Random piecewise-constant profiles over a small period."""
+    num_extra = draw(st.integers(min_value=0, max_value=4))
+    cuts = sorted(
+        set(
+            draw(
+                st.lists(
+                    st.floats(1.0, period - 1.0, allow_nan=False),
+                    min_size=num_extra,
+                    max_size=num_extra,
+                )
+            )
+        )
+    )
+    breakpoints = (0.0, *cuts)
+    multipliers = tuple(
+        draw(st.floats(0.25, 2.0, allow_nan=False)) for _ in breakpoints
+    )
+    from repro.spatial.profiles import SpeedProfile
+
+    return SpeedProfile(breakpoints=breakpoints, multipliers=multipliers, period=period)
+
+
+@st.composite
+def timedep_scenario(draw):
+    profile = draw(speed_profiles())
+    num_tasks = draw(st.integers(min_value=0, max_value=8))
+    tasks = [
+        Task(
+            100 + i,
+            Point(draw(st.floats(0.0, 10.0)), draw(st.floats(0.0, 10.0))),
+            0.0,
+            draw(st.floats(1.0, 120.0)),
+        )
+        for i in range(num_tasks)
+    ]
+    worker = Worker(
+        1,
+        Point(draw(st.floats(0.0, 10.0)), draw(st.floats(0.0, 10.0))),
+        draw(st.floats(0.5, 4.0)),
+        0.0,
+        draw(st.floats(10.0, 120.0)),
+    )
+    now = draw(st.floats(0.0, 100.0))
+    return profile, worker, tasks, now
+
+
+class TestTimeDependentProperties:
+    @given(speed_profiles(), st.floats(0.0, 500.0, allow_nan=False))
+    @settings(deadline=None)
+    def test_profile_boundary_is_strictly_ahead_and_window_constant(self, profile, now):
+        boundary = profile.next_boundary(now)
+        assert boundary > now
+        active = profile.multiplier_at(now)
+        assert active in profile.multipliers
+        if math.isfinite(boundary):
+            # The multiplier is constant on [now, boundary).
+            for fraction in (0.0, 0.37, 0.93):
+                probe = now + (boundary - now) * fraction
+                if probe < boundary:
+                    assert profile.multiplier_at(probe) == active
+        else:
+            assert profile.multiplier_at(now + 12345.0) == active
+
+    @given(timedep_scenario())
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_reachable_horizon_clamped_and_constant_inside(self, scenario):
+        from repro.assignment.reachability import (
+            reachable_tasks,
+            reachable_tasks_with_horizon,
+        )
+        from repro.spatial.timedep import TimeDependentTravelModel
+
+        profile, worker, tasks, now = scenario
+        model = TimeDependentTravelModel(EuclideanTravelModel(speed=1.0), profile)
+        model.begin_epoch(now)
+        capped, _, horizon = reachable_tasks_with_horizon(worker, tasks, now, model)
+        # Clamp: cached sets never claim validity past the next boundary.
+        assert horizon <= model.next_profile_boundary(now)
+        reference = [t.task_id for t in capped]
+        if horizon <= now:
+            return
+        for fraction in (0.25, 0.8, 0.999):
+            probe = now + (horizon - now) * fraction
+            if not (now <= probe < horizon):
+                continue
+            model.begin_epoch(probe)
+            again = [t.task_id for t in reachable_tasks(worker, tasks, probe, model)]
+            assert again == reference
+        model.begin_epoch(now)  # leave the shared model latched at `now`
+
+    @given(timedep_scenario())
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sequence_horizon_clamped_and_constant_inside(self, scenario):
+        from repro.assignment.reachability import reachable_tasks
+        from repro.spatial.timedep import TimeDependentTravelModel
+
+        profile, worker, tasks, now = scenario
+        model = TimeDependentTravelModel(EuclideanTravelModel(speed=1.0), profile)
+        model.begin_epoch(now)
+        reachable = reachable_tasks(worker, tasks, now, model)
+        box = []
+        sequences = maximal_valid_sequences(
+            worker, reachable, now, model, max_length=3, max_sequences=16,
+            horizon_out=box,
+        )
+        horizon = box[0]
+        assert horizon <= model.next_profile_boundary(now)
+        signature = [s.task_ids for s in sequences]
+        if horizon <= now:
+            return
+        for fraction in (0.3, 0.95):
+            probe = now + (horizon - now) * fraction
+            if not (now <= probe < horizon):
+                continue
+            model.begin_epoch(probe)
+            again = maximal_valid_sequences(
+                worker, reachable, probe, model, max_length=3, max_sequences=16
+            )
+            assert [s.task_ids for s in again] == signature
+        model.begin_epoch(now)
+
+    def test_boundary_reentry_is_not_missed_by_the_engine(self):
+        """Regression for the clamp's raison d'être: a task unreachable in
+        the congested window becomes reachable when the fast window opens.
+        The per-task horizon boundaries never cover this (the set is
+        *empty*, so there is no member boundary to flip); only the profile
+        clamp forces the recompute.  The incremental engine must agree
+        with a full replan at the boundary epoch."""
+        from repro.assignment.planner import PlannerConfig, TaskPlanner
+        from repro.spatial.profiles import SpeedProfile
+        from repro.spatial.timedep import TimeDependentTravelModel
+
+        profile = SpeedProfile(
+            breakpoints=(0.0, 10.0), multipliers=(0.5, 2.0), period=1000.0
+        )
+        model = TimeDependentTravelModel(EuclideanTravelModel(speed=1.0), profile)
+        worker = Worker(1, Point(0.0, 0.0), 10.0, 0.0, 1000.0)
+        # distance 8: congested time 16 >= 15 - 0 (unreachable at 0);
+        # fast-window time 4 < 15 - 10 (reachable at the boundary).
+        task = Task(7, Point(8.0, 0.0), 0.0, 15.0)
+        incremental = TaskPlanner(
+            PlannerConfig(incremental_replan=True, travel_model=model)
+        )
+        full = TaskPlanner(
+            PlannerConfig(incremental_replan=False, travel_model=model)
+        )
+        planned = []
+        for now in (0.0, 10.0):  # second epoch lands exactly on the boundary
+            a = incremental.plan([worker], [task], now)
+            b = full.plan([worker], [task], now)
+            assert [
+                (wp.worker.worker_id, wp.sequence.task_ids) for wp in a.assignment
+            ] == [
+                (wp.worker.worker_id, wp.sequence.task_ids) for wp in b.assignment
+            ]
+            assert a.planned_tasks == b.planned_tasks
+            planned.append(a.planned_tasks)
+        # And the fast window genuinely flipped the outcome (re-entry).
+        assert planned == [0, 1]
