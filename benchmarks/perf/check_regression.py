@@ -23,12 +23,19 @@ safe to compare across a dev laptop and a CI runner:
   Dijkstra row-cache (cold vs warm) speedup,
 * time-dependent (rush-hour) planning: the incremental-replan speedup on
   boundary-crossing streams over the time-dependent Euclidean wrapper
-  and over the per-edge-class road-network backend.
+  and over the per-edge-class road-network backend,
+* fault-tolerance overhead: the share of a resilient platform replay's
+  CPU time spent inside the machinery hooks (journal + checkpoints +
+  validation + self-check), instrumented within a single run so machine
+  load cancels out, gated at an **absolute** bound of ``OVERHEAD_LIMIT``
+  rather than against the baseline: the contract is "under 5%
+  overhead", full stop.
 
 Absolute wall-clock numbers (latencies, events/sec) are printed for
 context but never fail the check — they are not comparable across
-machines.  A ratio fails when ``candidate < baseline / factor``.  Missing
-sections are skipped with a note so partial baselines stay usable.
+machines.  A ratio fails when ``candidate < baseline / factor``; a bound
+fails when ``candidate > OVERHEAD_LIMIT``.  Missing sections are skipped
+with a note so partial baselines stay usable.
 """
 
 from __future__ import annotations
@@ -39,8 +46,19 @@ import sys
 from pathlib import Path
 
 
+#: Absolute ceiling for 'bound' metrics: the fault-tolerance machinery may
+#: cost at most 5% of the bare-metal wall-clock on a healthy stream.
+OVERHEAD_LIMIT = 1.05
+
+
 def _iter_metrics(data):
-    """Yield (name, value, kind); kind 'ratio' metrics gate, 'info' do not."""
+    """Yield (name, value, kind).
+
+    Kinds: ``ratio`` gates against the baseline (fails when the candidate
+    drops below ``baseline / factor``); ``bound`` gates against the
+    absolute ``OVERHEAD_LIMIT`` (fails when the candidate exceeds it,
+    regardless of the baseline); ``info`` never gates.
+    """
     for scale, entry in data.get("snapshot_replan", {}).items():
         yield f"snapshot_replan.{scale}.speedup", entry["speedup"], "ratio"
         yield f"snapshot_replan.{scale}.vector_mean_ms", entry["vector_mean_ms"], "info"
@@ -106,6 +124,17 @@ def _iter_metrics(data):
                 entry["incremental_mean_ms"],
                 "info",
             )
+    for scale, entry in data.get("degradation_overhead", {}).items():
+        yield (
+            f"degradation_overhead.{scale}.overhead_ratio",
+            entry["overhead_ratio"],
+            "bound",
+        )
+        yield (
+            f"degradation_overhead.{scale}.resilient_ms",
+            entry["resilient_ms"],
+            "info",
+        )
 
 
 def compare(baseline: dict, candidate: dict, factor: float):
@@ -122,6 +151,15 @@ def compare(baseline: dict, candidate: dict, factor: float):
         cand_value, _ = candidate_metrics[name]
         if kind == "info":
             rows.append((name, base_value, cand_value, "info (not gated)"))
+            continue
+        if kind == "bound":
+            regressed = cand_value > OVERHEAD_LIMIT
+            status = "FAIL" if regressed else "ok"
+            rows.append(
+                (name, base_value, cand_value, f"{status} (limit {OVERHEAD_LIMIT})")
+            )
+            if regressed:
+                failures.append(name)
             continue
         regressed = cand_value < base_value / factor
         ratio = base_value / cand_value if cand_value else float("inf")

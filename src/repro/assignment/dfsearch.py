@@ -28,6 +28,7 @@ both engines degrade gracefully to a best-effort answer on huge clusters.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,12 @@ from repro.core.worker import Worker
 #: instead of degrading at a fixed cap sized for yesterday's cost profile.
 _BUDGET_PER_WORKER = 2000
 _BUDGET_PER_SEQUENCE = 250
+
+#: Expansions between wall-clock deadline checks.  A ``perf_counter`` read
+#: costs tens of nanoseconds versus microseconds per expansion, so checking
+#: every 64 nodes keeps the overshoot past a deadline in the tens of
+#: microseconds while adding well under a percent of search cost.
+_DEADLINE_CHECK_INTERVAL = 64
 
 
 def adaptive_node_budget(base: int, num_workers: int, num_sequences: int) -> int:
@@ -76,6 +83,12 @@ class SearchContext:
         already-computed sub-problem without exploring anything new, so
         they are tallied in ``memo_hits`` and never charged against the
         budget.
+    deadline:
+        Absolute ``time.perf_counter()`` instant after which the search
+        stops expanding and returns the best anytime answer, checked
+        cooperatively every ``_DEADLINE_CHECK_INTERVAL`` expansions (the
+        wall-clock twin of ``node_budget``).  ``None`` disables the check
+        entirely — the no-deadline path pays nothing.
     collect_experience:
         Whether to record ``(state, action, opt)`` tuples for TVF training.
     """
@@ -83,9 +96,16 @@ class SearchContext:
     sequences_by_worker: Dict[int, List[TaskSequence]]
     workers_by_id: Dict[int, Worker]
     node_budget: int = 20000
+    deadline: Optional[float] = None
     collect_experience: bool = False
     nodes_expanded: int = 0
     memo_hits: int = 0
+    deadline_hit: bool = False
+    # Single fused threshold for the per-expansion stop test: the fast path
+    # is one integer compare whether or not a deadline is armed (0 forces
+    # the first call through the slow path, so an already-expired deadline
+    # is noticed at expansion 0).
+    _next_stop_check: int = 0
     experience: List[Tuple[dict, dict, float]] = field(default_factory=list)
     # Memo key: (node identity, pending workers, available tasks).  The
     # node identity is load-bearing: with it omitted, the empty-pending
@@ -100,7 +120,21 @@ class SearchContext:
     ] = field(default_factory=dict)
 
     def out_of_budget(self) -> bool:
-        return self.nodes_expanded >= self.node_budget
+        if self.nodes_expanded < self._next_stop_check:
+            return False
+        if self.nodes_expanded >= self.node_budget or self.deadline_hit:
+            return True
+        if self.deadline is not None:
+            if _time.perf_counter() >= self.deadline:
+                self.deadline_hit = True
+                self._next_stop_check = 0  # stay on the slow (True) path
+                return True
+            self._next_stop_check = min(
+                self.node_budget, self.nodes_expanded + _DEADLINE_CHECK_INTERVAL
+            )
+        else:
+            self._next_stop_check = self.node_budget
+        return False
 
 
 @dataclass
@@ -116,6 +150,11 @@ class DFSearchResult:
     #: False when the node budget cut exploration short, i.e. ``opt`` is a
     #: feasible lower bound rather than the proven optimum.
     complete: bool = True
+    #: True when a wall-clock deadline (not the node budget) cut the search:
+    #: the planner's degradation ladder keys off this to decide whether the
+    #: epoch was served by an anytime partial.  Deadline-cut results are
+    #: wall-clock-dependent and must never be cached across calls.
+    deadline_hit: bool = False
 
     def as_assignment_map(self) -> Dict[int, Tuple[int, ...]]:
         """Worker id -> tuple of assigned task ids."""
@@ -215,6 +254,7 @@ def dfsearch(
     workers_by_id: Dict[int, Worker],
     node_budget: int = 20000,
     collect_experience: bool = False,
+    deadline: Optional[float] = None,
 ) -> DFSearchResult:
     """Run Algorithm 1 on a partition-tree node.
 
@@ -233,11 +273,15 @@ def dfsearch(
     collect_experience:
         Record ``(state, action, opt)`` tuples for TVF training; disables
         memoisation so every visited state is recorded with its true value.
+    deadline:
+        Absolute ``time.perf_counter()`` cutoff; on expiry the best
+        anytime answer found so far is returned with ``deadline_hit`` set.
     """
     context = SearchContext(
         sequences_by_worker=sequences_by_worker,
         workers_by_id=workers_by_id,
         node_budget=node_budget,
+        deadline=deadline,
         collect_experience=collect_experience,
     )
     task_ids = frozenset(task.task_id for task in tasks)
@@ -249,6 +293,7 @@ def dfsearch(
         experience=context.experience,
         memo_hits=context.memo_hits,
         complete=not context.out_of_budget(),
+        deadline_hit=context.deadline_hit,
     )
 
 
@@ -387,6 +432,9 @@ class _BnBContext:
     __slots__ = (
         "bit_mask",
         "node_budget",
+        "deadline",
+        "deadline_hit",
+        "_next_stop_check",
         "nodes_expanded",
         "memo_hits",
         "memo",
@@ -396,9 +444,17 @@ class _BnBContext:
         "extra_tids",
     )
 
-    def __init__(self, bit_mask: Dict[int, int], node_budget: int) -> None:
+    def __init__(
+        self,
+        bit_mask: Dict[int, int],
+        node_budget: int,
+        deadline: Optional[float] = None,
+    ) -> None:
         self.bit_mask = bit_mask
         self.node_budget = node_budget
+        self.deadline = deadline
+        self.deadline_hit = False
+        self._next_stop_check = 0
         self.nodes_expanded = 0
         self.memo_hits = 0
         # (node key, worker index, relevant available mask) -> (opt, sel).
@@ -422,6 +478,27 @@ class _BnBContext:
         self.universe_tids: List[int] = []
         self.extra_tids: Tuple[int, ...] = ()
 
+    def exhausted(self) -> bool:
+        """Budget or wall-clock cutoff reached (same contract as
+        :meth:`SearchContext.out_of_budget`; the deadline is polled every
+        ``_DEADLINE_CHECK_INTERVAL`` expansions, and the fast path is a
+        single integer compare whether or not a deadline is armed)."""
+        if self.nodes_expanded < self._next_stop_check:
+            return False
+        if self.nodes_expanded >= self.node_budget or self.deadline_hit:
+            return True
+        if self.deadline is not None:
+            if _time.perf_counter() >= self.deadline:
+                self.deadline_hit = True
+                self._next_stop_check = 0  # stay on the slow (True) path
+                return True
+            self._next_stop_check = min(
+                self.node_budget, self.nodes_expanded + _DEADLINE_CHECK_INTERVAL
+            )
+        else:
+            self._next_stop_check = self.node_budget
+        return False
+
     def mask_task_ids(self, mask: int) -> List[int]:
         """Task ids of a universe bitmask, in ascending id order."""
         ids: List[int] = []
@@ -444,7 +521,7 @@ def _bnb_children(
     if cached is not None:
         context.memo_hits += 1
         return cached[0], cached[1], True
-    if context.nodes_expanded >= context.node_budget:
+    if context.exhausted():
         return 0, info.empty_tail[len(info.worker_ids):], False
     context.nodes_expanded += 1
     total = 0
@@ -483,7 +560,7 @@ def _bnb_solve(
     if cached is not None:
         context.memo_hits += 1
         return cached[0], cached[1], True
-    if context.nodes_expanded >= context.node_budget:
+    if context.exhausted():
         return 0, info.empty_tail[i:], False
     context.nodes_expanded += 1
 
@@ -544,7 +621,7 @@ def _bnb_solve(
         if value > best_opt:
             best_opt = value
             best_selection = ((worker_id, task_ids),) + sub_sel
-        if context.nodes_expanded >= context.node_budget:
+        if context.exhausted():
             complete = False
             break
     # Option 0 (assign nothing) — skipped when the rest-of-problem bound
@@ -568,6 +645,7 @@ def dfsearch_bnb(
     workers_by_id: Dict[int, Worker],
     node_budget: int = 20000,
     collect_experience: bool = False,
+    deadline: Optional[float] = None,
 ) -> DFSearchResult:
     """Anytime branch-and-bound equivalent of :func:`dfsearch`.
 
@@ -606,7 +684,7 @@ def dfsearch_bnb(
 
     counter = [0]
     info = _BnBNode(node, bit_of, sequences_by_worker, counter)
-    context = _BnBContext(bit_mask, node_budget)
+    context = _BnBContext(bit_mask, node_budget, deadline=deadline)
     if collect_experience:
         context.collect_experience = True
         context.universe_tids = sorted(referenced)
@@ -620,6 +698,7 @@ def dfsearch_bnb(
         experience=context.experience,
         memo_hits=context.memo_hits,
         complete=complete,
+        deadline_hit=context.deadline_hit,
     )
 
 

@@ -49,6 +49,8 @@ this on randomized snapshot streams and full platform replays.
 
 from __future__ import annotations
 
+import logging
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -79,6 +81,9 @@ _HOPS = 1
 #: entries not referenced for the TTL (in epochs) are dropped.
 _COMPONENT_CACHE_MAX = 4096
 _COMPONENT_CACHE_TTL = 64
+
+#: Self-healing diagnostics (invariant violations and cache repairs).
+_LOG = logging.getLogger("repro.resilience")
 
 
 @dataclass
@@ -155,6 +160,10 @@ class _WorkerEntry:
     reach_horizon: float
     sequences: List[TaskSequence]
     seq_tuples: Tuple[Tuple[int, ...], ...]
+    #: ``seq_tuples`` as a frozenset, kept in lockstep: the self-check
+    #: probes candidate membership once per planned worker per epoch, and
+    #: the linear tuple scan was measurable at platform scale.
+    seq_set: FrozenSet[Tuple[int, ...]]
     seq_horizon: float
     #: True when the reachable set came from the predicted-task fallback
     #: (empty real reachable set with predicted tasks in the snapshot).
@@ -245,9 +254,22 @@ class IncrementalPlanEngine:
         self._forced_tasks.update(dirty.task_ids)
 
     # ------------------------------------------------------------------ #
-    def plan(self, workers: Sequence[Worker], tasks: Sequence[Task], now: float):
-        """Incremental equivalent of ``TaskPlanner.plan`` (no experience)."""
-        from repro.assignment.planner import PlanningOutcome
+    def plan(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        now: float,
+        deadline: Optional[float] = None,
+    ):
+        """Incremental equivalent of ``TaskPlanner.plan`` (no experience).
+
+        ``deadline`` is an absolute ``perf_counter`` cutoff forwarded to
+        every fresh component search; cache replays are effectively free
+        and never consult it.  Deadline-degraded component answers are
+        wall-clock-dependent, so they are *never* stored in the component
+        cache — the next epoch retries the search at full quality.
+        """
+        from repro.assignment.planner import PlanningOutcome, greedy_component_fill
 
         planner = self.planner
         config = planner.config
@@ -423,11 +445,12 @@ class IncrementalPlanEngine:
             self._adjacency_components = components
             self._adjacency_key = worker_stream_key
         use_guided = config.use_tvf and tvf is not None
-        assignment = Assignment()
-        planned = 0
         nodes_expanded = 0
         reused_components = 0
         searched_components = 0
+        rung_level = 0
+        epoch_selections: List[Tuple[int, Tuple[int, ...]]] = []
+        used_ids: Set[int] = set()
         for component in components:
             key = frozenset(component)
             versions = {wid: self._worker_entries[wid].version for wid in component}
@@ -444,11 +467,24 @@ class IncrementalPlanEngine:
                 nodes = cached.nodes_expanded
                 cached.last_used = self._epoch
                 reused_components += 1
+            elif deadline is not None and _time.perf_counter() >= deadline:
+                # Budget exhausted before this component's search started:
+                # greedy rung (first-fit over Q_w), uncached — the result
+                # depends on wall-clock, not just the component state.
+                selections = tuple(
+                    greedy_component_fill(
+                        component, sequences_by_worker, set(tasks_by_id) - used_ids
+                    )
+                )
+                nodes = 0
+                rung_level = max(rung_level, 2)
+                searched_components += 1
             else:
                 if config.use_partition:
                     root = build_component_subtree(adjacency, component)
                 else:
                     root = PartitionNode(workers=list(component))
+                degraded = False
                 if guided:
                     result = dfsearch_tvf(
                         root, active, sequences_by_worker, workers_by_id, tvf
@@ -474,26 +510,52 @@ class IncrementalPlanEngine:
                         sequences_by_worker,
                         workers_by_id,
                         node_budget=budget,
+                        deadline=deadline,
                     )
+                    if result.deadline_hit:
+                        degraded = True
+                        rung_level = max(rung_level, 1)
                 selections = tuple(result.selections)
                 nodes = result.nodes_expanded
-                self._components[key] = _ComponentEntry(
-                    versions=versions,
-                    selections=selections,
-                    nodes_expanded=nodes,
-                    mode=mode,
-                    task_epoch=self._task_epoch,
-                    last_used=self._epoch,
-                )
+                if not degraded:
+                    # Deadline-cut answers are anytime partials tied to this
+                    # epoch's wall-clock; caching one would replay a degraded
+                    # plan on healthy future epochs.
+                    self._components[key] = _ComponentEntry(
+                        versions=versions,
+                        selections=selections,
+                        nodes_expanded=nodes,
+                        mode=mode,
+                        task_epoch=self._task_epoch,
+                        last_used=self._epoch,
+                    )
                 searched_components += 1
             nodes_expanded += nodes
-            for worker_id, task_ids in selections:
+            epoch_selections.extend(selections)
+            for _, task_ids in selections:
+                used_ids.update(task_ids)
+
+        # ---- post-replan invariant check (self-healing) ------------------- #
+        if config.self_check:
+            violation = self._find_violation(epoch_selections, tasks_by_id, workers_by_id)
+            if violation is not None:
+                return self._repair(workers, tasks, now, deadline, violation)
+        try:
+            assignment = Assignment()
+            planned = 0
+            for worker_id, task_ids in epoch_selections:
                 if not task_ids:
                     continue
                 worker = workers_by_id[worker_id]
                 sequence_tasks = tuple(tasks_by_id[tid] for tid in task_ids)
                 assignment.add(WorkerPlan(worker, TaskSequence(worker, sequence_tasks)))
                 planned += len(task_ids)
+        except (KeyError, ValueError) as exc:
+            # Backstop behind the cheap checks: any corrupted cache state
+            # that still slips into plan construction heals the same way.
+            if not config.self_check:
+                raise
+            return self._repair(workers, tasks, now, deadline, repr(exc))
 
         if len(self._components) > _COMPONENT_CACHE_MAX:
             cutoff = self._epoch - _COMPONENT_CACHE_TTL
@@ -515,6 +577,8 @@ class IncrementalPlanEngine:
 
         self._last_present = set(workers_by_id)
 
+        from repro.assignment.planner import DEGRADATION_RUNGS
+
         return PlanningOutcome(
             assignment=assignment,
             planned_tasks=planned,
@@ -524,7 +588,94 @@ class IncrementalPlanEngine:
             recomputed_workers=recomputed_workers,
             reused_components=reused_components,
             searched_components=searched_components,
+            rung=DEGRADATION_RUNGS[rung_level],
+            deadline_hit=rung_level > 0,
         )
+
+    # ------------------------------------------------------------------ #
+    # Self-healing: post-replan invariants and the repair path
+    # ------------------------------------------------------------------ #
+    def _find_violation(
+        self,
+        selections: List[Tuple[int, Tuple[int, ...]]],
+        tasks_by_id: Dict[int, Task],
+        workers_by_id: Dict[int, Worker],
+    ) -> Optional[str]:
+        """Cheap O(selected + workers) feasibility sweep over the epoch plan.
+
+        Checks exactly the invariants any healthy epoch satisfies by
+        construction: every planned worker appears once and is in the
+        snapshot, every selected task is open and selected once, every
+        non-empty selection is one of the worker's cached candidate
+        sequences, and no cached horizon has gone NaN or negative (a NaN
+        horizon makes the ``now >= horizon`` refresh test permanently
+        false, freezing a stale cache forever — the signature of corrupted
+        travel costs).  The horizon sweep covers every cached entry, not
+        just the snapshot: a frozen dormant entry would poison the plan
+        the moment its worker idles again, so it is repaired on sight.
+        Returns a description of the first violation, or ``None``.
+
+        This runs on every planned epoch, so the constant factor matters:
+        lookups are hoisted and the sweep iterates the entry table
+        directly instead of probing it per snapshot worker.
+        """
+        entries = self._worker_entries
+        seen_workers: Set[int] = set()
+        seen_tasks: Set[int] = set()
+        for worker_id, task_ids in selections:
+            if worker_id in seen_workers:
+                return f"worker {worker_id} planned twice"
+            seen_workers.add(worker_id)
+            if worker_id not in workers_by_id:
+                return f"planned worker {worker_id} not in snapshot"
+            if not task_ids:
+                continue
+            for tid in task_ids:
+                if tid in seen_tasks:
+                    return f"task {tid} double-booked"
+                seen_tasks.add(tid)
+                if tid not in tasks_by_id:
+                    return f"selected task {tid} not open"
+            entry = entries.get(worker_id)
+            if entry is None:
+                return f"no cached state for planned worker {worker_id}"
+            if task_ids not in entry.seq_set:
+                return (
+                    f"selection {task_ids} for worker {worker_id} "
+                    "is not a cached candidate sequence"
+                )
+        for worker_id, entry in entries.items():
+            # ``not (h >= 0)`` is True for NaN as well as negatives.
+            if not (entry.reach_horizon >= 0.0) or not (entry.seq_horizon >= 0.0):
+                return (
+                    f"worker {worker_id} horizon corrupt "
+                    f"(reach={entry.reach_horizon!r}, seq={entry.seq_horizon!r})"
+                )
+        return None
+
+    def _repair(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        now: float,
+        deadline: Optional[float],
+        violation: str,
+    ):
+        """Heal a corrupted epoch: drop every cache, redo it with the full
+        pipeline (which shares no state with the engine), and report the
+        repair on the outcome."""
+        _LOG.warning(
+            "incremental plan invariant violation at now=%s: %s — "
+            "dropping caches and replanning from scratch",
+            now,
+            violation,
+        )
+        self.invalidate()
+        outcome = self.planner._plan_full(
+            workers, tasks, now, collect_experience=False, deadline=deadline
+        )
+        outcome.repairs = 1
+        return outcome
 
     # ------------------------------------------------------------------ #
     def _candidates_for(
@@ -640,6 +791,7 @@ class IncrementalPlanEngine:
             reach_horizon=reach_horizon,
             sequences=sequences,
             seq_tuples=seq_tuples,
+            seq_set=frozenset(seq_tuples),
             seq_horizon=seq_horizon,
             fallback=fallback,
             version=version,
@@ -666,6 +818,7 @@ class IncrementalPlanEngine:
             entry.version += 1
         entry.sequences = sequences
         entry.seq_tuples = seq_tuples
+        entry.seq_set = frozenset(seq_tuples)
         entry.seq_horizon = horizon_box[0]
 
     def _drop_worker(self, worker_id: int) -> None:

@@ -14,8 +14,9 @@ Given the current workers and (current + predicted) tasks, the planner
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.assignment.dfsearch import adaptive_node_budget, dfsearch, dfsearch_bnb
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
@@ -46,6 +47,44 @@ from repro.spatial.travel_matrix import TravelMatrix
 #: candidates to the worker's neighbourhood) beats even the vectorized
 #: full-row mask, whose cost stays O(T) per worker.
 INDEX_MIN_TASKS = 1024
+
+#: The degradation ladder, best rung first.  Each planning epoch is served
+#: by exactly one rung: ``full`` — every component solved to its normal
+#: (budgeted) answer; ``partial`` — at least one component search was cut
+#: by the wall-clock deadline and returned its best anytime answer;
+#: ``greedy`` — the deadline had already expired before some component's
+#: search started, so that component was filled by the deterministic
+#: first-fit fallback; ``carryover`` — the platform kept a worker's
+#: previous still-valid plan because the degraded plan left it empty.
+DEGRADATION_RUNGS: Tuple[str, ...] = ("full", "partial", "greedy", "carryover")
+
+
+def greedy_component_fill(
+    worker_ids: Sequence[int],
+    sequences_by_worker: Dict[int, List[TaskSequence]],
+    available_ids: Set[int],
+) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Deadline fallback below any search: first-fit over ``Q_w``.
+
+    Walks the component's workers in order and gives each its first
+    candidate sequence that is fully available, removing the chosen tasks
+    from ``available_ids`` (mutated in place).  O(sum |Q_w|) with no
+    search at all — the "greedy strategy for still-unplanned components"
+    rung of the degradation ladder.  Deterministic given its inputs, but
+    *which* components land here depends on wall-clock, so results from
+    this path are never cached.
+    """
+    selections: List[Tuple[int, Tuple[int, ...]]] = []
+    for worker_id in worker_ids:
+        chosen: Tuple[int, ...] = ()
+        for sequence in sequences_by_worker.get(worker_id, []):
+            ids = sequence.task_id_set
+            if ids and ids <= available_ids:
+                chosen = sequence.task_ids
+                available_ids -= ids
+                break
+        selections.append((worker_id, chosen))
+    return selections
 
 
 @dataclass
@@ -106,6 +145,21 @@ class PlannerConfig:
         equivalent to full replanning; disabling it forces the full
         pipeline on every call (the reference behaviour, and what the
         replan-latency benchmarks measure as the baseline).
+    deadline_s:
+        Wall-clock budget (seconds) for one ``plan()`` call.  The clock
+        starts when ``plan`` is entered; component searches stop expanding
+        at the deadline and return their best anytime answer, components
+        whose search has not started by then fall to the deterministic
+        greedy fill, and the outcome reports which degradation rung served
+        the epoch (see :data:`DEGRADATION_RUNGS`).  ``None`` (default)
+        disables the deadline entirely — planning is then bit-for-bit
+        identical to a deadline-free build.
+    self_check:
+        Run the incremental engine's post-replan invariant check (no
+        double-booked task or worker, selections drawn from the cached
+        ``Q_w``, horizons finite and non-negative).  On violation the
+        engine logs, drops its caches and transparently redoes the epoch
+        with a full replan instead of crashing or corrupting state.
     """
 
     max_reachable: int = 10
@@ -120,6 +174,8 @@ class PlannerConfig:
     use_partition: bool = True
     use_travel_matrix: bool = True
     incremental_replan: bool = True
+    deadline_s: Optional[float] = None
+    self_check: bool = True
 
 
 @dataclass
@@ -140,6 +196,16 @@ class PlanningOutcome:
     recomputed_workers: int = 0
     reused_components: int = 0
     searched_components: int = 0
+    #: Worst degradation rung that served this epoch (``"full"`` when no
+    #: deadline interfered; the platform may still upgrade the ladder to
+    #: ``"carryover"`` — see :data:`DEGRADATION_RUNGS`).
+    rung: str = "full"
+    #: True iff any component's answer was degraded by the wall-clock
+    #: deadline (``rung`` is ``"partial"`` or ``"greedy"``).
+    deadline_hit: bool = False
+    #: Invariant-check repairs performed by the incremental engine while
+    #: producing this outcome (each one is a cache drop + full replan).
+    repairs: int = 0
 
 
 class TaskPlanner:
@@ -280,12 +346,37 @@ class TaskPlanner:
         # Latch the travel model's speed-profile window for this decision
         # point (idempotent; no-op for static models).
         self.travel.begin_epoch(now)
+        # The wall-clock budget of this decision point starts now and is
+        # shared by every stage below (including an invariant-repair
+        # replan, which inherits whatever time is left).
+        deadline = (
+            _time.perf_counter() + config.deadline_s
+            if config.deadline_s is not None
+            else None
+        )
         if config.incremental_replan and not collect_experience:
             # Dirty-region replanning: bit-for-bit the same outcome as the
             # full pipeline below, recomputing only what changed since the
             # previous call (experience collection records search-internal
             # state and always takes the full path).
-            return self._engine.plan(workers, tasks, now)
+            return self._engine.plan(workers, tasks, now, deadline=deadline)
+        return self._plan_full(workers, tasks, now, collect_experience, deadline)
+
+    def _plan_full(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        now: float,
+        collect_experience: bool = False,
+        deadline: Optional[float] = None,
+    ) -> PlanningOutcome:
+        """The reference full pipeline (lines 2-10 of Alg. 4).
+
+        Also the repair path of the incremental engine's self-check: it
+        shares no cache with the engine, so a corrupted cache can never
+        taint its answer.
+        """
+        config = self.config
         active_tasks = [task for task in tasks if not task.is_expired(now)]
         workers_by_id = {worker.worker_id: worker for worker in workers}
         tasks_by_id = {task.task_id: task for task in active_tasks}
@@ -377,13 +468,30 @@ class TaskPlanner:
         # engine records its explored sub-problems natively (the plain
         # search keeps its exhaustive trace for search_mode="exact").
         exact_engine = dfsearch if config.search_mode == "exact" else dfsearch_bnb
+        # Degradation ladder bookkeeping (index into DEGRADATION_RUNGS).
+        rung_level = 0
+        used_ids: Set[int] = set()
 
         for root in roots:
             root_workers = root.all_workers()
-            if use_guided and len(root_workers) >= config.tvf_min_workers:
+            if deadline is not None and _time.perf_counter() >= deadline:
+                # The budget is gone before this component's search even
+                # starts: fall to the greedy rung — first-fit over the
+                # already-enumerated Q_w, no search at all.  (The TVF path
+                # degrades the same way: its search is not interruptible,
+                # only skippable.)
+                selections = greedy_component_fill(
+                    root_workers,
+                    sequences_by_worker,
+                    set(tasks_by_id) - used_ids,
+                )
+                rung_level = max(rung_level, 2)
+            elif use_guided and len(root_workers) >= config.tvf_min_workers:
                 result = dfsearch_tvf(
                     root, active_tasks, sequences_by_worker, workers_by_id, self.tvf
                 )
+                nodes_expanded += result.nodes_expanded
+                selections = result.selections
             else:
                 budget = config.node_budget
                 if config.adaptive_node_budget:
@@ -402,16 +510,22 @@ class TaskPlanner:
                     workers_by_id,
                     node_budget=budget,
                     collect_experience=collect_experience,
+                    deadline=deadline,
                 )
                 experience.extend(result.experience)
-            nodes_expanded += result.nodes_expanded
-            for worker_id, task_ids in result.selections:
+                nodes_expanded += result.nodes_expanded
+                selections = result.selections
+                if result.deadline_hit:
+                    # The anytime partial of an interrupted search.
+                    rung_level = max(rung_level, 1)
+            for worker_id, task_ids in selections:
                 if not task_ids:
                     continue
                 worker = workers_by_id[worker_id]
                 sequence_tasks = tuple(tasks_by_id[tid] for tid in task_ids)
                 assignment.add(WorkerPlan(worker, TaskSequence(worker, sequence_tasks)))
                 planned += len(task_ids)
+                used_ids.update(task_ids)
 
         return PlanningOutcome(
             assignment=assignment,
@@ -421,6 +535,8 @@ class TaskPlanner:
             experience=experience,
             recomputed_workers=len(workers),
             searched_components=len(roots),
+            rung=DEGRADATION_RUNGS[rung_level],
+            deadline_hit=rung_level > 0,
         )
 
     # ------------------------------------------------------------------ #

@@ -76,6 +76,34 @@ class AssignmentStrategy(ABC):
         a no-op so dirty-unaware strategies keep working unchanged.
         """
 
+    def consume_last_outcome(self):
+        """Return and clear the :class:`PlanningOutcome` of the last plan.
+
+        The platform uses this to learn *how* the plan it just received was
+        produced — which degradation rung served it, whether the planner's
+        deadline fired, whether the incremental engine had to self-repair —
+        without widening the ``plan()`` return type.  Strategies that do
+        not plan through the planner return ``None`` (treated as a normal
+        full-quality plan).
+        """
+        return None
+
+    def snapshot_state(self):
+        """Picklable snapshot of strategy state for checkpointing.
+
+        Only state that shapes *future* decisions and cannot be rebuilt
+        from the platform's own runtime belongs here (FTA's frozen
+        sequences, DATA-WA's trained value function).  Derived caches —
+        the incremental engine's component cache, travel rows — must NOT
+        be snapshotted: they are rebuilt on demand and pinning them would
+        bloat checkpoints for no behavioural gain.  ``None`` means the
+        strategy is stateless across decision points.
+        """
+        return None
+
+    def restore_state(self, state) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+
 
 class GreedyStrategy(AssignmentStrategy):
     """The Greedy baseline."""
@@ -107,12 +135,14 @@ class _PlannerBackedStrategy(AssignmentStrategy):
         # config's pluggable travel_model, then the Euclidean default.
         self.travel = travel or self.config.travel_model or EuclideanTravelModel(speed=1.0)
         self.planner = TaskPlanner(self.config, travel=self.travel, tvf=tvf)
+        self._last_outcome: Optional[PlanningOutcome] = None
 
     def reset(self) -> None:
         # A new run restarts simulated time; the incremental engine's
         # horizons assume non-decreasing ``now`` and must not leak between
         # runs (part of the platform re-entrancy contract).
         self.planner.reset_cache()
+        self._last_outcome = None
 
     def attach_task_index(self, index) -> None:
         self.planner.attach_task_index(index)
@@ -120,8 +150,14 @@ class _PlannerBackedStrategy(AssignmentStrategy):
     def notify_dirty(self, dirty) -> None:
         self.planner.note_dirty(dirty)
 
+    def consume_last_outcome(self) -> Optional[PlanningOutcome]:
+        outcome, self._last_outcome = self._last_outcome, None
+        return outcome
+
     def _plan_with_planner(self, idle_workers, pending_tasks, now) -> PlanningOutcome:
-        return self.planner.plan(idle_workers, pending_tasks, now)
+        outcome = self.planner.plan(idle_workers, pending_tasks, now)
+        self._last_outcome = outcome
+        return outcome
 
 
 class FTAStrategy(_PlannerBackedStrategy):
@@ -179,6 +215,20 @@ class FTAStrategy(_PlannerBackedStrategy):
         sequence = self._fixed.get(worker_id)
         if sequence:
             self._fixed[worker_id] = [task for task in sequence if task.task_id != task_id]
+
+    def snapshot_state(self):
+        # The frozen sequences ARE the strategy: a resumed run that lost
+        # them would re-plan workers FTA promised never to re-plan.
+        return {
+            "fixed": {wid: list(tasks) for wid, tasks in self._fixed.items()},
+            "committed": set(self._committed_task_ids),
+        }
+
+    def restore_state(self, state) -> None:
+        if state is None:
+            return
+        self._fixed = {wid: list(tasks) for wid, tasks in state["fixed"].items()}
+        self._committed_task_ids = set(state["committed"])
 
 
 class DTAStrategy(_PlannerBackedStrategy):
@@ -246,6 +296,17 @@ class DataWAStrategy(DTAPlusTPStrategy):
         # it offline from DFSearch traces and reuses it online.  The replan
         # caches, however, must not survive a time restart.
         self.planner.reset_cache()
+        self._last_outcome = None
+
+    def snapshot_state(self):
+        # The fitted TVF shapes every guided search after the bootstrap
+        # plan; a resume must see the same function the crashed run used.
+        return {"tvf": self.planner.tvf}
+
+    def restore_state(self, state) -> None:
+        if state is None:
+            return
+        self.planner.tvf = state["tvf"]
 
     def plan(self, idle_workers, pending_tasks, now):
         tasks = self._augmented_tasks(pending_tasks, now)

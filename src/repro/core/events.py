@@ -1,13 +1,29 @@
-"""Arrival event stream: the input of the adaptive algorithm (Alg. 3)."""
+"""Arrival event stream: the input of the adaptive algorithm (Alg. 3).
+
+Besides the stream builder this module defines the ingestion-time
+validation contract: :func:`validate_event` rejects events whose payloads
+would poison the planning stack (NaN/inf coordinates, non-positive task
+lifetimes, arrivals after expiry) with a typed :exc:`InvalidEventError`,
+so the platform can count-and-drop malformed events instead of propagating
+garbage into reachability math.  Entity constructors already validate
+healthy construction paths; this function exists for *untrusted* streams —
+replayed journals, external feeds, or the chaos harness's deliberately
+corrupted events, which bypass constructors entirely.
+"""
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Union
 
 from repro.core.task import Task
 from repro.core.worker import Worker
+
+
+class InvalidEventError(ValueError):
+    """An arrival event whose payload must not enter the platform."""
 
 
 class EventKind(enum.Enum):
@@ -55,3 +71,65 @@ def build_event_stream(workers: Iterable[Worker], tasks: Iterable[Task]) -> List
 
     events.sort(key=sort_key)
     return events
+
+
+def validate_event(event: ArrivalEvent) -> None:
+    """Raise :exc:`InvalidEventError` if ``event`` must not be ingested.
+
+    Checks (all cheap, all NaN-safe — ``not (x op y)`` catches NaN where a
+    direct comparison would silently pass):
+
+    * the event time and payload coordinates are finite,
+    * worker: positive finite reach and speed, a finite online time and a
+      non-empty online window,
+    * task: finite publication/expiration with a positive lifetime
+      (negative or zero durations rejected), and the event not arriving at
+      or after the task's expiry (an expired arrival can only ever be
+      garbage-collected, never served).
+    """
+    if not math.isfinite(event.time):
+        raise InvalidEventError(f"event time {event.time!r} is not finite")
+    payload = event.payload
+    location = payload.location
+    if not (math.isfinite(location.x) and math.isfinite(location.y)):
+        raise InvalidEventError(
+            f"{event.kind.value} {_payload_id(event)} has non-finite "
+            f"coordinates ({location.x!r}, {location.y!r})"
+        )
+    if event.is_worker:
+        worker = payload
+        if not (worker.reachable_distance > 0) or not math.isfinite(worker.reachable_distance):
+            raise InvalidEventError(
+                f"worker {worker.worker_id} has invalid reach "
+                f"{worker.reachable_distance!r}"
+            )
+        if not (worker.speed > 0) or not math.isfinite(worker.speed):
+            raise InvalidEventError(
+                f"worker {worker.worker_id} has invalid speed {worker.speed!r}"
+            )
+        if not math.isfinite(worker.on_time) or not (worker.off_time > worker.on_time):
+            raise InvalidEventError(
+                f"worker {worker.worker_id} has an invalid online window "
+                f"[{worker.on_time!r}, {worker.off_time!r})"
+            )
+    else:
+        task = payload
+        if not math.isfinite(task.publication_time) or not math.isfinite(task.expiration_time):
+            raise InvalidEventError(
+                f"task {task.task_id} has non-finite lifetime "
+                f"[{task.publication_time!r}, {task.expiration_time!r})"
+            )
+        if not (task.expiration_time > task.publication_time):
+            raise InvalidEventError(
+                f"task {task.task_id} has a non-positive lifetime "
+                f"[{task.publication_time!r}, {task.expiration_time!r})"
+            )
+        if event.time >= task.expiration_time:
+            raise InvalidEventError(
+                f"task {task.task_id} arrives at {event.time!r}, at or after "
+                f"its expiry {task.expiration_time!r}"
+            )
+
+
+def _payload_id(event: ArrivalEvent):
+    return event.payload.worker_id if event.is_worker else event.payload.task_id

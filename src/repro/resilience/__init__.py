@@ -1,0 +1,37 @@
+"""Fault-tolerance layer: write-ahead journal, checkpoints, chaos harness.
+
+Three pieces, all consumed by :class:`repro.simulation.platform.SCPlatform`:
+
+* :mod:`repro.resilience.journal` — the per-epoch write-ahead log that
+  makes every platform decision replayable;
+* :mod:`repro.resilience.checkpoint` — periodic snapshots of the full
+  runtime state, bounding how much journal a recovery must replay;
+* :mod:`repro.resilience.chaos` — the seeded fault injector (event
+  corruption, travel-cost corruption, planner slowdowns, crashes) used to
+  test that the platform actually survives what it claims to survive.
+"""
+
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosTravelModel,
+    FaultInjector,
+    InjectedCrash,
+)
+from repro.resilience.checkpoint import (
+    FileCheckpointStore,
+    InMemoryCheckpointStore,
+    PlatformCheckpoint,
+)
+from repro.resilience.journal import FileJournal, InMemoryJournal
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosTravelModel",
+    "FaultInjector",
+    "InjectedCrash",
+    "PlatformCheckpoint",
+    "InMemoryCheckpointStore",
+    "FileCheckpointStore",
+    "InMemoryJournal",
+    "FileJournal",
+]

@@ -1,0 +1,254 @@
+"""Seeded chaos harness: corrupt the inputs, prove the platform survives.
+
+Three fault surfaces, all driven by one :class:`ChaosConfig`:
+
+* **Event-stream faults** (:meth:`FaultInjector.perturb_events`) — worker
+  dropout/rejoin, duplicated deliveries, adjacent out-of-order swaps, and
+  malformed task events whose payloads bypass entity validation entirely
+  (NaN coordinates, inverted lifetimes).  The perturbation is a *pure
+  function* of ``(events, seed)``: a fresh :class:`random.Random` is built
+  per call and consumed in a single fixed sweep, so a resumed run that
+  re-perturbs the original stream sees the exact same faulty stream.
+* **Travel-cost faults** (:class:`ChaosTravelModel`) — a wrapper that
+  corrupts a deterministic subset of scalar distance/time queries to NaN
+  or negative values, plus optional injected planner slowdowns.  Which
+  queries are corrupted is decided by hashing the coordinates with the
+  seed (:func:`_unit_hash`) rather than by consuming RNG state, so the
+  corruption pattern is independent of query order — and of
+  ``PYTHONHASHSEED``, which is why this uses :mod:`hashlib` and not the
+  builtin ``hash``.
+* **Crashes** (:meth:`FaultInjector.should_crash`) — raise
+  :exc:`InjectedCrash` before or after the journal write of a chosen
+  epoch.  One-shot: after firing once the injector stands down, so the
+  natural recovery idiom ``try: platform.run() except InjectedCrash:
+  platform.resume()`` terminates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+import struct
+import time as _time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.events import ArrivalEvent, EventKind
+from repro.core.task import Task
+from repro.spatial.geometry import Point
+from repro.spatial.travel import TravelModel
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process kill raised mid-run by the fault injector."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault rates and crash schedule for one chaos experiment.
+
+    All rates are per-event (or per-travel-query) probabilities in
+    ``[0, 1]``; ``seed`` makes the whole experiment reproducible.
+    """
+
+    seed: int = 0
+    #: Probability a worker arrival is split into an early dropout plus a
+    #: later rejoin of the same worker.
+    worker_dropout_rate: float = 0.0
+    #: Probability an event is delivered a second time shortly after.
+    duplicate_event_rate: float = 0.0
+    #: Probability two adjacent events swap places (out-of-order delivery).
+    reorder_event_rate: float = 0.0
+    #: Probability a malformed task event (NaN coords or inverted lifetime,
+    #: built without entity validation) is injected alongside an event.
+    malformed_event_rate: float = 0.0
+    #: Fraction of scalar travel queries returning NaN.
+    nan_travel_rate: float = 0.0
+    #: Fraction of scalar travel queries returning a negative cost.
+    negative_travel_rate: float = 0.0
+    #: Injected planner slowdown: sleep ``plan_delay_s`` on this fraction
+    #: of ``begin_epoch`` calls (stresses deadline enforcement for real).
+    plan_delay_s: float = 0.0
+    plan_delay_rate: float = 0.0
+    #: Crash (raise :exc:`InjectedCrash`) at this epoch sequence number;
+    #: ``crash_mid_epoch`` fires *before* the epoch's journal write (the
+    #: torn case), otherwise after it.
+    crash_at_epoch: Optional[int] = None
+    crash_mid_epoch: bool = False
+
+
+def _unit_hash(seed: int, salt: str, *values: float) -> float:
+    """Deterministic u ∈ [0, 1) from the seed, a salt and float values.
+
+    Stable across processes and interpreter runs (unlike ``hash``), so the
+    set of corrupted travel queries is a fixed property of the experiment.
+    """
+    digest = hashlib.blake2b(
+        struct.pack(f"<q{len(values)}d", seed, *values) + salt.encode("ascii"),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
+
+class FaultInjector:
+    """Applies a :class:`ChaosConfig` to event streams, travel and epochs."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._crashed = False
+
+    # ------------------------------------------------------------------ #
+    # Event-stream faults
+    # ------------------------------------------------------------------ #
+    def perturb_events(self, events: Sequence[ArrivalEvent]) -> List[ArrivalEvent]:
+        """Return a faulty copy of ``events``; pure in ``(events, seed)``."""
+        config = self.config
+        rng = random.Random(config.seed)
+        malformed_id = -1_000_000
+        perturbed: List[ArrivalEvent] = []
+        for event in events:
+            emitted = [event]
+            if (
+                event.is_worker
+                and config.worker_dropout_rate > 0
+                and rng.random() < config.worker_dropout_rate
+            ):
+                emitted = self._dropout(event, rng) or emitted
+            if config.malformed_event_rate > 0 and rng.random() < config.malformed_event_rate:
+                malformed_id -= 1
+                emitted.append(self._malformed_task(event.time, malformed_id, rng))
+            if config.duplicate_event_rate > 0 and rng.random() < config.duplicate_event_rate:
+                emitted.append(emitted[0])
+            perturbed.extend(emitted)
+        if config.reorder_event_rate > 0:
+            for index in range(len(perturbed) - 1):
+                if rng.random() < config.reorder_event_rate:
+                    perturbed[index], perturbed[index + 1] = (
+                        perturbed[index + 1],
+                        perturbed[index],
+                    )
+        return perturbed
+
+    def _dropout(
+        self, event: ArrivalEvent, rng: random.Random
+    ) -> Optional[List[ArrivalEvent]]:
+        """Split one worker arrival into an early-offline copy plus a rejoin."""
+        worker = event.payload
+        if worker.windows or not math.isfinite(worker.off_time):
+            return None
+        span = worker.off_time - worker.on_time
+        if span <= 0:
+            return None
+        drop_at = worker.on_time + span * rng.uniform(0.2, 0.6)
+        rejoin_at = drop_at + (worker.off_time - drop_at) * rng.uniform(0.1, 0.5)
+        if not (worker.on_time < drop_at < rejoin_at < worker.off_time):
+            return None
+        dropped = replace(worker, off_time=drop_at)
+        rejoined = replace(worker, on_time=rejoin_at)
+        return [
+            ArrivalEvent(event.time, EventKind.WORKER, dropped),
+            ArrivalEvent(rejoin_at, EventKind.WORKER, rejoined),
+        ]
+
+    @staticmethod
+    def _malformed_task(time: float, task_id: int, rng: random.Random) -> ArrivalEvent:
+        """A task whose payload skipped ``__post_init__`` validation."""
+        task = object.__new__(Task)
+        if rng.random() < 0.5:
+            location = Point(float("nan"), rng.uniform(-10.0, 10.0))
+            publication, expiration = time, time + 10.0
+        else:
+            location = Point(rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0))
+            publication, expiration = time, time - rng.uniform(1.0, 5.0)
+        object.__setattr__(task, "task_id", task_id)
+        object.__setattr__(task, "location", location)
+        object.__setattr__(task, "publication_time", publication)
+        object.__setattr__(task, "expiration_time", expiration)
+        object.__setattr__(task, "predicted", False)
+        return ArrivalEvent(time, EventKind.TASK, task)
+
+    # ------------------------------------------------------------------ #
+    # Crash schedule
+    # ------------------------------------------------------------------ #
+    def should_crash(self, seq: int, mid: bool) -> bool:
+        """One-shot: true exactly once, at the configured epoch and point."""
+        config = self.config
+        if self._crashed or config.crash_at_epoch is None:
+            return False
+        if seq != config.crash_at_epoch or mid != config.crash_mid_epoch:
+            return False
+        self._crashed = True
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Travel faults
+    # ------------------------------------------------------------------ #
+    def wrap_travel(self, model: TravelModel) -> TravelModel:
+        """Wrap ``model`` in corruption if any travel fault is configured."""
+        config = self.config
+        if (
+            config.nan_travel_rate <= 0
+            and config.negative_travel_rate <= 0
+            and config.plan_delay_rate <= 0
+        ):
+            return model
+        return ChaosTravelModel(model, config)
+
+
+class ChaosTravelModel(TravelModel):
+    """Travel model returning NaN / negative costs on a hashed query subset.
+
+    Corruption is keyed on the query coordinates and the seed, never on
+    call order: the same pair corrupts (or not) identically on every call,
+    in every process, whichever code path asks.  The vectorized kernel is
+    disabled (``distance_matrix`` returns ``None``) so every query funnels
+    through the corrupted scalar primitives.
+    """
+
+    def __init__(self, base: TravelModel, config: ChaosConfig) -> None:
+        super().__init__(speed=base.speed)
+        self.base = base
+        self.config = config
+
+    # Epoch clock delegates to the base model; the injected planner
+    # slowdown piggybacks on begin_epoch because it runs exactly once per
+    # decision point, inside the platform's timed planning section.
+    def begin_epoch(self, now: float) -> None:
+        self.base.begin_epoch(now)
+        config = self.config
+        if config.plan_delay_rate > 0 and config.plan_delay_s > 0:
+            if _unit_hash(config.seed, "delay", now) < config.plan_delay_rate:
+                _time.sleep(config.plan_delay_s)
+
+    def next_profile_boundary(self, now: float) -> float:
+        return self.base.next_profile_boundary(now)
+
+    def reach_bound(self, reach: float) -> float:
+        return self.base.reach_bound(reach)
+
+    # ------------------------------------------------------------------ #
+    def _corrupt(self, value: float, origin: Point, destination: Point) -> float:
+        config = self.config
+        draw = _unit_hash(
+            config.seed, "travel", origin.x, origin.y, destination.x, destination.y
+        )
+        if draw < config.nan_travel_rate:
+            return float("nan")
+        if draw < config.nan_travel_rate + config.negative_travel_rate:
+            return -abs(value) - 1.0
+        return value
+
+    def distance(self, origin: Point, destination: Point) -> float:
+        return self._corrupt(self.base.distance(origin, destination), origin, destination)
+
+    def time(self, origin: Point, destination: Point) -> float:
+        return self._corrupt(self.base.time(origin, destination), origin, destination)
+
+    def distance_matrix(self, ax, ay, bx, by) -> Optional[np.ndarray]:
+        return None  # force the scalar path so corruption applies everywhere
+
+    def time_matrix(self, ax, ay, bx, by, dist=None) -> Optional[np.ndarray]:
+        return None

@@ -1,0 +1,101 @@
+"""Periodic platform snapshots bounding journal replay length.
+
+A checkpoint is an opaque pickled blob of the platform's full runtime
+state, stamped with the epoch sequence number the resumed run should
+continue *from* (i.e. the first epoch NOT covered by the snapshot).  The
+platform pickles at save time so that later in-place mutation of the live
+runtime objects cannot retroactively corrupt an already-taken snapshot.
+
+Stores only need three operations: ``save`` a checkpoint, return the
+``latest`` one (recovery always restarts from the newest snapshot and
+replays the journal from there), and ``clear`` on a fresh run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PlatformCheckpoint:
+    """A snapshot taken just before epoch ``seq`` would run.
+
+    ``payload`` is the pickled state dict produced by
+    ``SCPlatform._capture_state``; only the platform knows its layout.
+    """
+
+    seq: int
+    payload: bytes
+
+
+class InMemoryCheckpointStore:
+    """Checkpoint store backed by a list (tests, in-process recovery)."""
+
+    def __init__(self) -> None:
+        self._checkpoints: List[PlatformCheckpoint] = []
+
+    def save(self, checkpoint: PlatformCheckpoint) -> None:
+        self._checkpoints.append(checkpoint)
+
+    def latest(self) -> Optional[PlatformCheckpoint]:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def clear(self) -> None:
+        self._checkpoints.clear()
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+
+class FileCheckpointStore:
+    """One file per checkpoint under ``directory``.
+
+    Writes go to a temporary file first and are atomically renamed into
+    place, so a crash mid-save leaves at worst a stale ``.tmp`` file and
+    never a truncated checkpoint that ``latest()`` could pick up.
+    """
+
+    _NAME = re.compile(r"^checkpoint-(\d{9})\.pkl$")
+
+    def __init__(self, directory) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, seq: int) -> str:
+        return os.path.join(self.directory, f"checkpoint-{seq:09d}.pkl")
+
+    def save(self, checkpoint: PlatformCheckpoint) -> None:
+        target = self._path(checkpoint.seq)
+        temp = target + ".tmp"
+        with open(temp, "wb") as handle:
+            handle.write(checkpoint.payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, target)
+
+    def _sequences(self) -> List[int]:
+        sequences = []
+        for name in os.listdir(self.directory):
+            match = self._NAME.match(name)
+            if match:
+                sequences.append(int(match.group(1)))
+        return sequences
+
+    def latest(self) -> Optional[PlatformCheckpoint]:
+        sequences = self._sequences()
+        if not sequences:
+            return None
+        seq = max(sequences)
+        with open(self._path(seq), "rb") as handle:
+            return PlatformCheckpoint(seq=seq, payload=handle.read())
+
+    def clear(self) -> None:
+        for name in os.listdir(self.directory):
+            if self._NAME.match(name) or name.endswith(".tmp"):
+                os.remove(os.path.join(self.directory, name))
+
+    def __len__(self) -> int:
+        return len(self._sequences())

@@ -21,6 +21,17 @@ class SimulationMetrics:
     replans: int = 0
     cpu_times: List[float] = field(default_factory=list)
     assigned_per_worker: Dict[int, int] = field(default_factory=dict)
+    #: Malformed events rejected at ingestion (see ``validate_event``).
+    rejected_events: int = 0
+    #: Duplicate / stale deliveries ignored by the platform (a task already
+    #: assigned or open, a worker re-arriving while serving a task).
+    duplicate_events: int = 0
+    #: Epochs a corrupted incremental cache was detected and healed by a
+    #: cache drop + full replan.
+    invariant_repairs: int = 0
+    #: How many counted planning epochs each degradation rung served
+    #: (``full`` / ``partial`` / ``greedy`` / ``carryover``).
+    degradation_rungs: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def record_dispatch(self, worker_id: int) -> None:
@@ -35,6 +46,18 @@ class SimulationMetrics:
         self.replans += 1
         self.cpu_times.append(cpu_time)
 
+    def record_rung(self, rung: str) -> None:
+        self.degradation_rungs[rung] = self.degradation_rungs.get(rung, 0) + 1
+
+    def record_invalid_event(self) -> None:
+        self.rejected_events += 1
+
+    def record_duplicate_event(self) -> None:
+        self.duplicate_events += 1
+
+    def record_repairs(self, count: int = 1) -> None:
+        self.invariant_repairs += count
+
     # ------------------------------------------------------------------ #
     @property
     def total_cpu_time(self) -> float:
@@ -45,6 +68,13 @@ class SimulationMetrics:
         """Average planning cost per time instance (the paper's CPU time)."""
         return self.total_cpu_time / len(self.cpu_times) if self.cpu_times else 0.0
 
+    @property
+    def degraded_epochs(self) -> int:
+        """Counted planning epochs served by any rung below ``full``."""
+        return sum(
+            count for rung, count in self.degradation_rungs.items() if rung != "full"
+        )
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "assigned_tasks": float(self.assigned_tasks),
@@ -54,4 +84,31 @@ class SimulationMetrics:
             "total_cpu_time": self.total_cpu_time,
             "mean_cpu_time": self.mean_cpu_time,
             "active_workers": float(len(self.assigned_per_worker)),
+            "rejected_events": float(self.rejected_events),
+            "duplicate_events": float(self.duplicate_events),
+            "invariant_repairs": float(self.invariant_repairs),
+            "degraded_epochs": float(self.degraded_epochs),
+        }
+
+    def deterministic_state(self) -> Dict[str, object]:
+        """Every counter that is a pure function of the simulated stream.
+
+        This is the bit-for-bit contract of checkpoint/recovery: a killed
+        run resumed from checkpoint + journal must reproduce this mapping
+        exactly.  ``cpu_times`` are wall-clock measurements and can never
+        agree across runs, so only their count participates (the journal
+        preserves the crashed run's recorded values verbatim; a fresh
+        uninterrupted run measures its own).
+        """
+        return {
+            "assigned_tasks": self.assigned_tasks,
+            "dispatched_tasks": self.dispatched_tasks,
+            "expired_tasks": self.expired_tasks,
+            "replans": self.replans,
+            "num_cpu_samples": len(self.cpu_times),
+            "assigned_per_worker": dict(sorted(self.assigned_per_worker.items())),
+            "rejected_events": self.rejected_events,
+            "duplicate_events": self.duplicate_events,
+            "invariant_repairs": self.invariant_repairs,
+            "degradation_rungs": dict(sorted(self.degradation_rungs.items())),
         }

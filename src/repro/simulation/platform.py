@@ -8,25 +8,63 @@ first planned task of every idle worker with travel-time semantics.  The
 for CPU time, mirroring how a production dispatcher would amortise
 planning cost; the default (0) replans at every event, exactly like
 Algorithm 3.
+
+Fault-tolerant runtime
+----------------------
+The platform is built to keep serving under degraded conditions:
+
+* **Event validation** — malformed arrivals (NaN coordinates, inverted
+  lifetimes, arrivals after expiry) are counted and dropped at ingestion;
+  duplicate deliveries of an already-known worker or task are ignored.
+  Both are no-ops on well-formed streams.
+* **Degradation ladder** — when the strategy's planner runs with a
+  wall-clock deadline (``PlannerConfig.deadline_s``), each decision point
+  records the rung that served it: ``full`` (exact plan), ``partial``
+  (anytime best under a mid-search cutoff), ``greedy`` (first-fit fill of
+  components the deadline skipped), or ``carryover`` (idle workers the
+  degraded plan left empty keep their previous still-valid sequences).
+* **Write-ahead journal + checkpoints** — with ``PlatformConfig.journal``
+  set, every epoch appends its decisions (dispatches, repositionings,
+  recorded CPU cost, rung) to the journal; with ``checkpoint_store`` set,
+  the full runtime state is snapshotted every ``checkpoint_interval``
+  epochs.  :meth:`SCPlatform.resume` restores the newest snapshot, replays
+  the journal tail, and continues the run live — reproducing the metrics
+  of an uninterrupted run bit-for-bit for deterministic configurations
+  (no planner deadline; deadline runs are inherently wall-clock-dependent,
+  so replay reproduces their *journaled* decisions but later live epochs
+  may legitimately differ).
+* **Chaos hooks** — ``PlatformConfig.fault_injector`` perturbs the event
+  stream (dropout, duplicates, reordering, malformed payloads) and raises
+  :class:`~repro.resilience.chaos.InjectedCrash` at a scheduled epoch,
+  before or after the journal write, to exercise recovery for real.
 """
 
 from __future__ import annotations
 
 import heapq
+import logging
 import math
+import pickle
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.assignment.incremental import DirtySet
 from repro.assignment.strategies import AssignmentStrategy
 from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.events import ArrivalEvent, InvalidEventError, validate_event
 from repro.core.problem import ATAInstance
+from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.resilience.chaos import FaultInjector, InjectedCrash
+from repro.resilience.checkpoint import PlatformCheckpoint
 from repro.simulation.clock import SimulationClock
 from repro.simulation.metrics import SimulationMetrics
+from repro.spatial.geometry import Point
 from repro.spatial.index import SpatialIndex
+
+_LOG = logging.getLogger("repro.resilience")
 
 
 @dataclass
@@ -45,6 +83,29 @@ class PlatformConfig:
     #: Bucket edge length of that index; None derives it from the median
     #: worker reachable distance of the instance.
     task_index_cell_size: Optional[float] = None
+    #: Let a speed-profile boundary of a time-dependent travel model bypass
+    #: the ``replan_interval`` throttle (travel costs changed, so the plan
+    #: computed under the old profile is stale), and schedule a wake-up at
+    #: the next boundary so throttled runs never sleep through one.  Static
+    #: travel models report no boundaries, so this is a no-op for them.
+    boundary_aware_replan: bool = True
+    #: Validate arrival events at ingestion and count-and-drop malformed
+    #: ones instead of letting them poison the planning stack.
+    validate_events: bool = True
+    #: Write-ahead journal receiving one entry per completed epoch
+    #: (see :mod:`repro.resilience.journal`); None disables journaling.
+    journal: Optional[object] = None
+    #: Checkpoint store receiving periodic state snapshots
+    #: (see :mod:`repro.resilience.checkpoint`); None disables them.
+    checkpoint_store: Optional[object] = None
+    #: Snapshot the runtime state every this many epochs.  Checkpoints only
+    #: bound journal-replay length on resume — the WAL covers every epoch in
+    #: between — so a sparse cadence keeps the healthy-path pickling cost
+    #: negligible.
+    checkpoint_interval: int = 64
+    #: Chaos harness perturbing the event stream and scheduling crashes
+    #: (see :mod:`repro.resilience.chaos`); None runs the clean stream.
+    fault_injector: Optional[FaultInjector] = None
 
 
 @dataclass
@@ -73,8 +134,6 @@ class _WorkerRuntime:
         if arrival <= start_time:
             return
         fraction = (now - start_time) / (arrival - start_time)
-        from repro.spatial.geometry import Point
-
         location = Point(
             origin.x + fraction * (target.x - origin.x),
             origin.y + fraction * (target.y - origin.y),
@@ -102,6 +161,7 @@ class SCPlatform:
         self._assigned_ids: set = set()
         self._wakeups: List[float] = []
         self._last_plan_time: float = -float("inf")
+        self._last_boundary_wakeup: float = -float("inf")
         #: Workers / tasks mutated since the last planning call; handed to
         #: the strategy at every decision point so incremental replanning
         #: knows exactly which region of the previous plan is stale.
@@ -111,6 +171,15 @@ class SCPlatform:
             if self.config.maintain_task_index
             else None
         )
+        # Streaming position and epoch bookkeeping (rebuilt per run).
+        self._events: List[ArrivalEvent] = []
+        self._event_index: int = 0
+        self._epoch_seq: int = 0
+        # Carryover rung state: the last non-empty real plan per worker.
+        self._last_plans: Dict[int, WorkerPlan] = {}
+        self._carryover_enabled: bool = False
+        self._replay_replans: bool = False
+        self._clear_epoch_scratch()
 
     def _index_cell_size(self) -> float:
         """Bucket size for the open-task index (~ the typical query radius).
@@ -139,8 +208,61 @@ class SCPlatform:
         metrics, clock, worker runtimes, pending tasks, wakeups, the
         replan throttle and the dirty tracker — is rebuilt here, so a
         second call observes exactly what a freshly constructed platform
-        would (it used to double-count metrics and replay stale state).
+        would.  A fresh run also truncates the configured journal and
+        checkpoint store: they describe *this* run only (use
+        :meth:`resume` to continue a previous one instead).
         """
+        self._reset_run_state(clear_durability=True)
+        return self._run_loop()
+
+    def resume(
+        self,
+        checkpoint: Optional[PlatformCheckpoint] = None,
+        journal: Optional[object] = None,
+    ) -> SimulationMetrics:
+        """Recover an interrupted run and carry it to completion.
+
+        Restores ``checkpoint`` (default: the newest snapshot in the
+        configured store, if any), replays every journal entry at or after
+        the snapshot — re-applying the *recorded* decisions instead of
+        re-planning, so wall-clock noise cannot change history — and then
+        continues the run live from the first epoch the journal does not
+        cover.  A torn trailing journal entry (crash mid-write) is simply
+        redone live.  For deterministic configurations the returned
+        metrics match an uninterrupted :meth:`run` bit-for-bit (see
+        :meth:`SimulationMetrics.deterministic_state`).
+        """
+        if journal is None:
+            journal = self.config.journal
+        if checkpoint is None and self.config.checkpoint_store is not None:
+            checkpoint = self.config.checkpoint_store.latest()
+        self._reset_run_state(clear_durability=False)
+        # Strategies carrying decision-shaping state across epochs (frozen
+        # FTA sequences, a trained value function) advertise it through
+        # snapshot_state(); replay must re-run their planning calls so that
+        # state evolves exactly as in the crashed run.  Stateless strategies
+        # replay from the journal alone, with no planning cost.
+        self._replay_replans = self.strategy.snapshot_state() is not None
+        start_seq = 0
+        if checkpoint is not None:
+            start_seq = self._restore_checkpoint(checkpoint)
+        if journal is not None:
+            for entry in journal.entries():
+                if entry["seq"] < start_seq:
+                    continue
+                if entry["seq"] != self._epoch_seq:
+                    raise RuntimeError(
+                        f"journal gap: expected epoch {self._epoch_seq}, "
+                        f"found {entry['seq']}"
+                    )
+                self._replay_epoch(entry)
+                self._epoch_seq += 1
+        return self._run_loop()
+
+    # ------------------------------------------------------------------ #
+    # Run-state lifecycle
+    # ------------------------------------------------------------------ #
+    def _reset_run_state(self, clear_durability: bool) -> None:
         self.metrics = SimulationMetrics()
         self.clock = SimulationClock(self.instance.start_time)
         self._workers = {}
@@ -148,50 +270,126 @@ class SCPlatform:
         self._assigned_ids = set()
         self._wakeups = []
         self._last_plan_time = -float("inf")
+        self._last_boundary_wakeup = -float("inf")
         self._dirty.clear()
         self.strategy.reset()
         if self._task_index is not None:
             self._task_index.clear()
         self.strategy.attach_task_index(self._task_index)
         events = self.instance.event_stream()
-        index = 0
-        total_events = len(events)
+        injector = self.config.fault_injector
+        if injector is not None:
+            # perturb_events is pure in (events, seed): a resumed run
+            # rebuilds the exact same faulty stream without journaling it.
+            events = injector.perturb_events(events)
+        self._events = events
+        self._event_index = 0
+        self._epoch_seq = 0
+        self._last_plans = {}
+        # Platform-level carryover only makes sense (and only pays its
+        # bookkeeping cost) when the planner can actually degrade.
+        self._carryover_enabled = (
+            getattr(getattr(self.strategy, "config", None), "deadline_s", None)
+            is not None
+        )
+        self._clear_epoch_scratch()
+        if clear_durability:
+            if self.config.journal is not None:
+                self.config.journal.clear()
+            if self.config.checkpoint_store is not None:
+                self.config.checkpoint_store.clear()
 
-        while index < total_events or self._wakeups:
-            next_arrival = events[index].time if index < total_events else float("inf")
+    def _clear_epoch_scratch(self) -> None:
+        self._epoch_planned = False
+        self._epoch_counted = False
+        self._epoch_cpu = 0.0
+        self._epoch_rung = "full"
+        self._epoch_repairs = 0
+        self._epoch_dispatches: List[Tuple[int, int]] = []
+        self._epoch_repositions: List[Tuple[int, float, float, float]] = []
+
+    def _run_loop(self) -> SimulationMetrics:
+        injector = self.config.fault_injector
+        while self._event_index < len(self._events) or self._wakeups:
+            seq = self._epoch_seq
+            next_arrival = (
+                self._events[self._event_index].time
+                if self._event_index < len(self._events)
+                else float("inf")
+            )
             next_wakeup = self._wakeups[0] if self._wakeups else float("inf")
 
             if next_arrival <= next_wakeup:
-                event = events[index]
-                index += 1
-                now = self.clock.advance_to(event.time)
-                if event.is_worker:
-                    self._on_worker(event.payload, now)
-                else:
-                    self._on_task(event.payload, now)
+                event = self._events[self._event_index]
+                self._event_index += 1
+                # Out-of-order deliveries (chaos, external feeds) carry a
+                # timestamp in the past; the platform processes them at the
+                # current instant instead of moving time backwards.
+                now = self.clock.advance_to(max(event.time, self.clock.now))
+                src = "a"
+                self._ingest(event, now)
             else:
                 now = self.clock.advance_to(heapq.heappop(self._wakeups))
+                src = "w"
 
             self._step(now)
+
+            if injector is not None and injector.should_crash(seq, mid=True):
+                # Crash before the journal write: this epoch's entry is
+                # torn away and recovery must redo the epoch live.
+                raise InjectedCrash(f"injected crash mid-epoch {seq}")
+            self._journal_epoch(seq, src, now)
+            self._maybe_checkpoint(seq)
+            if injector is not None and injector.should_crash(seq, mid=False):
+                raise InjectedCrash(f"injected crash after epoch {seq}")
+            self._epoch_seq = seq + 1
 
         return self.metrics
 
     # ------------------------------------------------------------------ #
     # Event handling
     # ------------------------------------------------------------------ #
+    def _ingest(self, event: ArrivalEvent, now: float) -> None:
+        if self.config.validate_events:
+            try:
+                validate_event(event)
+            except InvalidEventError as exc:
+                _LOG.warning("rejecting malformed event: %s", exc)
+                self.metrics.record_invalid_event()
+                return
+        if event.is_worker:
+            self._on_worker(event.payload, now)
+        else:
+            self._on_task(event.payload, now)
+
     def _on_worker(self, worker: Worker, now: float) -> None:
+        existing = self._workers.get(worker.worker_id)
+        if existing is not None and now < existing.worker.off_time:
+            # Duplicate delivery of a worker that is still online: honouring
+            # it would teleport the worker back to its arrival location.  A
+            # re-arrival after going offline (dropout/rejoin) is legitimate.
+            self.metrics.record_duplicate_event()
+            return
         self._workers[worker.worker_id] = _WorkerRuntime(worker=worker, busy_until=now)
         self._dirty.note_worker(worker.worker_id)
 
     def _on_task(self, task: Task, now: float) -> None:
-        if not task.predicted:
-            self._pending[task.task_id] = task
-            if self._task_index is not None:
-                self._task_index.insert(task.task_id, task.location)
-            self._dirty.note_task(task.task_id)
+        if task.predicted:
+            return
+        if task.task_id in self._assigned_ids or task.task_id in self._pending:
+            self.metrics.record_duplicate_event()
+            return
+        self._pending[task.task_id] = task
+        if self._task_index is not None:
+            self._task_index.insert(task.task_id, task.location)
+        self._dirty.note_task(task.task_id)
 
+    # ------------------------------------------------------------------ #
+    # Decision points
+    # ------------------------------------------------------------------ #
     def _step(self, now: float) -> None:
         """One decision point: clean up, (maybe) replan, dispatch."""
+        self._clear_epoch_scratch()
         # Latch the travel model's speed-profile window: the dispatch and
         # repositioning costs below (and any plan computed this step) all
         # use the multiplier active *now* (no-op for static models).
@@ -206,7 +404,7 @@ class SCPlatform:
         self._garbage_collect(now)
         if self.config.max_replans is not None and self.metrics.replans >= self.config.max_replans:
             return
-        if now - self._last_plan_time < self.config.replan_interval:
+        if self._should_defer_replan(now):
             return
 
         idle_workers = [st.worker for st in self._workers.values() if st.is_idle(now)]
@@ -222,12 +420,113 @@ class SCPlatform:
         start = _time.perf_counter()
         plan = self.strategy.plan(idle_workers, pending_tasks, now)
         elapsed = _time.perf_counter() - start
+        outcome = self.strategy.consume_last_outcome()
+        rung = "full"
+        repairs = 0
+        if outcome is not None:
+            rung = outcome.rung
+            repairs = outcome.repairs
+            if repairs:
+                self.metrics.record_repairs(repairs)
+        if self._carryover_enabled:
+            if outcome is not None and outcome.deadline_hit:
+                if self._carryover(plan, idle_workers, now):
+                    rung = "carryover"
+            self._remember_plans(plan, idle_workers)
         if pending_tasks:
             self.metrics.record_plan(elapsed)
+            self.metrics.record_rung(rung)
+        self._epoch_planned = True
+        self._epoch_counted = bool(pending_tasks)
+        self._epoch_cpu = elapsed
+        self._epoch_rung = rung
+        self._epoch_repairs = repairs
         self._last_plan_time = now
         self._dirty.clear()
+        self._schedule_boundary_wakeup(now)
 
         self._dispatch(plan, now)
+
+    def _should_defer_replan(self, now: float) -> bool:
+        """The ``replan_interval`` throttle, made speed-profile-aware.
+
+        A boundary of the travel model's speed profile invalidates every
+        cost the previous plan was computed with, so once one has passed
+        the throttle must not defer the decision point — otherwise a task
+        that only becomes reachable under the new profile (e.g. after a
+        rush hour ends) could silently expire inside the throttle window.
+        """
+        if now - self._last_plan_time >= self.config.replan_interval:
+            return False
+        if not self.config.boundary_aware_replan:
+            return True
+        return self.instance.travel.next_profile_boundary(self._last_plan_time) > now
+
+    def _schedule_boundary_wakeup(self, now: float) -> None:
+        """Wake up at the next speed-profile boundary of a throttled run.
+
+        Without this, a ``replan_interval`` longer than the gap between
+        arrivals and the boundary would sleep straight through the profile
+        change (no event falls inside the new window to trigger a replan).
+        Only scheduled when there is still work the boundary could affect,
+        and deduplicated so consecutive planning epochs inside one window
+        do not pile up identical wake-ups.
+        """
+        if not self.config.boundary_aware_replan or self.config.replan_interval <= 0:
+            return
+        boundary = self.instance.travel.next_profile_boundary(now)
+        if not math.isfinite(boundary) or boundary >= self.instance.end_time:
+            return
+        if boundary == self._last_boundary_wakeup:
+            return
+        if not self._pending and self._event_index >= len(self._events):
+            return
+        self._last_boundary_wakeup = boundary
+        heapq.heappush(self._wakeups, boundary)
+
+    # ------------------------------------------------------------------ #
+    # Degradation carryover (the ladder's last rung)
+    # ------------------------------------------------------------------ #
+    def _carryover(self, plan: Assignment, idle_workers: List[Worker], now: float) -> bool:
+        """Graft previous still-valid sequences onto a degraded plan.
+
+        When the deadline cut planning short, idle workers the degraded
+        plan left without work keep their most recent real sequences —
+        filtered down to tasks that are still pending, unexpired and not
+        claimed by this plan — instead of idling until the next epoch.
+        """
+        claimed = {task.task_id for worker_plan in plan for task in worker_plan.sequence}
+        used = False
+        for worker in idle_workers:
+            if worker.worker_id in plan:
+                continue
+            previous = self._last_plans.get(worker.worker_id)
+            if previous is None:
+                continue
+            remaining = tuple(
+                task
+                for task in previous.sequence
+                if not task.predicted
+                and not task.is_expired(now)
+                and task.task_id in self._pending
+                and task.task_id not in claimed
+            )
+            if not remaining:
+                continue
+            plan.add(WorkerPlan(worker, TaskSequence(worker, remaining)))
+            claimed.update(task.task_id for task in remaining)
+            used = True
+        return used
+
+    def _remember_plans(self, plan: Assignment, idle_workers: List[Worker]) -> None:
+        for worker in idle_workers:
+            worker_plan = plan.plan_for(worker.worker_id)
+            if worker_plan is not None and any(
+                not task.predicted for task in worker_plan.sequence
+            ):
+                self._last_plans[worker.worker_id] = worker_plan
+            else:
+                self._last_plans.pop(worker.worker_id, None)
 
     # ------------------------------------------------------------------ #
     # Dispatch semantics
@@ -246,23 +545,29 @@ class SCPlatform:
                 # not count as an assignment.
                 self._reposition(worker_plan, runtime, now)
                 continue
-            travel_time = self.instance.travel.time(runtime.worker.location, task.location)
-            completion = now + travel_time
-            # Commit the dispatch (cancelling any repositioning in progress).
-            runtime.reposition = None
-            self._assigned_ids.add(task.task_id)
-            self._pending.pop(task.task_id, None)
-            if self._task_index is not None:
-                self._task_index.discard(task.task_id)
-            runtime.busy_until = completion
-            runtime.completed += 1
-            runtime.worker = runtime.worker.moved_to(task.location)
-            self._dirty.note_worker(runtime.worker.worker_id)
-            self._dirty.note_task(task.task_id)
-            self.metrics.record_dispatch(runtime.worker.worker_id)
-            self.strategy.notify_dispatch(runtime.worker.worker_id, task.task_id)
-            if completion < runtime.worker.off_time:
-                heapq.heappush(self._wakeups, completion)
+            self._execute_dispatch(runtime, task, now)
+
+    def _execute_dispatch(self, runtime: _WorkerRuntime, task: Task, now: float) -> None:
+        """Commit one dispatch (cancelling any repositioning in progress)."""
+        travel_time = self.instance.travel.time(runtime.worker.location, task.location)
+        completion = now + travel_time
+        runtime.reposition = None
+        self._assigned_ids.add(task.task_id)
+        self._pending.pop(task.task_id, None)
+        if self._task_index is not None:
+            self._task_index.discard(task.task_id)
+        runtime.busy_until = completion
+        runtime.completed += 1
+        runtime.worker = runtime.worker.moved_to(task.location)
+        self._dirty.note_worker(runtime.worker.worker_id)
+        self._dirty.note_task(task.task_id)
+        self.metrics.record_dispatch(runtime.worker.worker_id)
+        self.strategy.notify_dispatch(runtime.worker.worker_id, task.task_id)
+        self._epoch_dispatches.append((runtime.worker.worker_id, task.task_id))
+        if completion < runtime.worker.off_time:
+            # max() only differs under corrupted (negative) travel costs,
+            # where it keeps the wake-up from moving the clock backwards.
+            heapq.heappush(self._wakeups, max(completion, now))
 
     def _reposition(self, worker_plan: WorkerPlan, runtime: _WorkerRuntime, now: float) -> None:
         """Start an interruptible move towards the first feasible predicted task.
@@ -284,6 +589,9 @@ class SCPlatform:
             if arrival >= worker.off_time:
                 continue
             runtime.reposition = (now, worker.location, task.location, arrival)
+            self._epoch_repositions.append(
+                (worker.worker_id, task.location.x, task.location.y, arrival)
+            )
             return
 
     def _first_executable_task(
@@ -300,10 +608,168 @@ class SCPlatform:
             if travel.distance(worker.location, task.location) > worker.reachable_distance + 1e-9:
                 continue
             arrival = now + travel.time(worker.location, task.location)
-            if arrival >= task.expiration_time or arrival >= worker.off_time:
+            # Written NaN-robustly: a corrupted (NaN) travel cost must fail
+            # the feasibility check rather than slip through it.
+            if not (arrival < task.expiration_time) or not (arrival < worker.off_time):
                 continue
             return task
         return None
+
+    # ------------------------------------------------------------------ #
+    # Durability: journal, checkpoints, replay
+    # ------------------------------------------------------------------ #
+    def _journal_epoch(self, seq: int, src: str, now: float) -> None:
+        if self.config.journal is None:
+            return
+        self.config.journal.append(
+            {
+                "seq": seq,
+                "src": src,
+                "now": now,
+                "planned": self._epoch_planned,
+                "counted": self._epoch_counted,
+                "cpu": self._epoch_cpu,
+                "rung": self._epoch_rung,
+                "repairs": self._epoch_repairs,
+                "dispatches": [list(item) for item in self._epoch_dispatches],
+                "repositions": [list(item) for item in self._epoch_repositions],
+            }
+        )
+
+    def _maybe_checkpoint(self, seq: int) -> None:
+        store = self.config.checkpoint_store
+        if store is None or self.config.checkpoint_interval <= 0:
+            return
+        if (seq + 1) % self.config.checkpoint_interval != 0:
+            return
+        # Pickling at save time freezes the snapshot: later in-place
+        # mutation of the live runtimes cannot corrupt it.
+        payload = pickle.dumps(self._capture_state(seq + 1), protocol=pickle.HIGHEST_PROTOCOL)
+        store.save(PlatformCheckpoint(seq=seq + 1, payload=payload))
+
+    def _capture_state(self, next_seq: int) -> Dict[str, object]:
+        return {
+            "seq": next_seq,
+            "event_index": self._event_index,
+            "now": self.clock.now,
+            "workers": [
+                (rt.worker, rt.busy_until, rt.completed, rt.reposition)
+                for rt in self._workers.values()
+            ],
+            "pending": list(self._pending.values()),
+            "assigned_ids": set(self._assigned_ids),
+            "wakeups": list(self._wakeups),
+            "last_plan_time": self._last_plan_time,
+            "last_boundary_wakeup": self._last_boundary_wakeup,
+            "dirty_workers": set(self._dirty.worker_ids),
+            "dirty_tasks": set(self._dirty.task_ids),
+            "metrics": self.metrics,
+            "last_plans": dict(self._last_plans),
+            "strategy": self.strategy.snapshot_state(),
+        }
+
+    def _restore_checkpoint(self, checkpoint: PlatformCheckpoint) -> int:
+        state = pickle.loads(checkpoint.payload)
+        self._event_index = state["event_index"]
+        self.clock = SimulationClock(self.instance.start_time)
+        self.clock.advance_to(max(state["now"], self.instance.start_time))
+        self._workers = {
+            worker.worker_id: _WorkerRuntime(
+                worker=worker,
+                busy_until=busy_until,
+                completed=completed,
+                reposition=reposition,
+            )
+            for worker, busy_until, completed, reposition in state["workers"]
+        }
+        self._pending = {task.task_id: task for task in state["pending"]}
+        self._assigned_ids = set(state["assigned_ids"])
+        self._wakeups = list(state["wakeups"])
+        heapq.heapify(self._wakeups)
+        self._last_plan_time = state["last_plan_time"]
+        self._last_boundary_wakeup = state["last_boundary_wakeup"]
+        self._dirty.clear()
+        self._dirty.worker_ids.update(state["dirty_workers"])
+        self._dirty.task_ids.update(state["dirty_tasks"])
+        self.metrics = state["metrics"]
+        self._last_plans = dict(state["last_plans"])
+        self.strategy.restore_state(state["strategy"])
+        if self._task_index is not None:
+            self._task_index.clear()
+            for task in self._pending.values():
+                self._task_index.insert(task.task_id, task.location)
+        self._epoch_seq = state["seq"]
+        return state["seq"]
+
+    def _replay_epoch(self, entry: Dict[str, object]) -> None:
+        """Re-apply one journaled epoch: recorded decisions, no planning."""
+        if entry["src"] == "a":
+            if self._event_index >= len(self._events):
+                raise RuntimeError(
+                    f"journal epoch {entry['seq']} consumes an arrival but "
+                    f"the event stream is exhausted"
+                )
+            event = self._events[self._event_index]
+            self._event_index += 1
+            now = self.clock.advance_to(max(event.time, self.clock.now))
+            self._ingest(event, now)
+        else:
+            if not self._wakeups:
+                raise RuntimeError(
+                    f"journal epoch {entry['seq']} consumes a wake-up but "
+                    f"none is scheduled"
+                )
+            now = self.clock.advance_to(heapq.heappop(self._wakeups))
+        if now != entry["now"]:
+            raise RuntimeError(
+                f"journal epoch {entry['seq']} diverged: replay reached "
+                f"t={now!r}, journal recorded t={entry['now']!r}"
+            )
+        self._clear_epoch_scratch()
+        self.instance.travel.begin_epoch(now)
+        for runtime in self._workers.values():
+            if runtime.reposition is not None:
+                self._dirty.note_worker(runtime.worker.worker_id)
+            runtime.advance_reposition(now)
+        self._garbage_collect(now)
+        if not entry["planned"]:
+            return
+        if self._replay_replans:
+            idle_workers = [st.worker for st in self._workers.values() if st.is_idle(now)]
+            pending_tasks = [t for t in self._pending.values() if t.is_available(now)]
+            if idle_workers:
+                self.strategy.notify_dirty(self._dirty)
+                self.strategy.plan(idle_workers, pending_tasks, now)
+                self.strategy.consume_last_outcome()
+        if entry["counted"]:
+            # The crashed run's own measurement, not a re-measurement:
+            # replay must not let recovery wall-clock into the metrics.
+            self.metrics.record_plan(entry["cpu"])
+            self.metrics.record_rung(entry["rung"])
+        if entry["repairs"]:
+            self.metrics.record_repairs(entry["repairs"])
+        self._last_plan_time = now
+        self._dirty.clear()
+        self._schedule_boundary_wakeup(now)
+        for worker_id, task_id in entry["dispatches"]:
+            runtime = self._workers.get(worker_id)
+            task = self._pending.get(task_id)
+            if runtime is None or task is None:
+                raise RuntimeError(
+                    f"journal epoch {entry['seq']} dispatches task {task_id} "
+                    f"to worker {worker_id}, but replay state has no such "
+                    f"pending task / online worker"
+                )
+            self._execute_dispatch(runtime, task, now)
+        for worker_id, target_x, target_y, arrival in entry["repositions"]:
+            runtime = self._workers.get(worker_id)
+            if runtime is not None and runtime.reposition is None:
+                runtime.reposition = (
+                    now,
+                    runtime.worker.location,
+                    Point(target_x, target_y),
+                    arrival,
+                )
 
     # ------------------------------------------------------------------ #
     def _garbage_collect(self, now: float) -> None:
@@ -319,3 +785,5 @@ class SCPlatform:
         for wid in offline:
             del self._workers[wid]
             self._dirty.note_worker(wid)
+            if self._carryover_enabled:
+                self._last_plans.pop(wid, None)

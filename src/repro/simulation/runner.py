@@ -95,13 +95,36 @@ class SimulationRunner:
         )
 
     # ------------------------------------------------------------------ #
-    def run_strategy(self, strategy) -> SimulationReport:
-        """Run one strategy (by name or instance) and return its report."""
+    def run_strategy(self, strategy, max_recoveries: int = 0) -> SimulationReport:
+        """Run one strategy (by name or instance) and return its report.
+
+        With ``max_recoveries`` > 0 and a journal (and optionally a
+        checkpoint store) configured on the platform config, a run that
+        dies mid-stream is recovered in place: the platform resumes from
+        its own durability records, up to ``max_recoveries`` times, before
+        the failure is allowed to propagate.
+        """
         if isinstance(strategy, str):
             strategy = self.build_strategy(strategy)
         platform = SCPlatform(self.instance, strategy, self.platform_config)
-        metrics = platform.run()
+        recoveries = max_recoveries if self.platform_config.journal is not None else 0
+        try:
+            metrics = platform.run()
+        except Exception:
+            if recoveries <= 0:
+                raise
+            metrics = self._recover(platform, recoveries)
         return SimulationReport.from_metrics(strategy.name, self.instance.name, metrics)
+
+    @staticmethod
+    def _recover(platform: SCPlatform, attempts: int) -> SimulationMetrics:
+        while True:
+            attempts -= 1
+            try:
+                return platform.resume()
+            except Exception:
+                if attempts <= 0:
+                    raise
 
     def compare(self, strategy_names: Sequence[str]) -> List[SimulationReport]:
         """Run several strategies on fresh platforms and collect reports."""

@@ -1,0 +1,139 @@
+"""Ingestion-time event validation (see :func:`repro.core.events.validate_event`).
+
+Entity constructors already reject garbage on healthy construction paths;
+``validate_event`` exists for untrusted streams — replayed journals,
+external feeds, chaos-injected events built around the constructors — so
+the malformed payloads here are deliberately assembled via
+``object.__new__`` exactly the way the chaos harness does.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.events import (
+    ArrivalEvent,
+    EventKind,
+    InvalidEventError,
+    validate_event,
+)
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.spatial.geometry import Point
+
+
+def _raw_task(task_id=1, x=1.0, y=2.0, publication=0.0, expiration=10.0):
+    task = object.__new__(Task)
+    object.__setattr__(task, "task_id", task_id)
+    object.__setattr__(task, "location", Point(x, y))
+    object.__setattr__(task, "publication_time", publication)
+    object.__setattr__(task, "expiration_time", expiration)
+    object.__setattr__(task, "predicted", False)
+    return task
+
+
+def _raw_worker(worker_id=1, x=0.0, y=0.0, reach=5.0, on=0.0, off=100.0, speed=1.0):
+    worker = object.__new__(Worker)
+    object.__setattr__(worker, "worker_id", worker_id)
+    object.__setattr__(worker, "location", Point(x, y))
+    object.__setattr__(worker, "reachable_distance", reach)
+    object.__setattr__(worker, "on_time", on)
+    object.__setattr__(worker, "off_time", off)
+    object.__setattr__(worker, "windows", ())
+    object.__setattr__(worker, "speed", speed)
+    return worker
+
+
+def _task_event(task, time=None):
+    return ArrivalEvent(task.publication_time if time is None else time, EventKind.TASK, task)
+
+
+def _worker_event(worker, time=None):
+    return ArrivalEvent(worker.on_time if time is None else time, EventKind.WORKER, worker)
+
+
+class TestValidEvents:
+    def test_healthy_task_passes(self):
+        validate_event(_task_event(Task(1, Point(1.0, 2.0), 0.0, 10.0)))
+
+    def test_healthy_worker_passes(self):
+        validate_event(_worker_event(Worker(1, Point(0.0, 0.0), 5.0, 0.0, 100.0)))
+
+    def test_error_is_a_value_error(self):
+        # Typed but catchable generically at ingestion boundaries.
+        assert issubclass(InvalidEventError, ValueError)
+
+
+class TestInvalidTimes:
+    @pytest.mark.parametrize("bad_time", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_event_time(self, bad_time):
+        event = _task_event(_raw_task(), time=bad_time)
+        with pytest.raises(InvalidEventError, match="not finite"):
+            validate_event(event)
+
+
+class TestInvalidTasks:
+    @pytest.mark.parametrize("x,y", [(float("nan"), 0.0), (0.0, float("inf"))])
+    def test_non_finite_coordinates(self, x, y):
+        with pytest.raises(InvalidEventError, match="coordinates"):
+            validate_event(_task_event(_raw_task(x=x, y=y)))
+
+    @pytest.mark.parametrize(
+        "publication,expiration",
+        [
+            (float("nan"), 10.0),
+            (0.0, float("inf")),
+            (0.0, 0.0),  # zero lifetime
+            (10.0, 5.0),  # inverted lifetime (the chaos harness's favourite)
+        ],
+    )
+    def test_bad_lifetimes(self, publication, expiration):
+        task = _raw_task(publication=publication, expiration=expiration)
+        with pytest.raises(InvalidEventError, match="lifetime"):
+            validate_event(_task_event(task, time=0.0))
+
+    def test_arrival_at_or_after_expiry(self):
+        task = _raw_task(publication=0.0, expiration=10.0)
+        with pytest.raises(InvalidEventError, match="expiry"):
+            validate_event(_task_event(task, time=10.0))
+        with pytest.raises(InvalidEventError, match="expiry"):
+            validate_event(_task_event(task, time=11.0))
+        validate_event(_task_event(task, time=9.0))  # strictly before: fine
+
+
+class TestInvalidWorkers:
+    @pytest.mark.parametrize("reach", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_reach(self, reach):
+        with pytest.raises(InvalidEventError, match="reach"):
+            validate_event(_worker_event(_raw_worker(reach=reach)))
+
+    @pytest.mark.parametrize("speed", [0.0, -2.0, float("nan"), float("inf")])
+    def test_bad_speed(self, speed):
+        with pytest.raises(InvalidEventError, match="speed"):
+            validate_event(_worker_event(_raw_worker(speed=speed)))
+
+    @pytest.mark.parametrize(
+        "on,off",
+        [
+            (float("nan"), 100.0),
+            (float("-inf"), 100.0),
+            (50.0, 50.0),  # empty window
+            (60.0, 50.0),  # inverted window
+            (0.0, float("nan")),
+        ],
+    )
+    def test_bad_online_window(self, on, off):
+        worker = _raw_worker(on=on, off=off)
+        with pytest.raises(InvalidEventError, match="window"):
+            validate_event(_worker_event(worker, time=0.0))
+
+    def test_infinite_off_time_is_allowed(self):
+        # An open-ended worker is legitimate (off=inf means "until stream
+        # end"); only the on-time must be finite.
+        validate_event(_worker_event(_raw_worker(off=float("inf"))))
+
+    def test_non_finite_worker_coordinates(self):
+        with pytest.raises(InvalidEventError, match="coordinates"):
+            validate_event(_worker_event(_raw_worker(x=float("nan"))))

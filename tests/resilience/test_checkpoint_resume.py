@@ -1,0 +1,184 @@
+"""Kill-and-resume: recovery reproduces the uninterrupted run bit-for-bit.
+
+The contract under test (see :meth:`SCPlatform.resume`): for deterministic
+configurations, killing a run at an arbitrary epoch — before or after the
+journal write — and resuming from the latest checkpoint plus the journal
+tail yields exactly the :meth:`SimulationMetrics.deterministic_state` of a
+run that was never interrupted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assignment.planner import PlannerConfig
+from repro.assignment.strategies import DTAStrategy, FTAStrategy
+from repro.datasets.yueche import generate_yueche
+from repro.resilience.chaos import ChaosConfig, FaultInjector, InjectedCrash
+from repro.resilience.checkpoint import FileCheckpointStore, InMemoryCheckpointStore
+from repro.resilience.journal import FileJournal, InMemoryJournal
+from repro.simulation.platform import PlatformConfig, SCPlatform
+from repro.simulation.runner import SimulationRunner
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_yueche(scale=0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def baseline_state(workload):
+    """Deterministic state of an uninterrupted DTA run (no durability)."""
+    platform = SCPlatform(workload.instance, DTAStrategy(config=PlannerConfig()))
+    return platform.run().deterministic_state()
+
+
+def _durable_config(journal, store, crash_epoch=None, mid=False, interval=7):
+    injector = None
+    if crash_epoch is not None:
+        injector = FaultInjector(
+            ChaosConfig(crash_at_epoch=crash_epoch, crash_mid_epoch=mid)
+        )
+    return PlatformConfig(
+        journal=journal,
+        checkpoint_store=store,
+        checkpoint_interval=interval,
+        fault_injector=injector,
+    )
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("crash_epoch", [0, 5, 23, 80])
+    @pytest.mark.parametrize("mid", [False, True])
+    def test_resume_matches_uninterrupted(self, workload, baseline_state, crash_epoch, mid):
+        journal, store = InMemoryJournal(), InMemoryCheckpointStore()
+        platform = SCPlatform(
+            workload.instance,
+            DTAStrategy(config=PlannerConfig()),
+            _durable_config(journal, store, crash_epoch=crash_epoch, mid=mid),
+        )
+        with pytest.raises(InjectedCrash):
+            platform.run()
+        metrics = platform.resume()
+        assert metrics.deterministic_state() == baseline_state
+
+    def test_journaled_run_without_crash_matches(self, workload, baseline_state):
+        journal, store = InMemoryJournal(), InMemoryCheckpointStore()
+        platform = SCPlatform(
+            workload.instance,
+            DTAStrategy(config=PlannerConfig()),
+            _durable_config(journal, store),
+        )
+        metrics = platform.run()
+        assert metrics.deterministic_state() == baseline_state
+        assert len(journal) > 0
+        assert store.latest() is not None
+
+    def test_resume_from_journal_only(self, workload, baseline_state):
+        """No checkpoint at all: replay the journal from epoch zero."""
+        journal = InMemoryJournal()
+        platform = SCPlatform(
+            workload.instance,
+            DTAStrategy(config=PlannerConfig()),
+            _durable_config(journal, store=None, crash_epoch=40),
+        )
+        with pytest.raises(InjectedCrash):
+            platform.run()
+        metrics = platform.resume()
+        assert metrics.deterministic_state() == baseline_state
+
+    def test_fresh_platform_resume_from_files(self, workload, baseline_state, tmp_path):
+        """Simulated process kill: a brand-new platform recovers from disk."""
+        journal = FileJournal(tmp_path / "run.journal")
+        store = FileCheckpointStore(tmp_path / "checkpoints")
+        crashed = SCPlatform(
+            workload.instance,
+            DTAStrategy(config=PlannerConfig()),
+            _durable_config(journal, store, crash_epoch=23, mid=True),
+        )
+        with pytest.raises(InjectedCrash):
+            crashed.run()
+        journal.close()
+
+        # "New process": fresh strategy, fresh platform, no crash schedule;
+        # only the on-disk journal + checkpoints carry over.
+        recovered = SCPlatform(
+            workload.instance,
+            DTAStrategy(config=PlannerConfig()),
+            PlatformConfig(
+                journal=FileJournal(tmp_path / "run.journal"),
+                checkpoint_store=FileCheckpointStore(tmp_path / "checkpoints"),
+                checkpoint_interval=7,
+            ),
+        )
+        metrics = recovered.resume()
+        assert metrics.deterministic_state() == baseline_state
+
+    def test_resume_survives_torn_journal_tail(self, workload, baseline_state, tmp_path):
+        path = tmp_path / "torn.journal"
+        journal = FileJournal(path)
+        platform = SCPlatform(
+            workload.instance,
+            DTAStrategy(config=PlannerConfig()),
+            _durable_config(journal, InMemoryCheckpointStore(), crash_epoch=23),
+        )
+        with pytest.raises(InjectedCrash):
+            platform.run()
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 24, "src": "a", "now"')  # torn mid-write
+        metrics = platform.resume(journal=FileJournal(path))
+        assert metrics.deterministic_state() == baseline_state
+
+    def test_stateful_strategy_resume(self, workload):
+        """FTA carries frozen sequences across epochs; resume must keep them."""
+        baseline = SCPlatform(
+            workload.instance, FTAStrategy(config=PlannerConfig())
+        ).run().deterministic_state()
+        platform = SCPlatform(
+            workload.instance,
+            FTAStrategy(config=PlannerConfig()),
+            _durable_config(
+                InMemoryJournal(), InMemoryCheckpointStore(), crash_epoch=23
+            ),
+        )
+        with pytest.raises(InjectedCrash):
+            platform.run()
+        metrics = platform.resume()
+        assert metrics.deterministic_state() == baseline
+
+    def test_rerun_after_resume_is_reentrant(self, workload, baseline_state):
+        """run() after a recovery truncates durability and starts clean."""
+        journal, store = InMemoryJournal(), InMemoryCheckpointStore()
+        platform = SCPlatform(
+            workload.instance,
+            DTAStrategy(config=PlannerConfig()),
+            _durable_config(journal, store, crash_epoch=5),
+        )
+        with pytest.raises(InjectedCrash):
+            platform.run()
+        platform.resume()
+        total_epochs = len(journal)
+        metrics = platform.run()
+        assert metrics.deterministic_state() == baseline_state
+        assert len(journal) == total_epochs
+
+
+class TestRunnerRecovery:
+    def test_runner_recovers_in_place(self, workload, baseline_state):
+        config = _durable_config(
+            InMemoryJournal(), InMemoryCheckpointStore(), crash_epoch=23
+        )
+        runner = SimulationRunner(workload.instance, platform_config=config)
+        report = runner.run_strategy(DTAStrategy(config=PlannerConfig()), max_recoveries=1)
+        assert report.assigned_tasks == baseline_state["assigned_tasks"]
+        assert report.expired_tasks == baseline_state["expired_tasks"]
+        assert report.replans == baseline_state["replans"]
+
+    def test_runner_propagates_without_recovery_budget(self, workload):
+        config = _durable_config(
+            InMemoryJournal(), InMemoryCheckpointStore(), crash_epoch=5
+        )
+        runner = SimulationRunner(workload.instance, platform_config=config)
+        with pytest.raises(InjectedCrash):
+            runner.run_strategy(DTAStrategy(config=PlannerConfig()))

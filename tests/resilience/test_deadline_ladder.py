@@ -1,0 +1,383 @@
+"""Deadline-bounded planning and the degradation ladder.
+
+Contract (see :data:`repro.assignment.planner.DEGRADATION_RUNGS`): every
+counted planning epoch is served by exactly one rung — ``full`` when no
+deadline interfered, ``partial`` when a component search returned its
+anytime answer, ``greedy`` when the budget expired before a component's
+search started, ``carryover`` when the platform grafted a previous
+still-valid plan onto a degraded epoch.  ``deadline_s=None`` must be
+bit-for-bit identical to a deadline-free build; ``deadline_s=0.0`` gives
+deterministic ladder engagement (the budget is always already spent).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+import pytest
+
+from repro.assignment.dfsearch import dfsearch, dfsearch_bnb
+from repro.assignment.fast_partition import build_adjacency, build_partition_tree_fast
+from repro.assignment.planner import (
+    DEGRADATION_RUNGS,
+    PlannerConfig,
+    TaskPlanner,
+    greedy_component_fill,
+)
+from repro.assignment.reachability import reachable_tasks
+from repro.assignment.sequences import maximal_valid_sequences
+from repro.assignment.strategies import DTAStrategy, GreedyStrategy
+from repro.core.assignment import Assignment, WorkerPlan
+from repro.core.problem import ATAInstance
+from repro.core.sequence import TaskSequence
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.datasets.yueche import generate_yueche
+from repro.simulation.platform import SCPlatform
+from repro.spatial.geometry import Point
+from repro.spatial.travel import EuclideanTravelModel
+
+TRAVEL = EuclideanTravelModel(speed=1.0)
+
+#: A perf_counter deadline that expired long ago: every cooperative check
+#: fires on its first poll, which is what makes these tests deterministic.
+EXPIRED = time.perf_counter() - 1.0
+
+
+def _dense_problem(seed=31337):
+    """One dense shared-task cluster -> (roots, tasks, Q_w, workers_by_id)."""
+    rng = random.Random(seed)
+    workers = [
+        Worker(i, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 2.5, 0.0, 60.0)
+        for i in range(7)
+    ]
+    tasks = [
+        Task(100 + j, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 0.0, rng.uniform(6, 45))
+        for j in range(20)
+    ]
+    reachable = {
+        w.worker_id: reachable_tasks(w, tasks, 0.0, TRAVEL, max_tasks=10) for w in workers
+    }
+    sequences = {
+        w.worker_id: maximal_valid_sequences(
+            w, reachable[w.worker_id], 0.0, TRAVEL, max_length=3, max_sequences=32
+        )
+        for w in workers
+    }
+    tree = build_partition_tree_fast(build_adjacency(reachable))
+    return tree.roots, tasks, sequences, {w.worker_id: w for w in workers}
+
+
+def _assert_feasible(selections, sequences_by_worker):
+    used = [tid for _, tids in selections for tid in tids]
+    assert len(used) == len(set(used)), "a task was assigned twice"
+    for worker_id, task_ids in selections:
+        if task_ids:
+            q_w = {seq.task_ids for seq in sequences_by_worker.get(worker_id, [])}
+            assert task_ids in q_w
+
+
+def _plan_tuples(assignment):
+    return sorted(
+        (wp.worker.worker_id, wp.sequence.task_ids) for wp in assignment
+    )
+
+
+class TestSearchDeadline:
+    @pytest.mark.parametrize("engine", [dfsearch, dfsearch_bnb])
+    def test_expired_deadline_yields_feasible_partial(self, engine):
+        roots, tasks, sequences, workers_by_id = _dense_problem()
+        for root in roots:
+            result = engine(
+                root, tasks, sequences, workers_by_id,
+                node_budget=2_000_000, deadline=EXPIRED,
+            )
+            assert result.deadline_hit
+            _assert_feasible(result.selections, sequences)
+            # The anytime answer still covers every worker of the tree.
+            assert sorted(wid for wid, _ in result.selections) == sorted(root.all_workers())
+
+    @pytest.mark.parametrize("engine", [dfsearch, dfsearch_bnb])
+    def test_generous_deadline_changes_nothing(self, engine):
+        """A deadline far in the future must be invisible to the search."""
+        roots, tasks, sequences, workers_by_id = _dense_problem()
+        for root in roots:
+            plain = engine(root, tasks, sequences, workers_by_id, node_budget=2_000_000)
+            bounded = engine(
+                root, tasks, sequences, workers_by_id,
+                node_budget=2_000_000, deadline=time.perf_counter() + 300.0,
+            )
+            assert not bounded.deadline_hit
+            assert bounded.opt == plain.opt
+            assert bounded.selections == plain.selections
+            assert bounded.nodes_expanded == plain.nodes_expanded
+
+    def test_deadline_cut_is_reported_not_raised(self):
+        roots, tasks, sequences, workers_by_id = _dense_problem()
+        result = dfsearch_bnb(
+            roots[0], tasks, sequences, workers_by_id, deadline=EXPIRED
+        )
+        assert result.deadline_hit
+        assert not result.complete or result.nodes_expanded == 0
+
+
+class TestGreedyComponentFill:
+    def _fixtures(self):
+        w1 = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
+        w2 = Worker(2, Point(0, 0), 10.0, 0.0, 100.0)
+        t1 = Task(1, Point(1, 0), 0.0, 50.0)
+        t2 = Task(2, Point(2, 0), 0.0, 50.0)
+        t3 = Task(3, Point(3, 0), 0.0, 50.0)
+        sequences = {
+            1: [TaskSequence(w1, (t1, t2)), TaskSequence(w1, (t3,))],
+            2: [TaskSequence(w2, (t1,)), TaskSequence(w2, (t3,))],
+        }
+        return sequences
+
+    def test_first_fit_respects_availability(self):
+        sequences = self._fixtures()
+        available = {1, 2, 3}
+        selections = greedy_component_fill([1, 2], sequences, available)
+        # Worker 1 takes its first candidate (t1, t2); worker 2's first
+        # candidate needs the now-taken t1, so it falls through to (t3,).
+        assert selections == [(1, (1, 2)), (2, (3,))]
+        assert available == set()
+
+    def test_worker_order_decides_contention(self):
+        sequences = self._fixtures()
+        selections = greedy_component_fill([2, 1], sequences, {1, 2, 3})
+        assert selections == [(2, (1,)), (1, (3,))]
+
+    def test_workers_without_fit_get_empty(self):
+        sequences = self._fixtures()
+        selections = greedy_component_fill([1, 2], sequences, {2})
+        assert selections == [(1, ()), (2, ())]
+        # Unknown workers are covered too (empty selection, no crash).
+        assert greedy_component_fill([99], sequences, {1, 2, 3}) == [(99, ())]
+
+
+class TestPlannerDeadline:
+    def _snapshot(self):
+        rng = random.Random(4711)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 2.5, 0.0, 60.0)
+            for i in range(7)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 2.2), rng.uniform(0, 2.2)), 0.0, rng.uniform(6, 45))
+            for j in range(22)
+        ]
+        return workers, tasks
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_zero_deadline_engages_greedy_rung(self, incremental):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(
+            PlannerConfig(incremental_replan=incremental, deadline_s=0.0),
+            travel=TRAVEL,
+        )
+        outcome = planner.plan(workers, tasks, 0.0)
+        assert outcome.rung == "greedy"
+        assert outcome.deadline_hit
+        selections = [
+            (wp.worker.worker_id, wp.sequence.task_ids) for wp in outcome.assignment
+        ]
+        used = [tid for _, tids in selections for tid in tids]
+        assert len(used) == len(set(used))
+        assert outcome.planned_tasks == len(used) > 0
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_no_deadline_never_degrades(self, incremental):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(
+            PlannerConfig(incremental_replan=incremental), travel=TRAVEL
+        )
+        outcome = planner.plan(workers, tasks, 0.0)
+        assert outcome.rung == "full"
+        assert not outcome.deadline_hit
+
+    def test_degraded_results_are_not_cached(self):
+        """A greedy epoch must not poison the component cache: removing the
+        deadline on the next call restores the full-quality plan."""
+        workers, tasks = self._snapshot()
+        degraded = TaskPlanner(PlannerConfig(deadline_s=0.0), travel=TRAVEL)
+        first = degraded.plan(workers, tasks, 0.0)
+        assert first.rung == "greedy"
+        degraded.config.deadline_s = None
+        healed = degraded.plan(workers, tasks, 0.0)
+        assert healed.rung == "full"
+        reference = TaskPlanner(
+            PlannerConfig(incremental_replan=False), travel=TRAVEL
+        ).plan(workers, tasks, 0.0)
+        assert _plan_tuples(healed.assignment) == _plan_tuples(reference.assignment)
+
+    def test_greedy_rung_never_beats_full(self):
+        workers, tasks = self._snapshot()
+        full = TaskPlanner(PlannerConfig(), travel=TRAVEL).plan(workers, tasks, 0.0)
+        greedy = TaskPlanner(PlannerConfig(deadline_s=0.0), travel=TRAVEL).plan(
+            workers, tasks, 0.0
+        )
+        assert greedy.planned_tasks <= full.planned_tasks
+
+
+class TestSelfHealing:
+    """The incremental engine's post-replan invariant check: a corrupted
+    cache is detected, logged, dropped and the epoch redone from scratch —
+    with an answer identical to a fresh full pipeline."""
+
+    def _planner_and_snapshot(self):
+        workers, tasks = TestPlannerDeadline()._snapshot()
+        planner = TaskPlanner(PlannerConfig(), travel=TRAVEL)
+        first = planner.plan(workers, tasks, 0.0)
+        assert first.repairs == 0
+        assert planner._engine._worker_entries  # cache is warm
+        return planner, workers, tasks
+
+    def _reference(self, workers, tasks):
+        return TaskPlanner(
+            PlannerConfig(incremental_replan=False), travel=TRAVEL
+        ).plan(workers, tasks, 0.0)
+
+    def test_nan_horizon_is_repaired(self):
+        planner, workers, tasks = self._planner_and_snapshot()
+        for entry in planner._engine._worker_entries.values():
+            entry.reach_horizon = float("nan")
+        outcome = planner.plan(workers, tasks, 0.0)
+        assert outcome.repairs == 1
+        assert _plan_tuples(outcome.assignment) == _plan_tuples(
+            self._reference(workers, tasks).assignment
+        )
+
+    def test_corrupted_component_selection_is_repaired(self):
+        planner, workers, tasks = self._planner_and_snapshot()
+        corrupted = False
+        for entry in planner._engine._components.values():
+            if entry.selections:
+                # Duplicate a worker's selection: a double-planned worker
+                # violates the epoch invariant the moment it is replayed.
+                entry.selections = entry.selections + (entry.selections[0],)
+                corrupted = True
+        assert corrupted
+        outcome = planner.plan(workers, tasks, 0.0)
+        assert outcome.repairs == 1
+        assert _plan_tuples(outcome.assignment) == _plan_tuples(
+            self._reference(workers, tasks).assignment
+        )
+
+    def test_repair_restores_subsequent_epochs(self):
+        planner, workers, tasks = self._planner_and_snapshot()
+        for entry in planner._engine._worker_entries.values():
+            entry.seq_horizon = float("nan")
+        assert planner.plan(workers, tasks, 0.0).repairs == 1
+        again = planner.plan(workers, tasks, 0.5)
+        assert again.repairs == 0
+        assert again.rung == "full"
+
+
+class TestPlatformLadder:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_yueche(scale=0.015, seed=7)
+
+    def test_no_deadline_all_epochs_full(self, workload):
+        platform = SCPlatform(workload.instance, DTAStrategy(config=PlannerConfig()))
+        metrics = platform.run()
+        assert metrics.replans > 0
+        assert metrics.degraded_epochs == 0
+        assert set(metrics.degradation_rungs) == {"full"}
+        assert metrics.degradation_rungs["full"] == metrics.replans
+
+    def test_zero_deadline_engages_ladder(self, workload):
+        platform = SCPlatform(
+            workload.instance, DTAStrategy(config=PlannerConfig(deadline_s=0.0))
+        )
+        metrics = platform.run()
+        assert metrics.degraded_epochs > 0
+        assert set(metrics.degradation_rungs) <= set(DEGRADATION_RUNGS)
+        assert "full" not in metrics.degradation_rungs
+        # Exactly one rung per counted planning epoch.
+        assert sum(metrics.degradation_rungs.values()) == metrics.replans
+        for value in metrics.as_dict().values():
+            assert math.isfinite(value)
+
+    def test_degraded_run_still_serves_tasks(self, workload):
+        full = SCPlatform(
+            workload.instance, DTAStrategy(config=PlannerConfig())
+        ).run()
+        degraded = SCPlatform(
+            workload.instance, DTAStrategy(config=PlannerConfig(deadline_s=0.0))
+        ).run()
+        assert degraded.assigned_tasks > 0
+        assert degraded.assigned_tasks <= full.assigned_tasks
+
+    def test_deadline_run_is_reproducible(self, workload):
+        """deadline_s=0.0 degrades deterministically (never mid-search)."""
+        states = [
+            SCPlatform(
+                workload.instance, DTAStrategy(config=PlannerConfig(deadline_s=0.0))
+            )
+            .run()
+            .deterministic_state()
+            for _ in range(2)
+        ]
+        assert states[0] == states[1]
+
+
+class TestCarryover:
+    def _platform(self):
+        worker = Worker(1, Point(0.0, 0.0), 10.0, 0.0, 100.0)
+        task = Task(1, Point(1.0, 0.0), 0.0, 50.0)
+        instance = ATAInstance([worker], [task], travel=TRAVEL)
+        platform = SCPlatform(instance, GreedyStrategy())
+        platform._reset_run_state(clear_durability=False)
+        platform._carryover_enabled = True
+        return platform, worker, task
+
+    def test_grafts_previous_sequence(self):
+        platform, worker, task = self._platform()
+        platform._pending[task.task_id] = task
+        platform._last_plans[worker.worker_id] = WorkerPlan(
+            worker, TaskSequence(worker, (task,))
+        )
+        plan = Assignment()
+        assert platform._carryover(plan, [worker], now=0.0)
+        assert plan.plan_for(worker.worker_id).sequence.task_ids == (1,)
+
+    def test_skips_tasks_no_longer_pending(self):
+        platform, worker, task = self._platform()
+        platform._last_plans[worker.worker_id] = WorkerPlan(
+            worker, TaskSequence(worker, (task,))
+        )
+        plan = Assignment()
+        assert not platform._carryover(plan, [worker], now=0.0)  # not pending
+        assert plan.plan_for(worker.worker_id) is None
+
+    def test_skips_expired_and_claimed_tasks(self):
+        platform, worker, task = self._platform()
+        platform._pending[task.task_id] = task
+        platform._last_plans[worker.worker_id] = WorkerPlan(
+            worker, TaskSequence(worker, (task,))
+        )
+        # Expired at carryover time.
+        assert not platform._carryover(Assignment(), [worker], now=60.0)
+        # Claimed by the degraded plan itself.
+        other = Worker(2, Point(0.0, 0.0), 10.0, 0.0, 100.0)
+        plan = Assignment()
+        plan.add(WorkerPlan(other, TaskSequence(other, (task,))))
+        assert not platform._carryover(plan, [worker], now=0.0)
+        assert plan.plan_for(worker.worker_id) is None
+
+    def test_workers_already_planned_keep_their_plan(self):
+        platform, worker, task = self._platform()
+        other_task = Task(2, Point(2.0, 0.0), 0.0, 50.0)
+        platform._pending[task.task_id] = task
+        platform._pending[other_task.task_id] = other_task
+        platform._last_plans[worker.worker_id] = WorkerPlan(
+            worker, TaskSequence(worker, (other_task,))
+        )
+        plan = Assignment()
+        plan.add(WorkerPlan(worker, TaskSequence(worker, (task,))))
+        assert not platform._carryover(plan, [worker], now=0.0)
+        assert plan.plan_for(worker.worker_id).sequence.task_ids == (1,)

@@ -1,0 +1,127 @@
+"""Unit tests for the durability primitives: journals and checkpoint stores."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience.checkpoint import (
+    FileCheckpointStore,
+    InMemoryCheckpointStore,
+    PlatformCheckpoint,
+)
+from repro.resilience.journal import FileJournal, InMemoryJournal
+
+
+class TestInMemoryJournal:
+    def test_append_and_read_back(self):
+        journal = InMemoryJournal()
+        journal.append({"seq": 0, "now": 1.5})
+        journal.append({"seq": 1, "now": 2.5})
+        assert list(journal.entries()) == [{"seq": 0, "now": 1.5}, {"seq": 1, "now": 2.5}]
+        assert len(journal) == 2
+
+    def test_clear(self):
+        journal = InMemoryJournal()
+        journal.append({"seq": 0})
+        journal.clear()
+        assert list(journal.entries()) == []
+
+    def test_entries_snapshot_is_stable_under_appends(self):
+        journal = InMemoryJournal()
+        journal.append({"seq": 0})
+        iterator = journal.entries()
+        journal.append({"seq": 1})
+        assert [entry["seq"] for entry in iterator] == [0]
+
+
+class TestFileJournal:
+    def test_round_trip(self, tmp_path):
+        journal = FileJournal(tmp_path / "run.journal")
+        journal.append({"seq": 0, "now": 0.25, "dispatches": [[1, 2]]})
+        journal.append({"seq": 1, "now": 0.75, "dispatches": []})
+        journal.close()
+        reread = FileJournal(tmp_path / "run.journal")
+        entries = list(reread.entries())
+        assert entries == [
+            {"seq": 0, "now": 0.25, "dispatches": [[1, 2]]},
+            {"seq": 1, "now": 0.75, "dispatches": []},
+        ]
+
+    def test_float_round_trip_is_exact(self, tmp_path):
+        value = 0.1 + 0.2  # not representable exactly; repr must round-trip
+        journal = FileJournal(tmp_path / "floats.journal")
+        journal.append({"now": value})
+        journal.close()
+        (entry,) = FileJournal(tmp_path / "floats.journal").entries()
+        assert entry["now"] == value
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        path = tmp_path / "torn.journal"
+        journal = FileJournal(path)
+        journal.append({"seq": 0})
+        journal.append({"seq": 1})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "now": 3.')  # crash mid-write, no newline
+        entries = list(FileJournal(path).entries())
+        assert [entry["seq"] for entry in entries] == [0, 1]
+
+    def test_corrupted_tail_is_discarded(self, tmp_path):
+        path = tmp_path / "corrupt.journal"
+        journal = FileJournal(path)
+        journal.append({"seq": 0})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("}}}not json at all\n")
+        entries = list(FileJournal(path).entries())
+        assert [entry["seq"] for entry in entries] == [0]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert list(FileJournal(tmp_path / "absent.journal").entries()) == []
+
+    def test_clear_truncates(self, tmp_path):
+        path = tmp_path / "clear.journal"
+        journal = FileJournal(path)
+        journal.append({"seq": 0})
+        journal.clear()
+        assert list(journal.entries()) == []
+        journal.append({"seq": 7})
+        assert [entry["seq"] for entry in journal.entries()] == [7]
+
+
+class TestCheckpointStores:
+    def test_in_memory_latest_is_newest(self):
+        store = InMemoryCheckpointStore()
+        assert store.latest() is None
+        store.save(PlatformCheckpoint(seq=4, payload=b"a"))
+        store.save(PlatformCheckpoint(seq=8, payload=b"b"))
+        latest = store.latest()
+        assert latest.seq == 8 and latest.payload == b"b"
+        store.clear()
+        assert store.latest() is None
+
+    def test_file_store_round_trip(self, tmp_path):
+        store = FileCheckpointStore(tmp_path / "ckpt")
+        store.save(PlatformCheckpoint(seq=16, payload=b"\x00\x01state"))
+        store.save(PlatformCheckpoint(seq=32, payload=b"newer"))
+        latest = FileCheckpointStore(tmp_path / "ckpt").latest()
+        assert latest.seq == 32 and latest.payload == b"newer"
+        assert len(store) == 2
+
+    def test_file_store_ignores_stale_temp_files(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        store = FileCheckpointStore(directory)
+        store.save(PlatformCheckpoint(seq=16, payload=b"good"))
+        # A crash mid-save leaves a .tmp behind; latest() must not see it.
+        with open(directory / "checkpoint-000000032.pkl.tmp", "wb") as handle:
+            handle.write(b"half-written")
+        latest = store.latest()
+        assert latest.seq == 16 and latest.payload == b"good"
+        store.clear()
+        assert store.latest() is None
+        assert not any(name.endswith(".tmp") for name in os.listdir(directory))
+
+    def test_file_store_empty(self, tmp_path):
+        assert FileCheckpointStore(tmp_path / "empty").latest() is None
