@@ -31,11 +31,22 @@ safe to compare across a dev laptop and a CI runner:
   rather than against the baseline: the contract is "under 5%
   overhead", full stop.
 
+One family is gated at an absolute **floor** instead:
+``parallel_search.*.speedup`` — the process-pool backend's wall-clock
+win over the serial backend on dense multi-cluster snapshots — must be
+at least ``PARALLEL_SPEEDUP_FLOOR`` at 4 workers.  The floor arms itself
+from the *candidate* entry's ``gate`` flag (recorded true only on hosts
+with >= 4 usable cores): a 1-core container records honest numbers and
+is exempt, CI's 4-vCPU runners enforce the floor.  Floor metrics are
+driven by the candidate, not the baseline, so the gate cannot be
+disabled by a baseline that was committed from a small machine.
+
 Absolute wall-clock numbers (latencies, events/sec) are printed for
 context but never fail the check — they are not comparable across
 machines.  A ratio fails when ``candidate < baseline / factor``; a bound
-fails when ``candidate > OVERHEAD_LIMIT``.  Missing sections are skipped
-with a note so partial baselines stay usable.
+fails when ``candidate > OVERHEAD_LIMIT``; a floor fails when
+``candidate < PARALLEL_SPEEDUP_FLOOR`` on a gated host.  Missing
+sections are skipped with a note so partial baselines stay usable.
 """
 
 from __future__ import annotations
@@ -50,6 +61,10 @@ from pathlib import Path
 #: cost at most 5% of the bare-metal wall-clock on a healthy stream.
 OVERHEAD_LIMIT = 1.05
 
+#: Absolute floor for 'floor' metrics: the 4-worker pool must beat the
+#: serial backend by at least this much on gated (>= 4-core) hosts.
+PARALLEL_SPEEDUP_FLOOR = 1.5
+
 
 def _iter_metrics(data):
     """Yield (name, value, kind).
@@ -57,7 +72,10 @@ def _iter_metrics(data):
     Kinds: ``ratio`` gates against the baseline (fails when the candidate
     drops below ``baseline / factor``); ``bound`` gates against the
     absolute ``OVERHEAD_LIMIT`` (fails when the candidate exceeds it,
-    regardless of the baseline); ``info`` never gates.
+    regardless of the baseline); ``floor`` gates against the absolute
+    ``PARALLEL_SPEEDUP_FLOOR`` and is driven by the *candidate* (the
+    entry's ``gate`` flag downgrades it to ``info`` on hosts too small
+    to show a speedup); ``info`` never gates.
     """
     for scale, entry in data.get("snapshot_replan", {}).items():
         yield f"snapshot_replan.{scale}.speedup", entry["speedup"], "ratio"
@@ -135,6 +153,18 @@ def _iter_metrics(data):
             entry["resilient_ms"],
             "info",
         )
+    for scale, entry in data.get("parallel_search", {}).items():
+        kind = "floor" if entry.get("gate") else "info"
+        yield f"parallel_search.{scale}.speedup", entry["speedup"], kind
+        yield (
+            f"parallel_search.{scale}.parallel_mean_ms",
+            entry["parallel_mean_ms"],
+            "info",
+        )
+    tuning = data.get("threshold_tuning", {})
+    for knob in ("vector_min_tasks", "index_min_tasks"):
+        for value, entry in tuning.get(knob, {}).items():
+            yield f"threshold_tuning.{knob}.{value}.mean_ms", entry["mean_ms"], "info"
 
 
 def compare(baseline: dict, candidate: dict, factor: float):
@@ -142,14 +172,21 @@ def compare(baseline: dict, candidate: dict, factor: float):
     candidate_metrics = {
         name: (value, kind) for name, value, kind in _iter_metrics(candidate)
     }
+    baseline_values = {name: value for name, value, _ in _iter_metrics(baseline)}
     failures = []
     rows = []
     for name, base_value, kind in _iter_metrics(baseline):
         if name not in candidate_metrics:
             rows.append((name, base_value, None, "missing in candidate (skipped)"))
             continue
-        cand_value, _ = candidate_metrics[name]
-        if kind == "info":
+        cand_value, cand_kind = candidate_metrics[name]
+        if cand_kind == "floor":
+            # Floor metrics are candidate-driven (handled below, even when
+            # absent from the baseline): the candidate's own gate flag
+            # decides whether they gate, not whatever machine the baseline
+            # happened to be recorded on.
+            continue
+        if kind == "info" or cand_kind == "info":
             rows.append((name, base_value, cand_value, "info (not gated)"))
             continue
         if kind == "bound":
@@ -165,6 +202,21 @@ def compare(baseline: dict, candidate: dict, factor: float):
         ratio = base_value / cand_value if cand_value else float("inf")
         status = "FAIL" if regressed else "ok"
         rows.append((name, base_value, cand_value, f"{status} (x{ratio:.2f})"))
+        if regressed:
+            failures.append(name)
+    for name, (cand_value, kind) in candidate_metrics.items():
+        if kind != "floor":
+            continue
+        regressed = cand_value < PARALLEL_SPEEDUP_FLOOR
+        status = "FAIL" if regressed else "ok"
+        rows.append(
+            (
+                name,
+                baseline_values.get(name),
+                cand_value,
+                f"{status} (floor {PARALLEL_SPEEDUP_FLOOR})",
+            )
+        )
         if regressed:
             failures.append(name)
     return failures, rows

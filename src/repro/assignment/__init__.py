@@ -15,6 +15,7 @@ Module map
                              and the anytime branch-and-bound engine
 :mod:`tvf`                   Task Value Function, Eq. 11–12
 :mod:`dfsearch_tvf`          TVF-guided search, Alg. 2
+:mod:`executor`              pluggable search backends (serial / process pool)
 :mod:`planner`               Task Planning Assignment, Alg. 4
 :mod:`adaptive`              the adaptive streaming algorithm, Alg. 3
 :mod:`baselines`             Greedy and FTA comparison methods
@@ -51,6 +52,16 @@ from repro.assignment.tvf import (
     featurize_actions_batch,
 )
 from repro.assignment.dfsearch_tvf import dfsearch_tvf
+from repro.assignment.executor import (
+    ComponentJob,
+    ComponentResult,
+    ParallelExecutor,
+    SearchExecutor,
+    SerialExecutor,
+    make_executor,
+    run_component_job,
+    shutdown_shared_pools,
+)
 from repro.assignment.planner import TaskPlanner, PlannerConfig
 from repro.assignment.adaptive import AdaptiveAssigner
 from repro.assignment.baselines import greedy_assignment, fixed_task_assignment
@@ -90,6 +101,14 @@ __all__ = [
     "featurize_state",
     "featurize_actions_batch",
     "dfsearch_tvf",
+    "ComponentJob",
+    "ComponentResult",
+    "SearchExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "run_component_job",
+    "shutdown_shared_pools",
     "TaskPlanner",
     "PlannerConfig",
     "AdaptiveAssigner",

@@ -97,6 +97,10 @@ class AdaptiveAssigner:
         self._task_index = resized
         self.planner.attach_task_index(self._task_index)
 
+    def close(self) -> None:
+        """Detach the planner's search executor (shared pools stay warm)."""
+        self.planner.close()
+
     # ------------------------------------------------------------------ #
     # State inspection helpers
     # ------------------------------------------------------------------ #

@@ -249,12 +249,13 @@ def _search(
 
 def dfsearch(
     node: PartitionNode,
-    tasks: Sequence[Task],
+    tasks: Optional[Sequence[Task]],
     sequences_by_worker: Dict[int, List[TaskSequence]],
     workers_by_id: Dict[int, Worker],
     node_budget: int = 20000,
     collect_experience: bool = False,
     deadline: Optional[float] = None,
+    available_ids: Optional[FrozenSet[int]] = None,
 ) -> DFSearchResult:
     """Run Algorithm 1 on a partition-tree node.
 
@@ -263,7 +264,11 @@ def dfsearch(
     node:
         Root of the (sub)tree to search.
     tasks:
-        Currently unassigned tasks available to this sub-problem.
+        Currently unassigned tasks available to this sub-problem.  The
+        search only ever reads their ids; pass ``available_ids`` instead
+        (with ``tasks=None``) to make the call a pure function of plain
+        picklable data — the form :mod:`repro.assignment.executor` ships
+        across process boundaries.
     sequences_by_worker:
         Pre-computed ``Q_w`` for every worker appearing in the tree.
     workers_by_id:
@@ -276,6 +281,8 @@ def dfsearch(
     deadline:
         Absolute ``time.perf_counter()`` cutoff; on expiry the best
         anytime answer found so far is returned with ``deadline_hit`` set.
+    available_ids:
+        Task ids available to this sub-problem; overrides ``tasks``.
     """
     context = SearchContext(
         sequences_by_worker=sequences_by_worker,
@@ -284,7 +291,11 @@ def dfsearch(
         deadline=deadline,
         collect_experience=collect_experience,
     )
-    task_ids = frozenset(task.task_id for task in tasks)
+    task_ids = (
+        frozenset(available_ids)
+        if available_ids is not None
+        else frozenset(task.task_id for task in tasks)
+    )
     opt, selections = _search(node, task_ids, tuple(node.workers), context)
     return DFSearchResult(
         opt=opt,
@@ -640,12 +651,13 @@ def _bnb_solve(
 
 def dfsearch_bnb(
     node: PartitionNode,
-    tasks: Sequence[Task],
+    tasks: Optional[Sequence[Task]],
     sequences_by_worker: Dict[int, List[TaskSequence]],
     workers_by_id: Dict[int, Worker],
     node_budget: int = 20000,
     collect_experience: bool = False,
     deadline: Optional[float] = None,
+    available_ids: Optional[FrozenSet[int]] = None,
 ) -> DFSearchResult:
     """Anytime branch-and-bound equivalent of :func:`dfsearch`.
 
@@ -668,8 +680,13 @@ def dfsearch_bnb(
     magnitude fewer expansions on dense components; recorded values are
     the achieved values of the explored branches, identical in meaning to
     the plain search's tuples.
+
+    Like :func:`dfsearch`, the engine only reads task *ids*: passing
+    ``available_ids`` (with ``tasks=None``) yields the same result from
+    plain picklable data.
     """
-    available_ids = {task.task_id for task in tasks}
+    if available_ids is None:
+        available_ids = {task.task_id for task in tasks}
 
     # Universe: available tasks actually referenced by some sequence of a
     # tree worker, in sorted id order for a deterministic bit layout.

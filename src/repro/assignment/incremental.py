@@ -50,12 +50,11 @@ this on randomized snapshot streams and full platform replays.
 from __future__ import annotations
 
 import logging
-import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.assignment.dfsearch import adaptive_node_budget, dfsearch, dfsearch_bnb
-from repro.assignment.dfsearch_tvf import dfsearch_tvf
+from repro.assignment.dfsearch import adaptive_node_budget
+from repro.assignment.executor import ComponentJob
 from repro.assignment.fast_partition import (
     build_adjacency,
     build_component_subtree,
@@ -444,13 +443,16 @@ class IncrementalPlanEngine:
             self._adjacency = adjacency
             self._adjacency_components = components
             self._adjacency_key = worker_stream_key
+        # ---- decompose: replay cache hits, extract jobs for the rest ----- #
+        # Slots keep the component order; a slot is either the cached entry
+        # to replay or the index of a ComponentJob handed to the executor.
+        # Everything a job needs (subtree, budget, candidate sets) is fixed
+        # here, before any search runs.
         use_guided = config.use_tvf and tvf is not None
-        nodes_expanded = 0
-        reused_components = 0
-        searched_components = 0
-        rung_level = 0
-        epoch_selections: List[Tuple[int, Tuple[int, ...]]] = []
-        used_ids: Set[int] = set()
+        available_ids = frozenset(tasks_by_id)
+        slots: List[Tuple[str, object]] = []
+        jobs: List[ComponentJob] = []
+        job_meta: List[Tuple[FrozenSet[int], Dict[int, int], str]] = []
         for component in components:
             key = frozenset(component)
             versions = {wid: self._worker_entries[wid].version for wid in component}
@@ -463,73 +465,108 @@ class IncrementalPlanEngine:
                 and cached.mode == mode
                 and (not guided or cached.task_epoch == self._task_epoch)
             ):
+                slots.append(("cached", cached))
+                continue
+            if config.use_partition:
+                root = build_component_subtree(adjacency, component)
+            else:
+                root = PartitionNode(workers=list(component))
+            num_sequences = sum(
+                len(sequences_by_worker.get(wid, [])) for wid in component
+            )
+            if guided:
+                job = ComponentJob(
+                    index=len(jobs),
+                    mode="tvf",
+                    root=root,
+                    worker_ids=tuple(component),
+                    sequences_by_worker=sequences_by_worker,
+                    workers_by_id=workers_by_id,
+                    task_ids=available_ids,
+                    tasks=active,
+                    tvf=tvf,
+                    num_sequences=num_sequences,
+                )
+            else:
+                # Same per-component budget formula as the full pipeline
+                # (a pure function of the component's workers and their
+                # candidate sets), so replays stay bit-for-bit.
+                budget = config.node_budget
+                if config.adaptive_node_budget:
+                    budget = adaptive_node_budget(
+                        budget, len(component), num_sequences
+                    )
+                job = ComponentJob(
+                    index=len(jobs),
+                    mode=mode,
+                    root=root,
+                    worker_ids=tuple(component),
+                    sequences_by_worker=sequences_by_worker,
+                    workers_by_id=workers_by_id,
+                    task_ids=available_ids,
+                    node_budget=budget,
+                    num_sequences=num_sequences,
+                )
+            slots.append(("job", len(jobs)))
+            jobs.append(job)
+            job_meta.append((key, versions, mode))
+
+        # ---- dispatch ----------------------------------------------------- #
+        results, stats = planner.executor().run(jobs, deadline=deadline)
+
+        # ---- merge: component order, cache writes applied here ------------ #
+        nodes_expanded = 0
+        reused_components = 0
+        searched_components = 0
+        rung_level = 0
+        epoch_selections: List[Tuple[int, Tuple[int, ...]]] = []
+        used_ids: Set[int] = set()
+        for slot_kind, payload in slots:
+            if slot_kind == "cached":
+                cached = payload
                 selections = cached.selections
                 nodes = cached.nodes_expanded
                 cached.last_used = self._epoch
                 reused_components += 1
-            elif deadline is not None and _time.perf_counter() >= deadline:
-                # Budget exhausted before this component's search started:
-                # greedy rung (first-fit over Q_w), uncached — the result
-                # depends on wall-clock, not just the component state.
-                selections = tuple(
-                    greedy_component_fill(
-                        component, sequences_by_worker, set(tasks_by_id) - used_ids
-                    )
-                )
-                nodes = 0
-                rung_level = max(rung_level, 2)
-                searched_components += 1
             else:
-                if config.use_partition:
-                    root = build_component_subtree(adjacency, component)
-                else:
-                    root = PartitionNode(workers=list(component))
-                degraded = False
-                if guided:
-                    result = dfsearch_tvf(
-                        root, active, sequences_by_worker, workers_by_id, tvf
-                    )
-                else:
-                    exact_engine = dfsearch if mode == "exact" else dfsearch_bnb
-                    # Same per-component budget formula as the full pipeline
-                    # (a pure function of the component's workers and their
-                    # candidate sets), so replays stay bit-for-bit.
-                    budget = config.node_budget
-                    if config.adaptive_node_budget:
-                        budget = adaptive_node_budget(
-                            budget,
-                            len(component),
-                            sum(
-                                len(sequences_by_worker.get(wid, []))
-                                for wid in component
-                            ),
-                        )
-                    result = exact_engine(
-                        root,
-                        active,
-                        sequences_by_worker,
-                        workers_by_id,
-                        node_budget=budget,
-                        deadline=deadline,
-                    )
-                    if result.deadline_hit:
-                        degraded = True
-                        rung_level = max(rung_level, 1)
-                selections = tuple(result.selections)
-                nodes = result.nodes_expanded
-                if not degraded:
-                    # Deadline-cut answers are anytime partials tied to this
-                    # epoch's wall-clock; caching one would replay a degraded
-                    # plan on healthy future epochs.
-                    self._components[key] = _ComponentEntry(
-                        versions=versions,
-                        selections=selections,
-                        nodes_expanded=nodes,
-                        mode=mode,
-                        task_epoch=self._task_epoch,
-                        last_used=self._epoch,
-                    )
+                job_index = payload
+                result = results[job_index]
+                key, versions, mode = job_meta[job_index]
+                job = jobs[job_index]
                 searched_components += 1
+                if result.skipped:
+                    # Budget exhausted before this component's search
+                    # started: greedy rung (first-fit over Q_w), uncached —
+                    # the result depends on wall-clock, not just the
+                    # component state.  Sequential across components (each
+                    # fill consumes from what earlier components left), so
+                    # it runs here at merge time, in component order.
+                    selections = tuple(
+                        greedy_component_fill(
+                            list(job.worker_ids),
+                            sequences_by_worker,
+                            set(tasks_by_id) - used_ids,
+                        )
+                    )
+                    nodes = 0
+                    rung_level = max(rung_level, 2)
+                else:
+                    selections = result.selections
+                    nodes = result.nodes_expanded
+                    if result.deadline_hit:
+                        rung_level = max(rung_level, 1)
+                    else:
+                        # Deadline-cut answers are anytime partials tied to
+                        # this epoch's wall-clock; caching one would replay
+                        # a degraded plan on healthy future epochs.
+                        self._components[key] = _ComponentEntry(
+                            versions=versions,
+                            selections=selections,
+                            nodes_expanded=nodes,
+                            mode=mode,
+                            task_epoch=self._task_epoch,
+                            last_used=self._epoch,
+                        )
             nodes_expanded += nodes
             epoch_selections.extend(selections)
             for _, task_ids in selections:
@@ -590,6 +627,8 @@ class IncrementalPlanEngine:
             searched_components=searched_components,
             rung=DEGRADATION_RUNGS[rung_level],
             deadline_hit=rung_level > 0,
+            parallel_components=stats.parallel_jobs,
+            executor_overhead_s=stats.overhead_s,
         )
 
     # ------------------------------------------------------------------ #

@@ -14,12 +14,19 @@ Given the current workers and (current + predicted) tasks, the planner
 
 from __future__ import annotations
 
+import os
 import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.assignment.dfsearch import adaptive_node_budget, dfsearch, dfsearch_bnb
-from repro.assignment.dfsearch_tvf import dfsearch_tvf
+from repro.assignment.dfsearch import adaptive_node_budget
+from repro.assignment.executor import (
+    EXECUTOR_ENV,
+    ComponentJob,
+    SearchExecutor,
+    default_max_workers,
+    make_executor,
+)
 from repro.assignment.fast_partition import (
     build_adjacency,
     build_partition_tree_fast,
@@ -154,6 +161,20 @@ class PlannerConfig:
         the epoch (see :data:`DEGRADATION_RUNGS`).  ``None`` (default)
         disables the deadline entirely — planning is then bit-for-bit
         identical to a deadline-free build.
+    executor:
+        Dispatch backend for the per-component searches: ``"serial"``
+        (inline, the reference) or ``"parallel"`` (warm process pool; see
+        :mod:`repro.assignment.executor`).  Both produce bit-for-bit
+        identical assignments, metrics and TVF experience — the choice
+        only moves wall-clock.  ``None`` (default) resolves the
+        ``REPRO_EXECUTOR`` environment variable, falling back to
+        ``"serial"``; an explicit value always wins, which is how CI
+        reruns whole suites under the parallel backend without touching
+        call sites.
+    max_workers:
+        Pool size for the parallel executor.  0 (default) resolves
+        ``REPRO_MAX_WORKERS``, falling back to the process's usable CPU
+        count.  Ignored by the serial backend.
     self_check:
         Run the incremental engine's post-replan invariant check (no
         double-booked task or worker, selections drawn from the cached
@@ -176,6 +197,19 @@ class PlannerConfig:
     incremental_replan: bool = True
     deadline_s: Optional[float] = None
     self_check: bool = True
+    executor: Optional[str] = None
+    max_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.executor is None:
+            self.executor = os.environ.get(EXECUTOR_ENV) or "serial"
+        if self.executor not in ("serial", "parallel"):
+            raise ValueError(
+                f"unknown executor: {self.executor!r} "
+                "(expected 'serial' or 'parallel')"
+            )
+        if not self.max_workers:
+            self.max_workers = default_max_workers()
 
 
 @dataclass
@@ -206,6 +240,12 @@ class PlanningOutcome:
     #: Invariant-check repairs performed by the incremental engine while
     #: producing this outcome (each one is a cache drop + full replan).
     repairs: int = 0
+    #: Component searches that crossed a process boundary this epoch
+    #: (always 0 under the serial backend).
+    parallel_components: int = 0
+    #: Estimated dispatch cost (pickling + IPC + scheduling) of this
+    #: epoch's executor stage, in seconds.
+    executor_overhead_s: float = 0.0
 
 
 class TaskPlanner:
@@ -233,6 +273,8 @@ class TaskPlanner:
         #: Dirty-region replanning engine (consulted when the config enables
         #: ``incremental_replan``); holds all cross-epoch caches.
         self._engine = IncrementalPlanEngine(self)
+        #: Dispatch backend (created lazily on the first planning call).
+        self._executor: Optional[SearchExecutor] = None
 
     # ------------------------------------------------------------------ #
     def attach_task_index(self, index: Optional[SpatialIndex]) -> None:
@@ -257,6 +299,23 @@ class TaskPlanner:
         regression, but an explicit reset keeps runs fully isolated).
         """
         self._engine.invalidate()
+
+    def executor(self) -> SearchExecutor:
+        """The dispatch backend, created on first use."""
+        if self._executor is None:
+            self._executor = make_executor(self.config.executor, self.config.max_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the executor's backend resources.
+
+        Shared process pools survive a ``close()`` by design (they are warm
+        infrastructure reused across planner instances); this only detaches
+        this planner from the backend.  Safe to call repeatedly.
+        """
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     def _reachable_for_worker(
         self,
@@ -459,62 +518,81 @@ class TaskPlanner:
                 for component in connected_components(adjacency)
             ]
 
+        # ---- decompose: one self-contained job per component ------------- #
+        # Engine choice, budget and inputs are all fixed here, *before* any
+        # search runs; the deadline ladder is applied per job at dispatch
+        # time (an expired deadline skips a job, a mid-search expiry cuts
+        # it to its anytime answer).
+        use_guided = config.use_tvf and not collect_experience and self.tvf is not None
+        available_ids = frozenset(tasks_by_id)
+        jobs: List[ComponentJob] = []
+        for index, root in enumerate(roots):
+            root_workers = root.all_workers()
+            num_sequences = sum(
+                len(sequences_by_worker.get(wid, [])) for wid in root_workers
+            )
+            if use_guided and len(root_workers) >= config.tvf_min_workers:
+                jobs.append(
+                    ComponentJob(
+                        index=index,
+                        mode="tvf",
+                        root=root,
+                        worker_ids=tuple(root_workers),
+                        sequences_by_worker=sequences_by_worker,
+                        workers_by_id=workers_by_id,
+                        task_ids=available_ids,
+                        tasks=active_tasks,
+                        tvf=self.tvf,
+                        num_sequences=num_sequences,
+                    )
+                )
+                continue
+            budget = config.node_budget
+            if config.adaptive_node_budget:
+                budget = adaptive_node_budget(budget, len(root_workers), num_sequences)
+            jobs.append(
+                ComponentJob(
+                    index=index,
+                    mode=config.search_mode,
+                    root=root,
+                    worker_ids=tuple(root_workers),
+                    sequences_by_worker=sequences_by_worker,
+                    workers_by_id=workers_by_id,
+                    task_ids=available_ids,
+                    node_budget=budget,
+                    collect_experience=collect_experience,
+                    num_sequences=num_sequences,
+                )
+            )
+
+        # ---- dispatch: serial or process pool, per the config ------------ #
+        results, stats = self.executor().run(jobs, deadline=deadline)
+
+        # ---- merge: submission-ordered, deterministic assembly ----------- #
         assignment = Assignment()
         planned = 0
         nodes_expanded = 0
         experience: List = []
-        use_guided = config.use_tvf and not collect_experience and self.tvf is not None
-        # The configured engine decides; with collect_experience the B&B
-        # engine records its explored sub-problems natively (the plain
-        # search keeps its exhaustive trace for search_mode="exact").
-        exact_engine = dfsearch if config.search_mode == "exact" else dfsearch_bnb
         # Degradation ladder bookkeeping (index into DEGRADATION_RUNGS).
         rung_level = 0
         used_ids: Set[int] = set()
-
-        for root in roots:
-            root_workers = root.all_workers()
-            if deadline is not None and _time.perf_counter() >= deadline:
-                # The budget is gone before this component's search even
-                # starts: fall to the greedy rung — first-fit over the
-                # already-enumerated Q_w, no search at all.  (The TVF path
-                # degrades the same way: its search is not interruptible,
-                # only skippable.)
+        for job, result in zip(jobs, results):
+            if result.skipped:
+                # The budget was gone before this component's search even
+                # started: the greedy rung — first-fit over the already-
+                # enumerated Q_w.  Sequential by nature (each fill consumes
+                # from the pool left by earlier components), so it runs
+                # here in the parent, in submission order.
                 selections = greedy_component_fill(
-                    root_workers,
+                    list(job.worker_ids),
                     sequences_by_worker,
                     set(tasks_by_id) - used_ids,
                 )
                 rung_level = max(rung_level, 2)
-            elif use_guided and len(root_workers) >= config.tvf_min_workers:
-                result = dfsearch_tvf(
-                    root, active_tasks, sequences_by_worker, workers_by_id, self.tvf
-                )
-                nodes_expanded += result.nodes_expanded
-                selections = result.selections
             else:
-                budget = config.node_budget
-                if config.adaptive_node_budget:
-                    budget = adaptive_node_budget(
-                        budget,
-                        len(root_workers),
-                        sum(
-                            len(sequences_by_worker.get(wid, []))
-                            for wid in root_workers
-                        ),
-                    )
-                result = exact_engine(
-                    root,
-                    active_tasks,
-                    sequences_by_worker,
-                    workers_by_id,
-                    node_budget=budget,
-                    collect_experience=collect_experience,
-                    deadline=deadline,
-                )
-                experience.extend(result.experience)
-                nodes_expanded += result.nodes_expanded
                 selections = result.selections
+                nodes_expanded += result.nodes_expanded
+                experience.extend(result.experience)
                 if result.deadline_hit:
                     # The anytime partial of an interrupted search.
                     rung_level = max(rung_level, 1)
@@ -537,6 +615,8 @@ class TaskPlanner:
             searched_components=len(roots),
             rung=DEGRADATION_RUNGS[rung_level],
             deadline_hit=rung_level > 0,
+            parallel_components=stats.parallel_jobs,
+            executor_overhead_s=stats.overhead_s,
         )
 
     # ------------------------------------------------------------------ #

@@ -104,6 +104,14 @@ class AssignmentStrategy(ABC):
     def restore_state(self, state) -> None:
         """Restore a snapshot produced by :meth:`snapshot_state`."""
 
+    def close(self) -> None:
+        """Release planner/executor resources held by the strategy.
+
+        Called by the platform when a run finishes.  The default is a
+        no-op; planner-backed strategies detach their search executor
+        (shared worker pools stay warm for the next run by design).
+        """
+
 
 class GreedyStrategy(AssignmentStrategy):
     """The Greedy baseline."""
@@ -158,6 +166,9 @@ class _PlannerBackedStrategy(AssignmentStrategy):
         outcome = self.planner.plan(idle_workers, pending_tasks, now)
         self._last_outcome = outcome
         return outcome
+
+    def close(self) -> None:
+        self.planner.close()
 
 
 class FTAStrategy(_PlannerBackedStrategy):

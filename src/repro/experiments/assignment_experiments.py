@@ -31,7 +31,14 @@ from repro.spatial.grid import GridSpec
 
 @dataclass
 class AssignmentRow:
-    """One (parameter value, method) cell of Figures 7-11."""
+    """One (parameter value, method) cell of Figures 7-11.
+
+    The health columns make a degraded or self-healed run visible right
+    in the results table: a row whose ``degraded_epochs`` or
+    ``invariant_repairs`` is non-zero was NOT served entirely by the
+    full-quality planner, and its headline numbers should be read with
+    that in mind.
+    """
 
     dataset: str
     parameter: str
@@ -39,6 +46,12 @@ class AssignmentRow:
     method: str
     assigned_tasks: int
     mean_cpu_time: float
+    #: Counted epochs served below the ``full`` degradation rung.
+    degraded_epochs: int = 0
+    #: Corrupted-cache heal events during the run.
+    invariant_repairs: int = 0
+    #: Malformed events rejected at ingestion.
+    rejected_events: int = 0
 
     def as_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -180,6 +193,9 @@ class AssignmentExperiment:
                     method=method,
                     assigned_tasks=report.assigned_tasks,
                     mean_cpu_time=report.mean_cpu_time,
+                    degraded_epochs=report.degraded_epochs,
+                    invariant_repairs=report.invariant_repairs,
+                    rejected_events=report.rejected_events,
                 )
             )
         return rows

@@ -52,6 +52,41 @@ def table2_rows(workloads: Iterable) -> List[Dict]:
     return rows
 
 
+#: Health columns carried by :class:`AssignmentRow`; all zero on a run
+#: served entirely by the full-quality planner.
+HEALTH_COLUMNS = ("degraded_epochs", "invariant_repairs", "rejected_events")
+
+
+def health_rows(rows: Sequence[Dict]) -> List[Dict]:
+    """Filter experiment rows down to the ones with health anomalies.
+
+    Returns one row per input row whose degradation / repair / rejection
+    counters are non-zero, keeping the identifying columns plus the
+    non-zero health counters.  An empty list therefore certifies that
+    every run in ``rows`` was fully healthy — the intended use is to
+    print ``format_table(health_rows(rows), ...)`` (or the "all healthy"
+    message) right after the headline figure tables.
+    """
+    out: List[Dict] = []
+    for row in rows:
+        if any(row.get(column) for column in HEALTH_COLUMNS):
+            out.append(dict(row))
+    return out
+
+
+def health_summary(rows: Sequence[Dict]) -> str:
+    """One paragraph summarising run health across experiment rows."""
+    anomalies = health_rows(rows)
+    if not anomalies:
+        return f"all {len(rows)} runs healthy"
+    totals = {
+        column: sum(int(row.get(column) or 0) for row in anomalies)
+        for column in HEALTH_COLUMNS
+    }
+    parts = [f"{name}={count}" for name, count in totals.items() if count]
+    return f"{len(anomalies)}/{len(rows)} runs with anomalies ({', '.join(parts)})"
+
+
 def pivot_rows(rows: Sequence[Dict], index: str, column: str, value: str) -> List[Dict]:
     """Pivot long-format experiment rows into one row per index value.
 

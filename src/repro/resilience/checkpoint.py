@@ -6,9 +6,11 @@ continue *from* (i.e. the first epoch NOT covered by the snapshot).  The
 platform pickles at save time so that later in-place mutation of the live
 runtime objects cannot retroactively corrupt an already-taken snapshot.
 
-Stores only need three operations: ``save`` a checkpoint, return the
-``latest`` one (recovery always restarts from the newest snapshot and
-replays the journal from there), and ``clear`` on a fresh run.
+Stores need four operations: ``save`` a checkpoint, return the
+``latest`` one, list all ``checkpoints`` newest-first (recovery restarts
+from the newest snapshot whose payload still unpickles, so it needs the
+older ones as fallbacks when the newest is torn), and ``clear`` on a
+fresh run.
 """
 
 from __future__ import annotations
@@ -42,6 +44,10 @@ class InMemoryCheckpointStore:
 
     def latest(self) -> Optional[PlatformCheckpoint]:
         return self._checkpoints[-1] if self._checkpoints else None
+
+    def checkpoints(self) -> List[PlatformCheckpoint]:
+        """All snapshots, newest first (recovery fallback order)."""
+        return list(reversed(self._checkpoints))
 
     def clear(self) -> None:
         self._checkpoints.clear()
@@ -91,6 +97,23 @@ class FileCheckpointStore:
         seq = max(sequences)
         with open(self._path(seq), "rb") as handle:
             return PlatformCheckpoint(seq=seq, payload=handle.read())
+
+    def checkpoints(self) -> List[PlatformCheckpoint]:
+        """All snapshots, newest first (recovery fallback order).
+
+        Reads every file eagerly — checkpoint counts are bounded by the
+        run's epoch count over ``checkpoint_interval``, and recovery is a
+        cold path.  A file deleted between the listing and the read (e.g.
+        a concurrent ``clear``) is skipped rather than fatal.
+        """
+        out: List[PlatformCheckpoint] = []
+        for seq in sorted(self._sequences(), reverse=True):
+            try:
+                with open(self._path(seq), "rb") as handle:
+                    out.append(PlatformCheckpoint(seq=seq, payload=handle.read()))
+            except OSError:
+                continue
+        return out
 
     def clear(self) -> None:
         for name in os.listdir(self.directory):

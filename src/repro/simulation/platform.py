@@ -215,6 +215,16 @@ class SCPlatform:
         self._reset_run_state(clear_durability=True)
         return self._run_loop()
 
+    def close(self) -> None:
+        """Release strategy-held resources (the planner's search executor).
+
+        Idempotent; shared process pools stay warm across platforms by
+        design, so closing one platform never stalls another mid-run.
+        """
+        close = getattr(self.strategy, "close", None)
+        if close is not None:
+            close()
+
     def resume(
         self,
         checkpoint: Optional[PlatformCheckpoint] = None,
@@ -222,8 +232,8 @@ class SCPlatform:
     ) -> SimulationMetrics:
         """Recover an interrupted run and carry it to completion.
 
-        Restores ``checkpoint`` (default: the newest snapshot in the
-        configured store, if any), replays every journal entry at or after
+        Restores ``checkpoint`` (default: the newest *loadable* snapshot
+        in the configured store), replays every journal entry at or after
         the snapshot — re-applying the *recorded* decisions instead of
         re-planning, so wall-clock noise cannot change history — and then
         continues the run live from the first epoch the journal does not
@@ -231,11 +241,25 @@ class SCPlatform:
         redone live.  For deterministic configurations the returned
         metrics match an uninterrupted :meth:`run` bit-for-bit (see
         :meth:`SimulationMetrics.deterministic_state`).
+
+        Recovery degrades instead of crashing on corrupted durability
+        state: a checkpoint whose payload no longer unpickles (torn or
+        truncated write) is skipped in favour of the next older snapshot
+        — or a cold start when none survives — and a gap in the journal
+        sequence (a lost segment, not just a torn tail) stops replay at
+        the last contiguous entry, redoing the rest live.  Either fallback
+        costs replay fidelity for the missing span but always yields a
+        completed run.
         """
         if journal is None:
             journal = self.config.journal
-        if checkpoint is None and self.config.checkpoint_store is not None:
-            checkpoint = self.config.checkpoint_store.latest()
+        store = self.config.checkpoint_store
+        if checkpoint is not None:
+            candidates = [checkpoint]
+        elif store is not None:
+            candidates = list(store.checkpoints())
+        else:
+            candidates = []
         self._reset_run_state(clear_durability=False)
         # Strategies carrying decision-shaping state across epochs (frozen
         # FTA sequences, a trained value function) advertise it through
@@ -244,17 +268,35 @@ class SCPlatform:
         # replay from the journal alone, with no planning cost.
         self._replay_replans = self.strategy.snapshot_state() is not None
         start_seq = 0
-        if checkpoint is not None:
-            start_seq = self._restore_checkpoint(checkpoint)
+        for candidate in candidates:
+            try:
+                start_seq = self._restore_checkpoint(candidate)
+                break
+            except Exception as exc:
+                _LOG.warning(
+                    "checkpoint seq=%s failed to restore (%r) — "
+                    "falling back to an older snapshot",
+                    getattr(candidate, "seq", "?"),
+                    exc,
+                )
+                # A half-applied restore must not leak into the fallback
+                # attempt: rebuild pristine run state before trying the
+                # next (older) candidate or the cold start.
+                self._reset_run_state(clear_durability=False)
+                self._replay_replans = self.strategy.snapshot_state() is not None
+                start_seq = 0
         if journal is not None:
             for entry in journal.entries():
                 if entry["seq"] < start_seq:
                     continue
                 if entry["seq"] != self._epoch_seq:
-                    raise RuntimeError(
-                        f"journal gap: expected epoch {self._epoch_seq}, "
-                        f"found {entry['seq']}"
+                    _LOG.warning(
+                        "journal gap: expected epoch %s, found %s — "
+                        "stopping replay and continuing live",
+                        self._epoch_seq,
+                        entry["seq"],
                     )
+                    break
                 self._replay_epoch(entry)
                 self._epoch_seq += 1
         return self._run_loop()
@@ -428,6 +470,10 @@ class SCPlatform:
             repairs = outcome.repairs
             if repairs:
                 self.metrics.record_repairs(repairs)
+            if outcome.parallel_components or outcome.executor_overhead_s:
+                self.metrics.record_executor(
+                    outcome.parallel_components, outcome.executor_overhead_s
+                )
         if self._carryover_enabled:
             if outcome is not None and outcome.deadline_hit:
                 if self._carryover(plan, idle_workers, now):

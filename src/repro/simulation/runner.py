@@ -16,7 +16,15 @@ from repro.simulation.platform import PlatformConfig, SCPlatform
 
 @dataclass
 class SimulationReport:
-    """Result of running one strategy on one instance."""
+    """Result of running one strategy on one instance.
+
+    Besides the paper's headline numbers, the report carries the
+    platform's health counters first-class: how many counted epochs each
+    degradation rung served, how often the incremental cache had to be
+    healed, and how many malformed events the ingestion layer rejected.
+    A degraded run is therefore visible in any summary built from
+    reports, without digging into raw metrics.
+    """
 
     strategy: str
     instance: str
@@ -25,6 +33,15 @@ class SimulationReport:
     total_cpu_time: float
     replans: int
     expired_tasks: int
+    #: Counted epochs served below the ``full`` rung.
+    degraded_epochs: int = 0
+    #: Per-rung epoch counts (``full`` / ``partial`` / ``greedy`` /
+    #: ``carryover``); rungs that never served are absent.
+    degradation_rungs: Dict[str, int] = field(default_factory=dict)
+    #: Corrupted-cache heal events (drop caches + full replan).
+    invariant_repairs: int = 0
+    #: Malformed events rejected at ingestion.
+    rejected_events: int = 0
     details: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -37,8 +54,28 @@ class SimulationReport:
             total_cpu_time=metrics.total_cpu_time,
             replans=metrics.replans,
             expired_tasks=metrics.expired_tasks,
+            degraded_epochs=metrics.degraded_epochs,
+            degradation_rungs=dict(sorted(metrics.degradation_rungs.items())),
+            invariant_repairs=metrics.invariant_repairs,
+            rejected_events=metrics.rejected_events,
             details=metrics.as_dict(),
         )
+
+    def health_summary(self) -> str:
+        """One-line health digest, e.g. ``healthy`` or the anomaly list."""
+        parts = []
+        if self.degraded_epochs:
+            rungs = ", ".join(
+                f"{rung}={count}"
+                for rung, count in self.degradation_rungs.items()
+                if rung != "full"
+            )
+            parts.append(f"degraded_epochs={self.degraded_epochs} ({rungs})")
+        if self.invariant_repairs:
+            parts.append(f"invariant_repairs={self.invariant_repairs}")
+        if self.rejected_events:
+            parts.append(f"rejected_events={self.rejected_events}")
+        return "; ".join(parts) if parts else "healthy"
 
 
 class SimulationRunner:
@@ -114,6 +151,8 @@ class SimulationRunner:
             if recoveries <= 0:
                 raise
             metrics = self._recover(platform, recoveries)
+        finally:
+            platform.close()
         return SimulationReport.from_metrics(strategy.name, self.instance.name, metrics)
 
     @staticmethod
