@@ -1,0 +1,89 @@
+"""Committed findings baseline: grandfathering with a staleness gate.
+
+The baseline file (``analysis_baseline.json`` at the repo root) records
+findings that are acknowledged but not yet fixed.  The analyzer exits
+non-zero on any finding *not* in the baseline — and, symmetrically, on
+any baseline entry that no longer fires (the stale-baseline check), so
+fixed findings must be removed from the file and the baseline only ever
+shrinks.  Entries match on the finding fingerprint, which excludes line
+numbers so unrelated edits don't churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    entries: List[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: {data.get('version')!r}"
+            )
+        return cls(entries=list(data.get("entries", [])))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries, key=lambda e: (e["rule"], e["path"], e["symbol"])
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def entry_for(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+        }
+
+    @staticmethod
+    def _fingerprint(entry: dict) -> str:
+        return (
+            f"{entry.get('rule')}::{entry.get('path')}::"
+            f"{entry.get('symbol')}::{entry.get('message')}"
+        )
+
+    def diff(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[dict]]:
+        """Split into (new, baselined) findings plus stale baseline entries."""
+        by_fp = {self._fingerprint(entry): entry for entry in self.entries}
+        matched = set()
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in by_fp:
+                matched.add(finding.fingerprint)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fp, entry in by_fp.items()
+            if fp not in matched
+        ]
+        return new, baselined, stale
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries=[cls.entry_for(f) for f in findings])

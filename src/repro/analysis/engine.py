@@ -1,0 +1,105 @@
+"""Analysis driver: load sources, run rules, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Finding, Project, SourceModule
+from repro.analysis.rules import build_rules
+from repro.analysis.suppress import apply_suppressions
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    #: Findings that fail the run (not suppressed, not baselined).
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline suppression with a reason.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Findings grandfathered by the committed baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that no longer fire — also a failure (the
+    #: baseline must shrink as code is fixed, never rot).
+    stale_baseline: List[dict] = field(default_factory=list)
+    modules_analyzed: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def load_modules(paths: Sequence[Path], root: Path) -> List[SourceModule]:
+    """Parse every ``*.py`` under ``paths`` into :class:`SourceModule`.
+
+    Files that fail to parse surface as ``parse-error`` findings via a
+    sentinel empty module — see :func:`run_analysis`.
+    """
+    files: List[Path] = []
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    modules: List[SourceModule] = []
+    for file in files:
+        try:
+            relpath = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = file.as_posix()
+        text = file.read_text(encoding="utf-8")
+        modules.append(
+            SourceModule(
+                path=file,
+                relpath=relpath,
+                text=text,
+                tree=ast.parse(text, filename=str(file)),
+            )
+        )
+    return modules
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    config: AnalysisConfig,
+    root: Optional[Path] = None,
+    baseline: Optional[Baseline] = None,
+    modules: Optional[Sequence[SourceModule]] = None,
+) -> Report:
+    """Run every configured rule and fold in suppressions and baseline."""
+    root = root or Path.cwd()
+    if modules is None:
+        modules = load_modules(paths, root)
+    project = Project(modules, config)
+    rules = build_rules(config)
+
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(project))
+
+    active, suppressed, extra = apply_suppressions(raw, modules)
+    active.extend(extra)
+    active.sort(key=lambda f: (f.path, f.line, f.rule, f.symbol))
+
+    baseline = baseline or Baseline()
+    new, baselined, stale = baseline.diff(active)
+
+    return Report(
+        findings=new,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        modules_analyzed=len(modules),
+        rules_run=[rule.rule_id for rule in rules],
+    )

@@ -1,0 +1,152 @@
+"""Rule ``cache-key`` — every planner-config field is cache-relevant or
+declared exempt.
+
+The incremental replan engine replays cached per-component results only
+while the planning configuration is unchanged; it detects change through
+a ``context_key`` tuple of config fields.  A new ``PlannerConfig`` knob
+that changes planning behaviour but is missing from that tuple silently
+poisons cached replans across configurations — the seeded equivalence
+suites may never construct the aliasing pair of configs that exposes it.
+
+This rule closes the loop structurally: every field of the config
+dataclass must either be read in the ``context_key`` construction or be
+registered (with a written reason) in the cache-exempt registry
+(:data:`repro.analysis.registry.CACHE_EXEMPT_FIELDS`).  Contradictory
+(both) and stale (registered but nonexistent) registrations are reported
+too, as is a missing anchor (renaming ``context_key`` must not silently
+disable the rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Finding, Project, Rule, dataclass_fields
+
+
+def _key_attribute_reads(tree: ast.Module, key_var: str) -> Optional[Dict[str, int]]:
+    """Attributes read in the assignment to ``key_var``, or None if absent."""
+    for node in ast.walk(tree):
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == key_var for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == key_var
+        ):
+            value = node.value
+        if value is None:
+            continue
+        reads: Dict[str, int] = {}
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name):
+                reads.setdefault(sub.attr, sub.lineno)
+        return reads
+    return None
+
+
+class CacheKeyRule(Rule):
+    rule_id = "cache-key"
+    description = (
+        "every config field appears in the incremental context key or is "
+        "registered cache-exempt"
+    )
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+        assert config.cache_key is not None
+        self.contract = config.cache_key
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        contract = self.contract
+        config_module = project.find_module(contract.config_module)
+        key_module = project.find_module(contract.key_module)
+        if config_module is None or key_module is None:
+            if self.config.check_stale_registry:
+                missing = (
+                    contract.config_module if config_module is None else contract.key_module
+                )
+                yield Finding(
+                    rule="stale-registry",
+                    path=missing,
+                    line=0,
+                    message=f"cache-key anchor module {missing!r} not found",
+                    symbol=contract.config_class,
+                )
+            return
+
+        cls = config_module.find_class(contract.config_class)
+        if cls is None:
+            yield Finding(
+                rule="stale-registry",
+                path=config_module.relpath,
+                line=0,
+                message=(
+                    f"cache-key config class {contract.config_class!r} not "
+                    f"found in {config_module.relpath}"
+                ),
+                symbol=contract.config_class,
+            )
+            return
+        reads = _key_attribute_reads(key_module.tree, contract.key_var)
+        if reads is None:
+            yield Finding(
+                rule="stale-registry",
+                path=key_module.relpath,
+                line=0,
+                message=(
+                    f"context-key assignment `{contract.key_var} = ...` not "
+                    f"found in {key_module.relpath} — the cache-key rule "
+                    "has lost its anchor"
+                ),
+                symbol=contract.key_var,
+            )
+            return
+
+        fields = dataclass_fields(cls)
+        field_names = {name for name, _, _ in fields}
+        for name, _annotation, line in fields:
+            in_key = name in reads
+            exempt = name in contract.exempt
+            if in_key and exempt:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=config_module.relpath,
+                    line=line,
+                    message=(
+                        f"config field `{name}` is both in the context key "
+                        "and registered cache-exempt — drop one"
+                    ),
+                    symbol=name,
+                )
+            elif not in_key and not exempt:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=config_module.relpath,
+                    line=line,
+                    message=(
+                        f"config field `{name}` is neither read in the "
+                        f"`{contract.key_var}` construction "
+                        f"({key_module.relpath}) nor registered in the "
+                        "cache-exempt registry: a cached replan could be "
+                        "replayed across configs that differ in it"
+                    ),
+                    symbol=name,
+                )
+        for name in contract.exempt:
+            if name not in field_names:
+                yield Finding(
+                    rule="stale-registry",
+                    path=config_module.relpath,
+                    line=0,
+                    message=(
+                        f"cache-exempt registry names `{name}`, which is "
+                        f"not a field of {contract.config_class}"
+                    ),
+                    symbol=name,
+                )

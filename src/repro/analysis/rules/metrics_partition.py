@@ -1,0 +1,134 @@
+"""Rule ``metrics-partition`` — every metrics field is deterministic or
+declared wall-clock.
+
+``SimulationMetrics.deterministic_state()`` is the bit-for-bit contract
+of checkpoint/recovery and backend equivalence: a resumed run must
+reproduce it exactly.  A new metrics counter that is accidentally left
+out of that mapping weakens the contract silently — the resume sweep
+would keep passing while the new counter drifts.
+
+This rule enforces the partition structurally: every field of the
+metrics dataclass must either be read (``self.<field>``) inside
+``deterministic_state`` or be registered with a reason in the
+wall-clock-exempt registry
+(:data:`repro.analysis.registry.METRICS_WALL_CLOCK_EXEMPT`).  Fields in
+both camps and stale registry entries are reported as well.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    attribute_reads,
+    dataclass_fields,
+)
+
+
+class MetricsPartitionRule(Rule):
+    rule_id = "metrics-partition"
+    description = (
+        "every metrics field is read in deterministic_state() or "
+        "registered wall-clock-exempt"
+    )
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+        assert config.metrics is not None
+        self.contract = config.metrics
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        contract = self.contract
+        module = project.find_module(contract.module)
+        if module is None:
+            if self.config.check_stale_registry:
+                yield Finding(
+                    rule="stale-registry",
+                    path=contract.module,
+                    line=0,
+                    message=f"metrics anchor module {contract.module!r} not found",
+                    symbol=contract.metrics_class,
+                )
+            return
+        cls = module.find_class(contract.metrics_class)
+        if cls is None:
+            yield Finding(
+                rule="stale-registry",
+                path=module.relpath,
+                line=0,
+                message=(
+                    f"metrics class {contract.metrics_class!r} not found in "
+                    f"{module.relpath}"
+                ),
+                symbol=contract.metrics_class,
+            )
+            return
+        method: Optional[ast.AST] = None
+        for node in cls.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == contract.method
+            ):
+                method = node
+                break
+        if method is None:
+            yield Finding(
+                rule="stale-registry",
+                path=module.relpath,
+                line=cls.lineno,
+                message=(
+                    f"`{contract.metrics_class}.{contract.method}` not found "
+                    "— the metrics-partition rule has lost its anchor"
+                ),
+                symbol=contract.method,
+            )
+            return
+
+        reads = attribute_reads(method, "self")
+        fields = dataclass_fields(cls)
+        field_names = {name for name, _, _ in fields}
+        for name, _annotation, line in fields:
+            in_state = name in reads
+            exempt = name in contract.exempt
+            if in_state and exempt:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=line,
+                    message=(
+                        f"metrics field `{name}` is read in "
+                        f"`{contract.method}` but also registered "
+                        "wall-clock-exempt — drop one"
+                    ),
+                    symbol=name,
+                )
+            elif not in_state and not exempt:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=line,
+                    message=(
+                        f"metrics field `{name}` is neither read in "
+                        f"`{contract.method}` nor registered in the "
+                        "wall-clock-exempt registry: assign it to the "
+                        "deterministic state or declare it wall-clock"
+                    ),
+                    symbol=name,
+                )
+        for name in contract.exempt:
+            if name not in field_names:
+                yield Finding(
+                    rule="stale-registry",
+                    path=module.relpath,
+                    line=0,
+                    message=(
+                        f"wall-clock-exempt registry names `{name}`, which "
+                        f"is not a field of {contract.metrics_class}"
+                    ),
+                    symbol=name,
+                )

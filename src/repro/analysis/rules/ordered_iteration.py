@@ -1,0 +1,222 @@
+"""Rule ``ordered-iteration`` — set iteration must not feed ordered sinks.
+
+``set`` / ``frozenset`` iteration order is unspecified (and, for strings
+or object ids, varies between interpreter runs), so any value that flows
+from a set iteration into an *ordered* consumer is a reproducibility bug:
+the same input stream can yield a differently-ordered list, a different
+float sum, or a different arg-min among tied candidates.
+
+Flagged sinks, for an iterable the local inference proves set-derived:
+
+* ``list(s)`` / ``tuple(s)`` / ``enumerate(s)`` — ordered collection
+  built from unordered iteration;
+* ``sum(s)`` / ``sum(f(x) for x in s)`` — float summation is
+  order-dependent;
+* ``min`` / ``max`` **with a ``key=``** — ties are broken by iteration
+  order (plain ``min``/``max`` over a total order is order-independent
+  and passes);
+* ``"sep".join(s)``;
+* ``next(iter(s))`` — arbitrary-element selection;
+* ``[... for x in s]`` list comprehensions;
+* ``for x in s:`` loops whose body appends/extends a list or yields;
+* ``.values()`` / ``.keys()`` / ``.items()`` of a dict **built by a
+  comprehension over a set** (insertion order inherits the set's).
+
+The blessed fix is ``sorted(s)`` (or ``sorted(s, key=...)`` with a total
+key), which this rule never flags.  The inference is local to one
+function scope and intentionally conservative: set literals,
+``set()`` / ``frozenset()`` calls, set comprehensions, set operators on
+known sets, set-annotated parameters, and names assigned from any of
+those.  Anything it cannot prove set-typed is trusted — deterministic
+dict iteration (insertion-ordered in this codebase) stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Finding, Project, Rule, SourceModule
+
+_SET_OPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+_SET_ANNOTATIONS = ("Set", "FrozenSet", "AbstractSet", "set", "frozenset")
+_ORDER_SENSITIVE_BODY = {"append", "extend", "insert", "appendleft"}
+
+
+def _scope_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_annotation(annotation: ast.AST) -> bool:
+    text = ast.unparse(annotation)
+    head = text.split("[", 1)[0].split(".")[-1]
+    return head in _SET_ANNOTATIONS
+
+
+class _Scope:
+    """Local set-type inference for one function (or module) scope."""
+
+    def __init__(self, root: ast.AST) -> None:
+        self.known_sets: Set[str] = set()
+        self.set_derived_dicts: Set[str] = set()
+        if isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = root.args
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ]:
+                if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                    self.known_sets.add(arg.arg)
+        for node in _scope_walk(root):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if self.is_set_expr(node.value):
+                        self.known_sets.add(target.id)
+                    elif isinstance(
+                        node.value, ast.DictComp
+                    ) and self.iterates_set(node.value.generators[0].iter):
+                        self.set_derived_dicts.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_set_annotation(node.annotation):
+                    self.known_sets.add(node.target.id)
+
+    # ------------------------------------------------------------------ #
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.known_sets
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set_expr(func.value)
+            ):
+                return True
+        return False
+
+    def iterates_set(self, node: ast.AST) -> bool:
+        """True when iterating ``node`` yields elements in set order."""
+        if self.is_set_expr(node):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("values", "keys", "items") and isinstance(
+                node.func.value, ast.Name
+            ):
+                return node.func.value.id in self.set_derived_dicts
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+            return self.iterates_set(node.generators[0].iter)
+        return False
+
+
+class OrderedIterationRule(Rule):
+    rule_id = "ordered-iteration"
+    description = "set/frozenset iteration order must not reach ordered sinks"
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project:
+            if not self.config.is_deterministic_module(module.relpath):
+                continue
+            yield from self._check_scope(module, module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_scope(module, node)
+
+    # ------------------------------------------------------------------ #
+    def _check_scope(
+        self, module: SourceModule, root: ast.AST
+    ) -> Iterator[Finding]:
+        scope = _Scope(root)
+
+        def finding(node: ast.AST, sink: str, expr: ast.AST) -> Finding:
+            source = ast.unparse(expr)
+            if len(source) > 60:
+                source = source[:57] + "..."
+            return Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                message=f"{sink} over set-ordered iteration of `{source}`",
+                symbol=source,
+            )
+
+        for node in _scope_walk(root):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, scope, finding)
+            elif isinstance(node, ast.ListComp):
+                if scope.iterates_set(node.generators[0].iter):
+                    yield finding(
+                        node, "list comprehension", node.generators[0].iter
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if scope.iterates_set(node.iter) and self._body_order_sensitive(
+                    node.body
+                ):
+                    yield finding(node, "ordered accumulation in loop", node.iter)
+
+    def _check_call(self, node: ast.Call, scope: _Scope, finding) -> Iterator[Finding]:
+        func = node.func
+        first = node.args[0] if node.args else None
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in ("list", "tuple", "enumerate") and first is not None:
+                if scope.iterates_set(first):
+                    yield finding(node, f"`{name}()`", first)
+            elif name == "sum" and first is not None:
+                if scope.iterates_set(first):
+                    yield finding(node, "order-dependent `sum()`", first)
+            elif name in ("min", "max") and first is not None:
+                has_key = any(kw.arg == "key" for kw in node.keywords)
+                if has_key and scope.iterates_set(first):
+                    yield finding(node, f"tie-breaking `{name}(key=...)`", first)
+            elif name == "next" and first is not None:
+                if (
+                    isinstance(first, ast.Call)
+                    and isinstance(first.func, ast.Name)
+                    and first.func.id == "iter"
+                    and first.args
+                    and scope.iterates_set(first.args[0])
+                ):
+                    yield finding(node, "arbitrary selection `next(iter())`", first.args[0])
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            if first is not None and scope.iterates_set(first):
+                yield finding(node, "`str.join()`", first)
+
+    @staticmethod
+    def _body_order_sensitive(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    return True
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ORDER_SENSITIVE_BODY
+                ):
+                    return True
+        return False

@@ -1,0 +1,477 @@
+"""Rule ``pool-picklability`` — the executor boundary stays pure and
+picklable.
+
+``run_component_job`` is the process-pool entry point: everything it
+touches must pickle cleanly and behave identically in a forked worker.
+This rule statically walks the call graph reachable from the entry
+function (resolving direct calls through in-project imports; dynamic
+dispatch is out of scope and trusted) and flags, in every reachable
+function:
+
+* ``lambda`` expressions and nested ``def``s — closures do not pickle,
+  and even un-pickled ones capture parent-side state.  The one blessed
+  shape is an inline ``key=`` lambda passed directly to
+  ``sort``/``sorted``/``min``/``max``: it is consumed immediately and can
+  never escape into a result;
+* ``open()`` and ``threading.*`` / ``multiprocessing.*`` / ``socket.*``
+  constructions — handles and locks neither pickle nor mean anything in
+  another process;
+* reads of *mutable* module-level globals (dicts/lists/sets) — a forked
+  worker sees the value from fork time, the parent's may have moved on;
+  divergence is silent.  Immutable module constants (ints, strings,
+  tuples) are fine and ignored.
+
+It also checks the declared field annotations of the boundary dataclasses
+(``ComponentJob`` / ``ComponentResult``) against a denylist of
+unpicklable types (``Callable``, locks, IO handles, iterators, ...).
+
+Safe global reads are registered in ``PoolContract.allowed_globals`` with
+reasons, or suppressed inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    dataclass_fields,
+    resolve_dotted,
+)
+
+#: Annotation tokens that cannot cross a pickle boundary.
+FORBIDDEN_FIELD_TOKENS = (
+    "Callable",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "Event",
+    "Thread",
+    "Queue",
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "Iterator",
+    "Generator",
+    "Coroutine",
+    "socket",
+    "Pool",
+    "Executor",
+    "weakref",
+    "memoryview",
+)
+
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.deque",
+    "collections.Counter",
+}
+
+_SORT_FUNCS = {"sorted", "min", "max"}
+
+
+def _module_dotted(relpath: str) -> str:
+    """``src/repro/assignment/dfsearch.py`` -> ``repro.assignment.dfsearch``."""
+    path = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = path.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(parts)
+
+
+def _mutable_globals(module: SourceModule) -> Dict[str, int]:
+    """Module-level names bound to mutable containers -> line."""
+    found: Dict[str, int] = {}
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        )
+        if not mutable and isinstance(value, ast.Call):
+            dotted = resolve_dotted(value.func, module.aliases)
+            name = dotted or (
+                value.func.id if isinstance(value.func, ast.Name) else None
+            )
+            mutable = name in _MUTABLE_CONSTRUCTORS
+        if mutable:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    found[target.id] = node.lineno
+    return found
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Names bound inside ``func`` (params + any assignment target)."""
+    names: Set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ]:
+            names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+        elif isinstance(node, (ast.comprehension,)):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for leaf in ast.walk(item.optional_vars):
+                        if isinstance(leaf, ast.Name):
+                            names.add(leaf.id)
+    return names
+
+
+def _inline_key_lambdas(func: ast.AST) -> Set[int]:
+    """ids of Lambda nodes passed directly as ``key=`` to sort functions."""
+    allowed: Set[int] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        is_sort = (
+            isinstance(node.func, ast.Name) and node.func.id in _SORT_FUNCS
+        ) or (isinstance(node.func, ast.Attribute) and node.func.attr == "sort")
+        if not is_sort:
+            continue
+        for kw in node.keywords:
+            if kw.arg == "key" and isinstance(kw.value, ast.Lambda):
+                allowed.add(id(kw.value))
+    return allowed
+
+
+class PicklabilityRule(Rule):
+    rule_id = "pool-picklability"
+    description = (
+        "the call graph under the pool entry point stays closure-free, "
+        "handle-free and independent of parent-side mutable globals"
+    )
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+        assert config.pool is not None
+        self.pool = config.pool
+
+    # ------------------------------------------------------------------ #
+    def check(self, project: Project) -> Iterable[Finding]:
+        entry_module = project.find_module(self.pool.entry_module)
+        if entry_module is None:
+            # Nothing to anchor on: only an error for full-tree runs.
+            if self.config.check_stale_registry:
+                yield Finding(
+                    rule="stale-registry",
+                    path=self.pool.entry_module,
+                    line=0,
+                    message=(
+                        f"pool contract anchor module "
+                        f"{self.pool.entry_module!r} not found in the "
+                        "analyzed tree"
+                    ),
+                    symbol=self.pool.entry_function,
+                )
+            return
+
+        yield from self._check_boundary_fields(entry_module)
+
+        reachable = self._reachable_functions(project, entry_module)
+        if not reachable:
+            yield Finding(
+                rule="stale-registry",
+                path=entry_module.relpath,
+                line=0,
+                message=(
+                    f"pool entry function {self.pool.entry_function!r} not "
+                    f"found in {entry_module.relpath}"
+                ),
+                symbol=self.pool.entry_function,
+            )
+            return
+        used_globals: Set[str] = set()
+        used_exemptions: Set[str] = set()
+        for module, name, func in reachable:
+            exempt = False
+            for suffix in self.pool.exempt_modules:
+                if module.relpath.endswith(suffix):
+                    used_exemptions.add(suffix)
+                    exempt = True
+                    break
+            if not exempt:
+                yield from self._check_function(module, name, func, used_globals)
+        if self.config.check_stale_registry:
+            for suffix in self.pool.exempt_modules:
+                if suffix not in used_exemptions:
+                    yield Finding(
+                        rule="stale-registry",
+                        path=suffix,
+                        line=0,
+                        message=(
+                            f"pool exempt_modules entry {suffix!r} matched "
+                            "no reachable module — remove it or fix the path"
+                        ),
+                        symbol=suffix,
+                    )
+            for key in self.pool.allowed_globals:
+                if key not in used_globals:
+                    yield Finding(
+                        rule="stale-registry",
+                        path=key.split(":", 1)[0],
+                        line=0,
+                        message=(
+                            f"pool allowed_globals entry {key!r} matched "
+                            "nothing — remove it or fix the path/name"
+                        ),
+                        symbol=key,
+                    )
+
+    # ------------------------------------------------------------------ #
+    def _check_boundary_fields(self, module: SourceModule) -> Iterator[Finding]:
+        for class_name in self.pool.boundary_classes:
+            cls = module.find_class(class_name)
+            if cls is None:
+                yield Finding(
+                    rule="stale-registry",
+                    path=module.relpath,
+                    line=0,
+                    message=f"pool boundary class {class_name!r} not found",
+                    symbol=class_name,
+                )
+                continue
+            for name, annotation, line in dataclass_fields(cls):
+                bad = [t for t in FORBIDDEN_FIELD_TOKENS if t in annotation]
+                if bad:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=line,
+                        message=(
+                            f"boundary field `{class_name}.{name}: "
+                            f"{annotation}` carries unpicklable type "
+                            f"token(s) {', '.join(sorted(set(bad)))}"
+                        ),
+                        symbol=f"{class_name}.{name}",
+                    )
+
+    # ------------------------------------------------------------------ #
+    def _reachable_functions(
+        self, project: Project, entry_module: SourceModule
+    ) -> List[Tuple[SourceModule, str, ast.AST]]:
+        """BFS the statically-reachable function set from the entry point.
+
+        Reachability is *reference*-based, not call-based: any load of a
+        project function name joins the graph (``engine = dfsearch if ...``
+        aliases a function without a syntactic call), and any reference to
+        a project class pulls in all of its methods (instantiating a class
+        on the pool path ships the whole object across the boundary).
+        Dynamic dispatch beyond that is out of scope and trusted.
+        """
+        by_dotted: Dict[str, SourceModule] = {
+            _module_dotted(m.relpath): m for m in project
+        }
+        tables: Dict[str, Dict[str, ast.AST]] = {
+            m.relpath: m.functions() for m in project
+        }
+        # class name -> its method keys ("Cls.meth") per module.
+        class_methods: Dict[str, Dict[str, List[str]]] = {}
+        for m in project:
+            per_class: Dict[str, List[str]] = {}
+            for key in tables[m.relpath]:
+                if "." in key:
+                    cls_name = key.split(".", 1)[0]
+                    per_class.setdefault(cls_name, []).append(key)
+            class_methods[m.relpath] = per_class
+
+        def expand(
+            module: SourceModule, name: str
+        ) -> List[Tuple[SourceModule, str]]:
+            """Function keys a bare name in ``module`` refers to, if any."""
+            table = tables[module.relpath]
+            if name in table:
+                return [(module, name)]
+            if name in class_methods[module.relpath]:
+                return [(module, key) for key in class_methods[module.relpath][name]]
+            return []
+
+        def resolve_ref(
+            module: SourceModule, node: ast.AST
+        ) -> List[Tuple[SourceModule, str]]:
+            if isinstance(node, ast.Name):
+                local = expand(module, node.id)
+                if local:
+                    return local
+                dotted = module.aliases.get(node.id)
+            elif isinstance(node, ast.Attribute):
+                dotted = resolve_dotted(node, module.aliases)
+            else:
+                return []
+            if dotted is None or "." not in dotted:
+                return []
+            mod_path, ref_name = dotted.rsplit(".", 1)
+            target = by_dotted.get(mod_path)
+            # Imported submodule aliases resolve relative to any package
+            # suffix match (fixtures are rooted outside src/).
+            if target is None:
+                for key, candidate in by_dotted.items():
+                    if key.endswith(mod_path) or mod_path.endswith(key):
+                        target = candidate
+                        break
+            if target is None:
+                return []
+            return expand(target, ref_name)
+
+        entry = self.pool.entry_function
+        if entry not in tables[entry_module.relpath]:
+            return []
+        seen: Set[Tuple[str, str]] = {(entry_module.relpath, entry)}
+        queue: List[Tuple[SourceModule, str]] = [(entry_module, entry)]
+        out: List[Tuple[SourceModule, str, ast.AST]] = []
+        while queue:
+            module, name = queue.pop(0)
+            func = tables[module.relpath][name]
+            out.append((module, name, func))
+            own_class = name.split(".", 1)[0] if "." in name else None
+            for node in ast.walk(func):
+                refs = resolve_ref(module, node)
+                if not refs and own_class is not None:
+                    # self.method() within an already-reachable class.
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                    ):
+                        refs = expand(module, f"{own_class}.{node.attr}")
+                for target_module, target_name in refs:
+                    key = (target_module.relpath, target_name)
+                    if key not in seen:
+                        seen.add(key)
+                        queue.append((target_module, target_name))
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _check_function(
+        self,
+        module: SourceModule,
+        name: str,
+        func: ast.AST,
+        used_globals: Set[str],
+    ) -> Iterator[Finding]:
+        allowed_lambdas = _inline_key_lambdas(func)
+        locals_ = _local_names(func)
+        mutables = _mutable_globals(module)
+        flagged_globals: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Lambda) and id(node) not in allowed_lambdas:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"lambda on the pool path (in `{name}`): closures "
+                        "do not pickle and capture parent-side state"
+                    ),
+                    symbol=f"{name}:lambda",
+                )
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not func
+            ):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"nested function `{node.name}` on the pool path "
+                        f"(in `{name}`): a closure cannot cross the "
+                        "executor boundary"
+                    ),
+                    symbol=f"{name}:{node.name}",
+                )
+            elif isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, module.aliases)
+                if isinstance(node.func, ast.Name) and node.func.id == "open":
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=f"`open()` on the pool path (in `{name}`)",
+                        symbol=f"{name}:open",
+                    )
+                elif dotted is not None and dotted.split(".")[0] in (
+                    "threading",
+                    "multiprocessing",
+                    "socket",
+                ):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"`{dotted}` on the pool path (in `{name}`): "
+                            "locks/processes/sockets cannot cross the "
+                            "executor boundary"
+                        ),
+                        symbol=f"{name}:{dotted}",
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                gname = node.id
+                if (
+                    gname in mutables
+                    and gname not in locals_
+                    and gname not in flagged_globals
+                ):
+                    flagged_globals.add(gname)
+                    allowed = False
+                    for key, _reason in self.pool.allowed_globals.items():
+                        suffix, _, allowed_name = key.partition(":")
+                        if allowed_name == gname and module.relpath.endswith(suffix):
+                            used_globals.add(key)
+                            allowed = True
+                            break
+                    if not allowed:
+                        yield Finding(
+                            rule=self.rule_id,
+                            path=module.relpath,
+                            line=node.lineno,
+                            message=(
+                                f"read of mutable module global `{gname}` "
+                                f"on the pool path (in `{name}`): parent "
+                                "and forked worker can silently diverge"
+                            ),
+                            symbol=f"{name}:{gname}",
+                        )

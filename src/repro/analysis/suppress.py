@@ -1,0 +1,148 @@
+"""Inline suppression syntax: ``# repro: allow[rule-id] -- reason``.
+
+A suppression comment silences findings of the named rule on its own
+line or on the line directly below (so it can sit above a long
+statement).  The reason is mandatory — a suppression without one is
+itself reported (rule ``suppression-syntax``), and a suppression that
+matches nothing is reported as stale (rule ``stale-suppression``) so
+fixed code sheds its annotations instead of accreting them.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.core import Finding, SourceModule
+
+#: Matches the whole directive; the reason group is absent when the
+#: ``--`` separator (or the text after it) is missing.
+SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_*-]+)\]\s*(?:--\s*(\S.*?))?\s*$"
+)
+
+#: Meta-rules that can never be suppressed (suppressing the suppression
+#: checker would defeat the point).
+UNSUPPRESSABLE = {"suppression-syntax", "stale-suppression", "stale-registry"}
+
+
+@dataclass
+class Suppression:
+    rule: str
+    reason: str
+    path: str
+    line: int
+    used: bool = field(default=False)
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule in UNSUPPRESSABLE:
+            return False
+        if self.rule != "*" and self.rule != finding.rule:
+            return False
+        return finding.path == self.path and finding.line in (self.line, self.line + 1)
+
+
+def parse_suppressions(
+    module: SourceModule,
+) -> Tuple[List[Suppression], List[Finding]]:
+    """All suppressions in ``module`` plus syntax findings for bad ones."""
+    suppressions: List[Suppression] = []
+    problems: List[Finding] = []
+    # Tokenize so that directive text inside string literals/docstrings
+    # (e.g. documentation *about* the syntax) is never parsed as a
+    # directive — only genuine comments count.
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(module.text).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except tokenize.TokenizeError:  # pragma: no cover - parse already passed
+        return suppressions, problems
+    for lineno, comment in comments:
+        match = SUPPRESS_RE.search(comment)
+        if match is None:
+            if "repro: allow" in comment:
+                problems.append(
+                    Finding(
+                        rule="suppression-syntax",
+                        path=module.relpath,
+                        line=lineno,
+                        message=(
+                            "malformed suppression (expected "
+                            "`# repro: allow[rule-id] -- reason`)"
+                        ),
+                        symbol=f"L{lineno}",
+                    )
+                )
+            continue
+        rule, reason = match.group(1), match.group(2)
+        if not reason:
+            problems.append(
+                Finding(
+                    rule="suppression-syntax",
+                    path=module.relpath,
+                    line=lineno,
+                    message=(
+                        f"suppression of `{rule}` is missing its written "
+                        "reason (`-- why this is sound`)"
+                    ),
+                    symbol=f"L{lineno}:{rule}",
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(rule=rule, reason=reason, path=module.relpath, line=lineno)
+        )
+    return suppressions, problems
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Iterable[SourceModule]
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Split findings into (active, suppressed) and report stale directives.
+
+    Returns ``(active, suppressed, extra)`` where ``extra`` holds the
+    suppression-syntax and stale-suppression findings.
+    """
+    all_suppressions: Dict[str, List[Suppression]] = {}
+    extra: List[Finding] = []
+    for module in modules:
+        suppressions, problems = parse_suppressions(module)
+        extra.extend(problems)
+        if suppressions:
+            all_suppressions[module.relpath] = suppressions
+
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        hit = None
+        for suppression in all_suppressions.get(finding.path, ()):
+            if suppression.matches(finding):
+                hit = suppression
+                break
+        if hit is not None:
+            hit.used = True
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+
+    for suppressions in all_suppressions.values():
+        for suppression in suppressions:
+            if not suppression.used:
+                extra.append(
+                    Finding(
+                        rule="stale-suppression",
+                        path=suppression.path,
+                        line=suppression.line,
+                        message=(
+                            f"suppression of `{suppression.rule}` matched "
+                            "no finding — the code was fixed, remove the "
+                            "annotation"
+                        ),
+                        symbol=f"L{suppression.line}:{suppression.rule}",
+                    )
+                )
+    return active, suppressed, extra

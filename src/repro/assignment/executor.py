@@ -301,8 +301,9 @@ class ParallelExecutor(SearchExecutor):
                 # everything already submitted runs to completion.
                 results[i] = ComponentResult(index=job.index, skipped=True)
             elif job.num_sequences < INLINE_MIN_SEQUENCES:
-                results[i] = run_component_job(job, deadline)
-                inline_s += results[i].search_s
+                inline_result = run_component_job(job, deadline)
+                results[i] = inline_result
+                inline_s += inline_result.search_s
             else:
                 pooled.append((i, job))
 

@@ -244,8 +244,8 @@ class IncrementalPlanEngine:
         #: Strong references to the TVF / travel model the caches were built
         #: against — identity checks that (unlike ``id()``) cannot alias a
         #: new object allocated at a freed address.
-        self._context_tvf = None
-        self._context_travel = None
+        self._context_tvf: Optional[object] = None
+        self._context_travel: Optional[object] = None
 
     def note_dirty(self, dirty: DirtySet) -> None:
         """Force the hinted entities dirty at the next planning call."""

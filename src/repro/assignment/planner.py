@@ -303,7 +303,10 @@ class TaskPlanner:
     def executor(self) -> SearchExecutor:
         """The dispatch backend, created on first use."""
         if self._executor is None:
-            self._executor = make_executor(self.config.executor, self.config.max_workers)
+            # __post_init__ has resolved the env default by now; the
+            # `or` keeps the narrowing visible to the type checker.
+            kind = self.config.executor or "serial"
+            self._executor = make_executor(kind, self.config.max_workers)
         return self._executor
 
     def close(self) -> None:

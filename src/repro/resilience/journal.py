@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, TextIO
 
 
 class InMemoryJournal:
@@ -69,7 +69,7 @@ class FileJournal:
     def __init__(self, path, fsync: bool = False) -> None:
         self.path = os.fspath(path)
         self.fsync = fsync
-        self._file = None
+        self._file: Optional[TextIO] = None
 
     def _handle(self):
         if self._file is None or self._file.closed:

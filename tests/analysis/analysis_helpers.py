@@ -1,0 +1,35 @@
+"""Shared helpers for the static-analysis test suite.
+
+Each test builds a miniature :class:`AnalysisConfig` around files in
+``fixtures/`` and runs the real engine on them — the same rule code that
+gates the live tree in CI, just pointed at a different contract.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    AnalysisConfig,
+    Baseline,
+    Report,
+    load_modules,
+    run_analysis,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_fixtures(
+    files: Sequence[str],
+    config: AnalysisConfig,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    """Run the full engine (rules + suppressions + baseline) on fixtures."""
+    modules = load_modules([FIXTURES / name for name in files], root=FIXTURES)
+    return run_analysis([], config, root=FIXTURES, baseline=baseline, modules=modules)
+
+
+def findings_by_rule(report: Report, rule_id: str):
+    return [f for f in report.findings if f.rule == rule_id]

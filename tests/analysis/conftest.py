@@ -1,0 +1,22 @@
+"""Fixtures for the static-analysis test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `analysis_helpers` importable regardless of which directory pytest
+# collects first (same pattern as tests/spatial/conformance.py).
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))
+
+from repro.analysis import AnalysisConfig  # noqa: E402
+
+
+@pytest.fixture
+def site_config() -> AnalysisConfig:
+    """Config activating the site rules on every fixture module."""
+    return AnalysisConfig(deterministic_globs=("*.py",))

@@ -1,0 +1,16 @@
+"""Cache-key fixture: a config dataclass and a key builder that only
+reads ``depth`` — tests vary the exempt registry around it."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineConfig:
+    depth: int = 3
+    width: int = 4
+    deadline_s: float = 0.5
+
+
+def make_key(config):
+    context_key = (config.depth,)
+    return context_key

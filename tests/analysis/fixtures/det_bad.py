@@ -1,0 +1,45 @@
+"""Determinism-rule fixture: every function below is a violation.
+
+Parsed, never imported — the analyzer works on the AST alone.
+"""
+
+import datetime
+import os
+import random
+import time
+
+import numpy as np
+from time import perf_counter as pc
+
+
+def epoch_stamp():
+    return time.time()
+
+
+def now_stamp():
+    return datetime.datetime.now()
+
+
+def aliased_clock():
+    return pc()
+
+
+def global_draw():
+    return random.random()
+
+
+def numpy_global_draw(values):
+    np.random.shuffle(values)
+    return values
+
+
+def unseeded_rng():
+    return random.Random()
+
+
+def env_default():
+    return os.getenv("REPRO_MODE")
+
+
+def env_subscript():
+    return os.environ["REPRO_MODE"]

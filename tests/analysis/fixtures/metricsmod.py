@@ -1,0 +1,15 @@
+"""Metrics-partition fixture: ``deterministic_state`` reads only
+``assigned`` — tests vary the wall-clock-exempt registry around it."""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class RunMetrics:
+    assigned: int = 0
+    completed: int = 0
+    wall_s: float = 0.0
+
+    def deterministic_state(self) -> Dict[str, float]:
+        return {"assigned": float(self.assigned)}

@@ -1,0 +1,40 @@
+"""Ordered-iteration fixture: every function leaks set iteration order."""
+
+from typing import Set
+
+
+def as_list(items: Set[int]):
+    return list(items)
+
+
+def float_total(values: Set[float]):
+    return sum(values)
+
+
+def tied_argmax(candidates: Set[int], score):
+    return max(candidates, key=score)
+
+
+def comprehension(items: Set[int]):
+    return [x * 2 for x in items]
+
+
+def loop_append(items: Set[int]):
+    out = []
+    for item in items:
+        out.append(item)
+    return out
+
+
+def arbitrary(items: Set[int]):
+    return next(iter(items))
+
+
+def joined(names):
+    tags = {n.strip() for n in names}
+    return ",".join(tags)
+
+
+def derived_dict_values(items: Set[int]):
+    weights = {item: item * 2 for item in items}
+    return list(weights.values())

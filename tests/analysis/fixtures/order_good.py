@@ -1,0 +1,32 @@
+"""Ordered-iteration fixture: blessed patterns only — zero findings."""
+
+from typing import Set
+
+
+def sorted_list(items: Set[int]):
+    return sorted(items)
+
+
+def sorted_with_total_key(items: Set[int]):
+    return sorted(items, key=lambda item: (-item, item))
+
+
+def membership(items: Set[int], probe: int):
+    return probe in items
+
+
+def untied_min(items: Set[int]):
+    return min(items)
+
+
+def set_algebra(a: Set[int], b: Set[int]):
+    return (a | b) - (a & b)
+
+
+def sized(items: Set[int]):
+    return len(items)
+
+
+def ordinary_dict_is_trusted(pairs):
+    mapping = dict(pairs)
+    return list(mapping.values())

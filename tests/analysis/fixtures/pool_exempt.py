@@ -1,0 +1,10 @@
+"""Pool fixture: a reachable module covered by an exempt_modules entry.
+
+The lambda below is a violation unless the test's PoolContract exempts
+this module wholesale.
+"""
+
+
+def exempt_helper(values):
+    doubler = lambda value: value * 2
+    return [doubler(v) for v in values]

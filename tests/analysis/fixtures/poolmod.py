@@ -1,0 +1,47 @@
+"""Pool-picklability fixture: a miniature executor boundary.
+
+``run_job`` is the entry point; ``Job`` / ``Result`` are the boundary
+dataclasses.  Every construct below except the ``Result`` return is a
+violation the rule must catch.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List
+
+from pool_exempt import exempt_helper
+
+SHARED_CACHE = {}
+LIMIT = 8
+
+
+@dataclass
+class Job:
+    index: int
+    payload: List[int]
+    callback: Callable[[int], int]
+
+
+@dataclass
+class Result:
+    index: int
+    values: List[int]
+
+
+def run_job(job):
+    guard = threading.Lock()
+    transform = lambda value: value * 2
+    with guard:
+        values = [transform(v) for v in job.payload]
+    values = helper(values)
+    values = exempt_helper(values)
+    return Result(index=job.index, values=values)
+
+
+def helper(values):
+    def inner(value):
+        return value + SHARED_CACHE.get(value, 0)
+
+    with open("cache.txt") as fh:
+        fh.read()
+    return [inner(v) + LIMIT for v in values]

@@ -1,0 +1,7 @@
+"""Suppression fixture: a directive with no written reason."""
+
+from typing import Set
+
+
+def as_list(items: Set[int]):
+    return list(items)  # repro: allow[ordered-iteration]

@@ -1,0 +1,8 @@
+"""Suppression fixture: one real violation, properly suppressed."""
+
+from typing import Set
+
+
+def as_list(items: Set[int]):
+    # repro: allow[ordered-iteration] -- fixture: the caller sorts downstream
+    return list(items)

@@ -1,0 +1,8 @@
+"""Suppression fixture: a directive whose violation was already fixed."""
+
+from typing import Set
+
+
+def sorted_list(items: Set[int]):
+    # repro: allow[ordered-iteration] -- fixture: stale, the line below is already sorted
+    return sorted(items)

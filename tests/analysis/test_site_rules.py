@@ -1,0 +1,97 @@
+"""Positive/negative fixture coverage for the two site rules
+(``determinism`` and ``ordered-iteration``)."""
+
+from __future__ import annotations
+
+from repro.analysis import AnalysisConfig, AllowEntry
+
+from analysis_helpers import findings_by_rule, run_fixtures
+
+
+class TestDeterminismRule:
+    def test_every_bad_site_is_flagged(self, site_config):
+        report = run_fixtures(["det_bad.py"], site_config)
+        symbols = {f.symbol for f in findings_by_rule(report, "determinism")}
+        assert symbols == {
+            "time.time",
+            "datetime.datetime.now",
+            "time.perf_counter",  # via `from time import perf_counter as pc`
+            "random.random",
+            "numpy.random.shuffle",
+            "random.Random",  # unseeded construction
+            "os.getenv",
+            "os.environ",
+        }
+        assert not findings_by_rule(report, "ordered-iteration")
+
+    def test_blessed_patterns_pass(self, site_config):
+        report = run_fixtures(["det_good.py"], site_config)
+        assert report.clean
+        assert report.findings == []
+
+    def test_outside_deterministic_globs_is_ignored(self):
+        config = AnalysisConfig(deterministic_globs=("*nonexistent/*",))
+        report = run_fixtures(["det_bad.py"], config)
+        assert findings_by_rule(report, "determinism") == []
+
+    def test_allowlist_silences_registered_site_only(self):
+        config = AnalysisConfig(
+            deterministic_globs=("*.py",),
+            determinism_allowlist=(
+                AllowEntry("det_bad.py", "time.time", "fixture: deadline arming"),
+            ),
+        )
+        report = run_fixtures(["det_bad.py"], config)
+        symbols = {f.symbol for f in findings_by_rule(report, "determinism")}
+        assert "time.time" not in symbols
+        assert "random.random" in symbols
+
+    def test_unused_allowlist_entry_is_stale_registry(self):
+        config = AnalysisConfig(
+            deterministic_globs=("*.py",),
+            determinism_allowlist=(
+                AllowEntry("det_good.py", "time.time", "fixture: never fires"),
+            ),
+        )
+        report = run_fixtures(["det_good.py"], config)
+        stale = findings_by_rule(report, "stale-registry")
+        assert len(stale) == 1
+        assert stale[0].symbol == "time.time"
+
+    def test_stale_registry_check_off_for_partial_runs(self):
+        config = AnalysisConfig(
+            deterministic_globs=("*.py",),
+            determinism_allowlist=(
+                AllowEntry("det_good.py", "time.time", "fixture: never fires"),
+            ),
+            check_stale_registry=False,
+        )
+        report = run_fixtures(["det_good.py"], config)
+        assert report.clean
+
+
+class TestOrderedIterationRule:
+    def test_every_ordered_sink_is_flagged(self, site_config):
+        report = run_fixtures(["order_bad.py"], site_config)
+        found = findings_by_rule(report, "ordered-iteration")
+        # One finding per fixture function: list(), sum(), max(key=),
+        # list comprehension, loop append, next(iter()), str.join over a
+        # set comp, and list() over a set-derived dict's .values().
+        assert len(found) == 8
+        messages = " | ".join(f.message for f in found)
+        for needle in (
+            "`list()`",
+            "`sum()`",
+            "`max(key=...)`",
+            "list comprehension",
+            "ordered accumulation in loop",
+            "next(iter())",
+            "`str.join()`",
+            "weights.values()",
+        ):
+            assert needle in messages
+
+    def test_blessed_patterns_pass(self, site_config):
+        report = run_fixtures(["order_good.py"], site_config)
+        assert report.clean
+        assert report.findings == []

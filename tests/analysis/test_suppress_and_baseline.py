@@ -1,0 +1,103 @@
+"""Inline-suppression syntax and committed-baseline behaviour."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Baseline, Finding
+
+from analysis_helpers import findings_by_rule, run_fixtures
+
+
+class TestSuppressions:
+    def test_suppression_with_reason_silences_the_finding(self, site_config):
+        report = run_fixtures(["suppress_ok.py"], site_config)
+        assert report.clean
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "ordered-iteration"
+
+    def test_missing_reason_is_rejected_and_finding_stays(self, site_config):
+        report = run_fixtures(["suppress_bad.py"], site_config)
+        assert not report.clean
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["ordered-iteration", "suppression-syntax"]
+        syntax = findings_by_rule(report, "suppression-syntax")[0]
+        assert "missing its written reason" in syntax.message
+
+    def test_stale_suppression_is_reported(self, site_config):
+        report = run_fixtures(["suppress_stale.py"], site_config)
+        assert not report.clean
+        stale = findings_by_rule(report, "stale-suppression")
+        assert len(stale) == 1
+        assert "matched no finding" in stale[0].message
+
+    def test_directive_text_in_docstrings_is_not_parsed(self, site_config):
+        # suppress.py's own module docstring documents the syntax; the
+        # fixture files carry docstrings too — none may parse as
+        # directives (only tokenize-level comments count).
+        report = run_fixtures(["det_good.py", "order_good.py"], site_config)
+        assert report.clean
+
+    def test_meta_rules_cannot_be_suppressed(self, site_config, tmp_path):
+        bad = tmp_path / "meta.py"
+        bad.write_text(
+            "from typing import Set\n"
+            "\n"
+            "\n"
+            "def f(items: Set[int]):\n"
+            "    # repro: allow[stale-suppression] -- fixture: not allowed\n"
+            "    # repro: allow[ordered-iteration] -- fixture: stale on purpose\n"
+            "    return sorted(items)\n"
+        )
+        from repro.analysis import load_modules, run_analysis
+
+        modules = load_modules([bad], root=tmp_path)
+        report = run_analysis([], site_config, root=tmp_path, modules=modules)
+        # Both directives are stale; neither stale-suppression finding is
+        # silenced by the first directive.
+        assert len(findings_by_rule(report, "stale-suppression")) == 2
+
+
+class TestBaseline:
+    def finding(self, symbol="time.time", line=10):
+        return Finding(
+            rule="determinism",
+            path="det_bad.py",
+            line=line,
+            message=f"wall-clock read: `{symbol}` on a deterministic path",
+            symbol=symbol,
+        )
+
+    def test_roundtrip_and_fingerprint_ignores_line(self, tmp_path):
+        baseline = Baseline.from_findings([self.finding(line=10)])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        new, baselined, stale = loaded.diff([self.finding(line=99)])
+        assert new == [] and stale == []
+        assert len(baselined) == 1
+
+    def test_new_finding_and_stale_entry_both_surface(self):
+        baseline = Baseline.from_findings([self.finding("time.time")])
+        new, baselined, stale = baseline.diff([self.finding("os.getenv")])
+        assert [f.symbol for f in new] == ["os.getenv"]
+        assert baselined == []
+        assert [e["symbol"] for e in stale] == ["time.time"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_baselined_findings_do_not_fail_the_run(self, site_config):
+        first = run_fixtures(["det_bad.py"], site_config)
+        assert not first.clean
+        baseline = Baseline.from_findings(first.findings)
+        second = run_fixtures(["det_bad.py"], site_config, baseline=baseline)
+        assert second.clean
+        assert len(second.baselined) == len(first.findings)
+
+    def test_committed_repo_baseline_is_empty(self):
+        # The tree analyzes clean; the committed baseline must stay empty
+        # (it only ever shrinks — new findings are fixed, not baselined).
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = Baseline.load(repo_root / "analysis_baseline.json")
+        assert baseline.entries == []
