@@ -29,7 +29,12 @@ safe to compare across a dev laptop and a CI runner:
   validation + self-check), instrumented within a single run so machine
   load cancels out, gated at an **absolute** bound of ``OVERHEAD_LIMIT``
   rather than against the baseline: the contract is "under 5%
-  overhead", full stop.
+  overhead", full stop,
+* observability overhead: the share of a fully traced platform replay's
+  CPU time spent emitting spans and registry samples (events × per-event
+  cost + ops × per-op cost, micro-timed in the same run), gated at the
+  same absolute ``OVERHEAD_LIMIT`` bound — tracing must stay a <5%
+  decision to turn on.
 
 One family is gated at an absolute **floor** instead:
 ``parallel_search.*.speedup`` — the process-pool backend's wall-clock
@@ -151,6 +156,17 @@ def _iter_metrics(data):
         yield (
             f"degradation_overhead.{scale}.resilient_ms",
             entry["resilient_ms"],
+            "info",
+        )
+    for scale, entry in data.get("observability_overhead", {}).items():
+        yield (
+            f"observability_overhead.{scale}.overhead_ratio",
+            entry["overhead_ratio"],
+            "bound",
+        )
+        yield (
+            f"observability_overhead.{scale}.traced_ms",
+            entry["traced_ms"],
             "info",
         )
     for scale, entry in data.get("parallel_search", {}).items():

@@ -124,6 +124,12 @@ METRICS_WALL_CLOCK_EXEMPT = {
         "wall-clock measurement (pickling/IPC/scheduling cost), like the "
         "per-epoch entries of cpu_times"
     ),
+    "latency_by_class": (
+        "streaming histograms over the same wall-clock measurements as "
+        "cpu_times (replan latency per epoch class); only sample counts "
+        "could ever agree across runs, and those are already covered by "
+        "num_cpu_samples / degradation_rungs"
+    ),
 }
 
 #: "<path_suffix>:<global>" -> reason a module-global read on the pool

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import logging
 import os
+import pickle
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -51,8 +52,10 @@ from repro.assignment.tree import PartitionNode
 from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.obs.runtime import OBS_DISABLED
+from repro.obs.trace import span_event
 
-_LOG = logging.getLogger("repro.executor")
+_LOG = logging.getLogger("repro.assignment.executor")
 
 #: Components whose total candidate-sequence count is below this run inline
 #: in the parent even under the parallel backend: the search finishes in
@@ -111,6 +114,11 @@ class ComponentJob:
     #: Total candidate sequences across the component's workers — the
     #: dispatch-cost hint behind :data:`INLINE_MIN_SEQUENCES`.
     num_sequences: int = 0
+    #: Span id of the dispatch span that submitted this job (observability
+    #: only; ``None`` keeps the worker-side tracing entirely off).  The
+    #: worker stamps its search span with this id so pool-side time lands
+    #: under the right parent in the merged trace.
+    trace_ctx: Optional[int] = None
 
     def restricted(self) -> "ComponentJob":
         """Copy with the shared lookup dicts narrowed to this component.
@@ -144,6 +152,13 @@ class ComponentResult:
     experience: List = field(default_factory=list)
     #: In-job wall-clock seconds (measured where the job ran).
     search_s: float = 0.0
+    #: Absolute ``perf_counter`` instant the job started executing — on
+    #: Linux the clock is shared across forked workers, so the parent can
+    #: subtract its submit instant to get the pool queue wait.
+    start_s: float = 0.0
+    #: Trace events emitted where the job ran (only when the job carried a
+    #: ``trace_ctx``); the parent adopts them into its tracer at merge.
+    spans: Tuple[Dict[str, object], ...] = ()
 
 
 def run_component_job(
@@ -157,7 +172,7 @@ def run_component_job(
     """
     start = _time.perf_counter()
     if deadline is not None and start >= deadline:
-        return ComponentResult(index=job.index, skipped=True)
+        return ComponentResult(index=job.index, skipped=True, start_s=start)
     if job.mode == "tvf":
         result = dfsearch_tvf(
             job.root, job.tasks, job.sequences_by_worker, job.workers_by_id, job.tvf
@@ -174,13 +189,38 @@ def run_component_job(
             deadline=deadline,
             available_ids=job.task_ids,
         )
+    end = _time.perf_counter()
+    spans: Tuple[Dict[str, object], ...] = ()
+    if job.trace_ctx is not None:
+        pid = os.getpid()
+        spans = (
+            span_event(
+                "component.search",
+                int(start * 1_000_000),
+                int(end * 1_000_000),
+                pid,
+                pid,
+                # Negative ids keep worker spans out of the parent
+                # tracer's id space; folding in the dispatch span id keeps
+                # them unique across epochs on the same worker track.
+                -((job.trace_ctx << 12) + job.index + 1),
+                job.trace_ctx,
+                cat="worker",
+                index=job.index,
+                mode=job.mode,
+                sequences=job.num_sequences,
+                nodes=result.nodes_expanded,
+            ),
+        )
     return ComponentResult(
         index=job.index,
         selections=tuple(result.selections),
         nodes_expanded=result.nodes_expanded,
         deadline_hit=result.deadline_hit,
         experience=result.experience,
-        search_s=_time.perf_counter() - start,
+        search_s=end - start,
+        start_s=start,
+        spans=spans,
     )
 
 
@@ -214,7 +254,10 @@ class SearchExecutor:
     kind: str = "serial"
 
     def run(
-        self, jobs: Sequence[ComponentJob], deadline: Optional[float] = None
+        self,
+        jobs: Sequence[ComponentJob],
+        deadline: Optional[float] = None,
+        obs=OBS_DISABLED,
     ) -> Tuple[List[ComponentResult], ExecutorStats]:
         raise NotImplementedError
 
@@ -222,14 +265,26 @@ class SearchExecutor:
         pass
 
 
+def _run_inline_job(job: ComponentJob, deadline: Optional[float], obs) -> ComponentResult:
+    """One in-parent job, wrapped in a search span when tracing is on."""
+    if not obs.enabled:
+        return run_component_job(job, deadline)
+    with obs.span(
+        "component.search", index=job.index, mode=job.mode, sequences=job.num_sequences
+    ) as span:
+        result = run_component_job(job, deadline)
+        span.set(nodes=result.nodes_expanded, skipped=result.skipped)
+    return result
+
+
 class SerialExecutor(SearchExecutor):
     """Reference backend: run every job inline, in order."""
 
     kind = "serial"
 
-    def run(self, jobs, deadline=None):
+    def run(self, jobs, deadline=None, obs=OBS_DISABLED):
         start = _time.perf_counter()
-        results = [run_component_job(job, deadline) for job in jobs]
+        results = [_run_inline_job(job, deadline, obs) for job in jobs]
         wall = _time.perf_counter() - start
         search = sum(result.search_s for result in results)
         return results, ExecutorStats(
@@ -285,10 +340,10 @@ class ParallelExecutor(SearchExecutor):
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         self._fallbacks = 0
 
-    def run(self, jobs, deadline=None):
+    def run(self, jobs, deadline=None, obs=OBS_DISABLED):
         start = _time.perf_counter()
         if self.max_workers == 1 or len(jobs) <= 1:
-            results, stats = SerialExecutor().run(jobs, deadline)
+            results, stats = SerialExecutor().run(jobs, deadline, obs=obs)
             return results, stats
 
         results: List[Optional[ComponentResult]] = [None] * len(jobs)
@@ -301,7 +356,7 @@ class ParallelExecutor(SearchExecutor):
                 # everything already submitted runs to completion.
                 results[i] = ComponentResult(index=job.index, skipped=True)
             elif job.num_sequences < INLINE_MIN_SEQUENCES:
-                inline_result = run_component_job(job, deadline)
+                inline_result = _run_inline_job(job, deadline, obs)
                 results[i] = inline_result
                 inline_s += inline_result.search_s
             else:
@@ -312,15 +367,39 @@ class ParallelExecutor(SearchExecutor):
         if pooled:
             try:
                 pool = _shared_pool(self.max_workers)
-                futures = [
-                    (i, pool.submit(run_component_job, job.restricted(), deadline))
-                    for i, job in pooled
-                ]
-                for i, future in futures:
+                trace_ctx = obs.current_span_id() if obs.enabled else None
+                futures = []
+                for i, job in pooled:
+                    payload = job.restricted()
+                    if trace_ctx is not None:
+                        payload = replace(payload, trace_ctx=trace_ctx)
+                    if obs.enabled and obs.profile_ipc:
+                        # What actually crosses the boundary: the job the
+                        # pool pickles.  One extra dumps() per pooled job,
+                        # gated behind its own knob for that reason.
+                        obs.observe(
+                            "executor.pickle_bytes",
+                            len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)),
+                        )
+                    futures.append(
+                        (
+                            i,
+                            _time.perf_counter(),
+                            pool.submit(run_component_job, payload, deadline),
+                        )
+                    )
+                for i, submit_s, future in futures:
                     result = future.result()
                     results[i] = result
                     pooled_sum += result.search_s
                     pooled_max = max(pooled_max, result.search_s)
+                    if obs.enabled:
+                        obs.adopt(result.spans)
+                        if result.start_s:
+                            obs.observe(
+                                "executor.queue_wait_s",
+                                max(result.start_s - submit_s, 0.0),
+                            )
             except Exception as exc:
                 # Graceful degradation: drop the (possibly broken) pool so
                 # the next epoch gets a fresh one, and serve this epoch
@@ -332,12 +411,16 @@ class ParallelExecutor(SearchExecutor):
                 )
                 _discard_pool(self.max_workers)
                 self._fallbacks += 1
-                serial_results, stats = SerialExecutor().run(jobs, deadline)
+                obs.count("executor.fallbacks")
+                serial_results, stats = SerialExecutor().run(jobs, deadline, obs=obs)
                 stats.fallbacks = self._fallbacks
                 return serial_results, stats
 
         wall = _time.perf_counter() - start
         search = inline_s + pooled_sum
+        if obs.enabled:
+            obs.count("executor.pooled_jobs", len(pooled))
+            obs.count("executor.inline_jobs", len(jobs) - len(pooled))
         # Ideal critical path of this dispatch: inline work is sequential
         # in the parent, pooled work is bounded below by its longest job
         # and by perfect division across the workers.

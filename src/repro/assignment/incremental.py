@@ -82,7 +82,9 @@ _COMPONENT_CACHE_MAX = 4096
 _COMPONENT_CACHE_TTL = 64
 
 #: Self-healing diagnostics (invariant violations and cache repairs).
-_LOG = logging.getLogger("repro.resilience")
+#: Child of ``repro.resilience`` so resilience-wide log configuration
+#: (and the chaos-test captures pinned to that name) still applies.
+_LOG = logging.getLogger("repro.resilience.selfheal")
 
 
 @dataclass
@@ -273,6 +275,7 @@ class IncrementalPlanEngine:
         planner = self.planner
         config = planner.config
         travel = planner.travel
+        obs = planner.obs
         # Latch the travel model's speed-profile window for this decision
         # point (no-op for static models): every cost computed below — and
         # every cached cost being reused, whose horizons were clamped to
@@ -322,62 +325,72 @@ class IncrementalPlanEngine:
         real = [task for task in active if not task.predicted]
         has_predicted = len(real) != len(active)
 
-        # ---- snapshot diff (object-identity fast path, field fallback) --- #
-        added: List[Task] = []
-        removed: Set[int] = set()
-        for task in active:
-            tid = task.task_id
-            prev = self._task_refs.get(tid)
-            if prev is None:
-                added.append(task)
-            elif prev is not task and _task_fingerprint(task) != self._task_fps[tid]:
-                removed.add(tid)
-                added.append(task)
-        for tid in list(self._task_refs):
-            if tid not in tasks_by_id:
-                removed.add(tid)
-                del self._task_refs[tid]
-                del self._task_fps[tid]
-        for task in added:
-            self._task_refs[task.task_id] = task
-            self._task_fps[task.task_id] = _task_fingerprint(task)
-        if added or removed:
-            self._task_epoch += 1
+        with obs.span("diff") as diff_span:
+            # ---- snapshot diff (object-identity fast path, field fallback) #
+            added: List[Task] = []
+            removed: Set[int] = set()
+            for task in active:
+                tid = task.task_id
+                prev = self._task_refs.get(tid)
+                if prev is None:
+                    added.append(task)
+                elif (
+                    prev is not task
+                    and _task_fingerprint(task) != self._task_fps[tid]
+                ):
+                    removed.add(tid)
+                    added.append(task)
+            for tid in list(self._task_refs):
+                if tid not in tasks_by_id:
+                    removed.add(tid)
+                    del self._task_refs[tid]
+                    del self._task_fps[tid]
+            for task in added:
+                self._task_refs[task.task_id] = task
+                self._task_fps[task.task_id] = _task_fingerprint(task)
+            if added or removed:
+                self._task_epoch += 1
 
-        # ---- dirty-worker collection ------------------------------------ #
-        dirty: Set[int] = set(self._forced_workers)
-        for tid in removed | self._forced_tasks:
-            owners = self._task_owners.get(tid)
-            if owners:
-                dirty.update(owners)
-        for worker in workers:
-            # Workers absent from the previous snapshot may have missed
-            # arrivals while away; their cache cannot be trusted.
-            if worker.worker_id not in self._last_present:
-                dirty.add(worker.worker_id)
-        for task in added:
+            # ---- dirty-worker collection -------------------------------- #
+            dirty: Set[int] = set(self._forced_workers)
+            for tid in removed | self._forced_tasks:
+                owners = self._task_owners.get(tid)
+                if owners:
+                    dirty.update(owners)
             for worker in workers:
-                wid = worker.worker_id
-                if wid in dirty:
-                    continue
-                if task.predicted:
-                    entry = self._worker_entries.get(wid)
-                    if entry is not None and entry.reachable_ids and not entry.fallback:
-                        # Predicted tasks only feed the empty-reachable
-                        # fallback; a worker on the real pipeline with a
-                        # non-empty set cannot be affected.
+                # Workers absent from the previous snapshot may have missed
+                # arrivals while away; their cache cannot be trusted.
+                if worker.worker_id not in self._last_present:
+                    dirty.add(worker.worker_id)
+            for task in added:
+                for worker in workers:
+                    wid = worker.worker_id
+                    if wid in dirty:
                         continue
-                # Euclidean check against the model's reach bound: sound
-                # for any travel model honouring the reach_bound contract,
-                # and bit-identical to the old travel.distance check for
-                # the Euclidean default (identity bound, same distance).
-                radius = travel.reach_bound(
-                    (_HOPS + 1.0) * worker.reachable_distance
-                ) + 1e-6
-                if euclidean_distance(worker.location, task.location) <= radius:
-                    dirty.add(wid)
-        self._forced_workers.clear()
-        self._forced_tasks.clear()
+                    if task.predicted:
+                        entry = self._worker_entries.get(wid)
+                        if (
+                            entry is not None
+                            and entry.reachable_ids
+                            and not entry.fallback
+                        ):
+                            # Predicted tasks only feed the empty-reachable
+                            # fallback; a worker on the real pipeline with a
+                            # non-empty set cannot be affected.
+                            continue
+                    # Euclidean check against the model's reach bound: sound
+                    # for any travel model honouring the reach_bound
+                    # contract, and bit-identical to the old travel.distance
+                    # check for the Euclidean default (identity bound, same
+                    # distance).
+                    radius = travel.reach_bound(
+                        (_HOPS + 1.0) * worker.reachable_distance
+                    ) + 1e-6
+                    if euclidean_distance(worker.location, task.location) <= radius:
+                        dirty.add(wid)
+            self._forced_workers.clear()
+            self._forced_tasks.clear()
+            diff_span.set(added=len(added), removed=len(removed), dirty=len(dirty))
 
         # Mirrors the full pipeline's index-usability test: the persistent
         # platform index is a valid candidate pre-filter only while it
@@ -394,33 +407,38 @@ class IncrementalPlanEngine:
         reused_workers = 0
         recomputed_workers = 0
         reach_sets_changed = False
-        for worker in workers:
-            wid = worker.worker_id
-            fingerprint = _worker_fingerprint(worker)
-            entry = self._worker_entries.get(wid)
-            old_reachable_ids = entry.reachable_ids if entry is not None else None
-            if entry is None or entry.fingerprint != fingerprint:
-                entry = self._refresh_worker(
-                    worker, fingerprint, entry, real, active, has_predicted,
-                    now, use_index, positions, force_bump=True,
-                )
-                recomputed_workers += 1
-            elif wid in dirty or now >= entry.reach_horizon:
-                entry = self._refresh_worker(
-                    worker, fingerprint, entry, real, active, has_predicted,
-                    now, use_index, positions, force_bump=False,
-                )
-                recomputed_workers += 1
-            elif now >= entry.seq_horizon:
-                self._refresh_sequences(entry, worker, now)
-                recomputed_workers += 1
-            else:
-                reused_workers += 1
-            if entry.reachable_ids != old_reachable_ids:
-                reach_sets_changed = True
-            entry.last_seen = self._epoch
-            reachable_by_worker[wid] = entry.reachable
-            sequences_by_worker[wid] = entry.sequences
+        with obs.span("refresh") as refresh_span:
+            for worker in workers:
+                wid = worker.worker_id
+                fingerprint = _worker_fingerprint(worker)
+                entry = self._worker_entries.get(wid)
+                old_reachable_ids = entry.reachable_ids if entry is not None else None
+                if entry is None or entry.fingerprint != fingerprint:
+                    entry = self._refresh_worker(
+                        worker, fingerprint, entry, real, active, has_predicted,
+                        now, use_index, positions, force_bump=True,
+                    )
+                    recomputed_workers += 1
+                elif wid in dirty or now >= entry.reach_horizon:
+                    entry = self._refresh_worker(
+                        worker, fingerprint, entry, real, active, has_predicted,
+                        now, use_index, positions, force_bump=False,
+                    )
+                    recomputed_workers += 1
+                elif now >= entry.seq_horizon:
+                    self._refresh_sequences(entry, worker, now)
+                    recomputed_workers += 1
+                else:
+                    reused_workers += 1
+                if entry.reachable_ids != old_reachable_ids:
+                    reach_sets_changed = True
+                entry.last_seen = self._epoch
+                reachable_by_worker[wid] = entry.reachable
+                sequences_by_worker[wid] = entry.sequences
+            refresh_span.set(reused=reused_workers, recomputed=recomputed_workers)
+        if obs.enabled:
+            obs.count("incremental.reused_workers", reused_workers)
+            obs.count("incremental.recomputed_workers", recomputed_workers)
 
         # ---- components: reuse untouched, search the rest ---------------- #
         # The adjacency is a pure function of the per-worker reachable
@@ -430,89 +448,95 @@ class IncrementalPlanEngine:
         # or left), last epoch's adjacency and component decomposition are
         # reused verbatim.
         worker_stream_key = tuple(worker.worker_id for worker in workers)
-        if (
-            not reach_sets_changed
-            and self._adjacency is not None
-            and self._adjacency_key == worker_stream_key
-        ):
-            adjacency = self._adjacency
-            components = self._adjacency_components
-        else:
-            adjacency = build_adjacency(reachable_by_worker)
-            components = connected_components(adjacency)
-            self._adjacency = adjacency
-            self._adjacency_components = components
-            self._adjacency_key = worker_stream_key
-        # ---- decompose: replay cache hits, extract jobs for the rest ----- #
-        # Slots keep the component order; a slot is either the cached entry
-        # to replay or the index of a ComponentJob handed to the executor.
-        # Everything a job needs (subtree, budget, candidate sets) is fixed
-        # here, before any search runs.
-        use_guided = config.use_tvf and tvf is not None
-        available_ids = frozenset(tasks_by_id)
-        slots: List[Tuple[str, object]] = []
-        jobs: List[ComponentJob] = []
-        job_meta: List[Tuple[FrozenSet[int], Dict[int, int], str]] = []
-        for component in components:
-            key = frozenset(component)
-            versions = {wid: self._worker_entries[wid].version for wid in component}
-            guided = use_guided and len(component) >= config.tvf_min_workers
-            mode = "tvf" if guided else config.search_mode
-            cached = self._components.get(key)
+        with obs.span("decompose") as decompose_span:
             if (
-                cached is not None
-                and cached.versions == versions
-                and cached.mode == mode
-                and (not guided or cached.task_epoch == self._task_epoch)
+                not reach_sets_changed
+                and self._adjacency is not None
+                and self._adjacency_key == worker_stream_key
             ):
-                slots.append(("cached", cached))
-                continue
-            if config.use_partition:
-                root = build_component_subtree(adjacency, component)
+                adjacency = self._adjacency
+                components = self._adjacency_components
             else:
-                root = PartitionNode(workers=list(component))
-            num_sequences = sum(
-                len(sequences_by_worker.get(wid, [])) for wid in component
-            )
-            if guided:
-                job = ComponentJob(
-                    index=len(jobs),
-                    mode="tvf",
-                    root=root,
-                    worker_ids=tuple(component),
-                    sequences_by_worker=sequences_by_worker,
-                    workers_by_id=workers_by_id,
-                    task_ids=available_ids,
-                    tasks=active,
-                    tvf=tvf,
-                    num_sequences=num_sequences,
+                adjacency = build_adjacency(reachable_by_worker)
+                components = connected_components(adjacency)
+                self._adjacency = adjacency
+                self._adjacency_components = components
+                self._adjacency_key = worker_stream_key
+            # ---- decompose: replay cache hits, extract jobs for the rest - #
+            # Slots keep the component order; a slot is either the cached
+            # entry to replay or the index of a ComponentJob handed to the
+            # executor.  Everything a job needs (subtree, budget, candidate
+            # sets) is fixed here, before any search runs.
+            use_guided = config.use_tvf and tvf is not None
+            available_ids = frozenset(tasks_by_id)
+            slots: List[Tuple[str, object]] = []
+            jobs: List[ComponentJob] = []
+            job_meta: List[Tuple[FrozenSet[int], Dict[int, int], str]] = []
+            for component in components:
+                key = frozenset(component)
+                versions = {
+                    wid: self._worker_entries[wid].version for wid in component
+                }
+                guided = use_guided and len(component) >= config.tvf_min_workers
+                mode = "tvf" if guided else config.search_mode
+                cached = self._components.get(key)
+                if (
+                    cached is not None
+                    and cached.versions == versions
+                    and cached.mode == mode
+                    and (not guided or cached.task_epoch == self._task_epoch)
+                ):
+                    slots.append(("cached", cached))
+                    continue
+                if config.use_partition:
+                    root = build_component_subtree(adjacency, component)
+                else:
+                    root = PartitionNode(workers=list(component))
+                num_sequences = sum(
+                    len(sequences_by_worker.get(wid, [])) for wid in component
                 )
-            else:
-                # Same per-component budget formula as the full pipeline
-                # (a pure function of the component's workers and their
-                # candidate sets), so replays stay bit-for-bit.
-                budget = config.node_budget
-                if config.adaptive_node_budget:
-                    budget = adaptive_node_budget(
-                        budget, len(component), num_sequences
+                if guided:
+                    job = ComponentJob(
+                        index=len(jobs),
+                        mode="tvf",
+                        root=root,
+                        worker_ids=tuple(component),
+                        sequences_by_worker=sequences_by_worker,
+                        workers_by_id=workers_by_id,
+                        task_ids=available_ids,
+                        tasks=active,
+                        tvf=tvf,
+                        num_sequences=num_sequences,
                     )
-                job = ComponentJob(
-                    index=len(jobs),
-                    mode=mode,
-                    root=root,
-                    worker_ids=tuple(component),
-                    sequences_by_worker=sequences_by_worker,
-                    workers_by_id=workers_by_id,
-                    task_ids=available_ids,
-                    node_budget=budget,
-                    num_sequences=num_sequences,
-                )
-            slots.append(("job", len(jobs)))
-            jobs.append(job)
-            job_meta.append((key, versions, mode))
+                else:
+                    # Same per-component budget formula as the full pipeline
+                    # (a pure function of the component's workers and their
+                    # candidate sets), so replays stay bit-for-bit.
+                    budget = config.node_budget
+                    if config.adaptive_node_budget:
+                        budget = adaptive_node_budget(
+                            budget, len(component), num_sequences
+                        )
+                    job = ComponentJob(
+                        index=len(jobs),
+                        mode=mode,
+                        root=root,
+                        worker_ids=tuple(component),
+                        sequences_by_worker=sequences_by_worker,
+                        workers_by_id=workers_by_id,
+                        task_ids=available_ids,
+                        node_budget=budget,
+                        num_sequences=num_sequences,
+                    )
+                slots.append(("job", len(jobs)))
+                jobs.append(job)
+                job_meta.append((key, versions, mode))
+            decompose_span.set(components=len(components), searched=len(jobs))
 
         # ---- dispatch ----------------------------------------------------- #
-        results, stats = planner.executor().run(jobs, deadline=deadline)
+        with obs.span("dispatch", jobs=len(jobs)) as dispatch_span:
+            results, stats = planner.executor().run(jobs, deadline=deadline, obs=obs)
+            dispatch_span.set(parallel=stats.parallel_jobs)
 
         # ---- merge: component order, cache writes applied here ------------ #
         nodes_expanded = 0
@@ -521,60 +545,72 @@ class IncrementalPlanEngine:
         rung_level = 0
         epoch_selections: List[Tuple[int, Tuple[int, ...]]] = []
         used_ids: Set[int] = set()
-        for slot_kind, payload in slots:
-            if slot_kind == "cached":
-                cached = payload
-                selections = cached.selections
-                nodes = cached.nodes_expanded
-                cached.last_used = self._epoch
-                reused_components += 1
-            else:
-                job_index = payload
-                result = results[job_index]
-                key, versions, mode = job_meta[job_index]
-                job = jobs[job_index]
-                searched_components += 1
-                if result.skipped:
-                    # Budget exhausted before this component's search
-                    # started: greedy rung (first-fit over Q_w), uncached —
-                    # the result depends on wall-clock, not just the
-                    # component state.  Sequential across components (each
-                    # fill consumes from what earlier components left), so
-                    # it runs here at merge time, in component order.
-                    selections = tuple(
-                        greedy_component_fill(
-                            list(job.worker_ids),
-                            sequences_by_worker,
-                            set(tasks_by_id) - used_ids,
-                        )
-                    )
-                    nodes = 0
-                    rung_level = max(rung_level, 2)
+        with obs.span("merge") as merge_span:
+            for slot_kind, payload in slots:
+                if slot_kind == "cached":
+                    cached = payload
+                    selections = cached.selections
+                    nodes = cached.nodes_expanded
+                    cached.last_used = self._epoch
+                    reused_components += 1
                 else:
-                    selections = result.selections
-                    nodes = result.nodes_expanded
-                    if result.deadline_hit:
-                        rung_level = max(rung_level, 1)
-                    else:
-                        # Deadline-cut answers are anytime partials tied to
-                        # this epoch's wall-clock; caching one would replay
-                        # a degraded plan on healthy future epochs.
-                        self._components[key] = _ComponentEntry(
-                            versions=versions,
-                            selections=selections,
-                            nodes_expanded=nodes,
-                            mode=mode,
-                            task_epoch=self._task_epoch,
-                            last_used=self._epoch,
+                    job_index = payload
+                    result = results[job_index]
+                    key, versions, mode = job_meta[job_index]
+                    job = jobs[job_index]
+                    searched_components += 1
+                    if result.skipped:
+                        # Budget exhausted before this component's search
+                        # started: greedy rung (first-fit over Q_w),
+                        # uncached — the result depends on wall-clock, not
+                        # just the component state.  Sequential across
+                        # components (each fill consumes from what earlier
+                        # components left), so it runs here at merge time,
+                        # in component order.
+                        selections = tuple(
+                            greedy_component_fill(
+                                list(job.worker_ids),
+                                sequences_by_worker,
+                                set(tasks_by_id) - used_ids,
+                            )
                         )
-            nodes_expanded += nodes
-            epoch_selections.extend(selections)
-            for _, task_ids in selections:
-                used_ids.update(task_ids)
+                        nodes = 0
+                        rung_level = max(rung_level, 2)
+                    else:
+                        selections = result.selections
+                        nodes = result.nodes_expanded
+                        if result.deadline_hit:
+                            rung_level = max(rung_level, 1)
+                        else:
+                            # Deadline-cut answers are anytime partials tied
+                            # to this epoch's wall-clock; caching one would
+                            # replay a degraded plan on healthy future
+                            # epochs.
+                            self._components[key] = _ComponentEntry(
+                                versions=versions,
+                                selections=selections,
+                                nodes_expanded=nodes,
+                                mode=mode,
+                                task_epoch=self._task_epoch,
+                                last_used=self._epoch,
+                            )
+                nodes_expanded += nodes
+                epoch_selections.extend(selections)
+                for _, task_ids in selections:
+                    used_ids.update(task_ids)
+            merge_span.set(reused=reused_components, searched=searched_components)
+        if obs.enabled:
+            obs.count("incremental.reused_components", reused_components)
+            obs.count("incremental.searched_components", searched_components)
 
         # ---- post-replan invariant check (self-healing) ------------------- #
+        # Deliberately not wrapped in a span: the check is micro-scale on
+        # every healthy epoch and a per-epoch span would be pure overhead
+        # budget; the interesting case (a violation) emits an instant.
         if config.self_check:
-            violation = self._find_violation(epoch_selections, tasks_by_id, workers_by_id)
+            violation = self._find_violation(
+                epoch_selections, tasks_by_id, workers_by_id
+            )
             if violation is not None:
                 return self._repair(workers, tasks, now, deadline, violation)
         try:
@@ -709,6 +745,10 @@ class IncrementalPlanEngine:
             now,
             violation,
         )
+        obs = self.planner.obs
+        if obs.enabled:
+            obs.count("incremental.repairs")
+            obs.instant("incremental.repair", violation=violation)
         self.invalidate()
         outcome = self.planner._plan_full(
             workers, tasks, now, collect_experience=False, deadline=deadline

@@ -46,6 +46,7 @@ from repro.core.assignment import Assignment, WorkerPlan
 from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.obs.runtime import OBS_DISABLED
 from repro.spatial.index import SpatialIndex
 from repro.spatial.travel import EuclideanTravelModel, TravelModel
 from repro.spatial.travel_matrix import TravelMatrix
@@ -275,11 +276,24 @@ class TaskPlanner:
         self._engine = IncrementalPlanEngine(self)
         #: Dispatch backend (created lazily on the first planning call).
         self._executor: Optional[SearchExecutor] = None
+        #: Per-run observability handle (spans + metrics).  The disabled
+        #: singleton by default; the platform attaches a live one per run.
+        self.obs = OBS_DISABLED
 
     # ------------------------------------------------------------------ #
     def attach_task_index(self, index: Optional[SpatialIndex]) -> None:
         """Use ``index`` (task id -> location) as the reachability pre-filter."""
         self.task_index = index
+
+    def attach_observability(self, obs) -> None:
+        """Route this planner's spans and metrics through ``obs``.
+
+        Observability is read-only with respect to planning output: the
+        handle never feeds back into any decision, so attaching or
+        detaching it cannot change an assignment (the disabled-path
+        equivalence test pins this down end to end).
+        """
+        self.obs = obs if obs is not None else OBS_DISABLED
 
     def note_dirty(self, dirty: DirtySet) -> None:
         """Forward a platform dirty set to the incremental engine.
@@ -439,6 +453,7 @@ class TaskPlanner:
         taint its answer.
         """
         config = self.config
+        obs = self.obs
         active_tasks = [task for task in tasks if not task.is_expired(now)]
         workers_by_id = {worker.worker_id: worker for worker in workers}
         tasks_by_id = {task.task_id: task for task in active_tasks}
@@ -446,167 +461,185 @@ class TaskPlanner:
         if not workers or not active_tasks:
             return PlanningOutcome(Assignment(), 0, 0, 0)
 
-        # Lines 2-5 of Alg. 4: RS_w and Q_w for every worker.  Predicted
-        # tasks never displace real, currently-open tasks from a worker's
-        # reachable set: they only guide workers that have no real task to
-        # serve (repositioning towards future demand), which is how the
-        # paper uses the prediction signal.
-        real_tasks = [task for task in active_tasks if not task.predicted]
-        # Tiny snapshots are cheaper scalar: the matrix only pays for itself
-        # once enough (worker, task) pairs share it.
-        matrix = (
-            TravelMatrix(workers, active_tasks, self.travel, now=now)
-            if config.use_travel_matrix and len(active_tasks) >= VECTOR_MIN_TASKS // 2
-            else None
-        )
-        index = self.task_index
-        # The persistent platform index only tracks real open tasks; use it
-        # only when it covers every real task of this snapshot (a strategy
-        # may plan over a filtered subset, which is still fine — the query
-        # result is intersected with the given tasks).
-        use_index = index is not None and all(
-            task.task_id in index for task in real_tasks
-        )
-        real_tasks_by_id = (
-            {task.task_id: task for task in real_tasks} if use_index else None
-        )
-        real_positions = (
-            {task.task_id: i for i, task in enumerate(real_tasks)} if use_index else None
-        )
-        real_cols = matrix.task_cols(real_tasks) if matrix is not None else None
-        active_cols = None
-        if matrix is not None and len(real_tasks) != len(active_tasks):
-            active_cols = matrix.task_cols(active_tasks)
-        reachable_by_worker: Dict[int, List] = {}
-        for worker in workers:
-            reachable = self._reachable_for_worker(
-                worker,
-                real_tasks,
-                now,
-                matrix,
-                index if use_index else None,
-                real_tasks_by_id,
-                cols=real_cols,
-                positions=real_positions,
+        with obs.span("candidates", workers=len(workers), tasks=len(active_tasks)):
+            # Lines 2-5 of Alg. 4: RS_w and Q_w for every worker.  Predicted
+            # tasks never displace real, currently-open tasks from a worker's
+            # reachable set: they only guide workers that have no real task to
+            # serve (repositioning towards future demand), which is how the
+            # paper uses the prediction signal.
+            real_tasks = [task for task in active_tasks if not task.predicted]
+            # Tiny snapshots are cheaper scalar: the matrix only pays for
+            # itself once enough (worker, task) pairs share it.
+            matrix = (
+                TravelMatrix(workers, active_tasks, self.travel, now=now)
+                if config.use_travel_matrix
+                and len(active_tasks) >= VECTOR_MIN_TASKS // 2
+                else None
             )
-            if not reachable and len(real_tasks) != len(active_tasks):
+            if matrix is not None and obs.enabled:
+                obs.count("planner.travel_matrix_builds")
+            index = self.task_index
+            # The persistent platform index only tracks real open tasks; use
+            # it only when it covers every real task of this snapshot (a
+            # strategy may plan over a filtered subset, which is still fine —
+            # the query result is intersected with the given tasks).
+            use_index = index is not None and all(
+                task.task_id in index for task in real_tasks
+            )
+            real_tasks_by_id = (
+                {task.task_id: task for task in real_tasks} if use_index else None
+            )
+            real_positions = (
+                {task.task_id: i for i, task in enumerate(real_tasks)}
+                if use_index
+                else None
+            )
+            real_cols = matrix.task_cols(real_tasks) if matrix is not None else None
+            active_cols = None
+            if matrix is not None and len(real_tasks) != len(active_tasks):
+                active_cols = matrix.task_cols(active_tasks)
+            reachable_by_worker: Dict[int, List] = {}
+            for worker in workers:
                 reachable = self._reachable_for_worker(
-                    worker, active_tasks, now, matrix, None, None, cols=active_cols
+                    worker,
+                    real_tasks,
+                    now,
+                    matrix,
+                    index if use_index else None,
+                    real_tasks_by_id,
+                    cols=real_cols,
+                    positions=real_positions,
                 )
-            reachable_by_worker[worker.worker_id] = reachable
-        sequences_by_worker: Dict[int, List[TaskSequence]] = {
-            worker.worker_id: maximal_valid_sequences(
-                worker,
-                reachable_by_worker[worker.worker_id],
-                now,
-                self.travel,
-                max_length=config.max_sequence_length,
-                max_sequences=config.max_sequences,
-                matrix=matrix,
-            )
-            for worker in workers
-        }
+                if not reachable and len(real_tasks) != len(active_tasks):
+                    reachable = self._reachable_for_worker(
+                        worker, active_tasks, now, matrix, None, None, cols=active_cols
+                    )
+                reachable_by_worker[worker.worker_id] = reachable
+            sequences_by_worker: Dict[int, List[TaskSequence]] = {
+                worker.worker_id: maximal_valid_sequences(
+                    worker,
+                    reachable_by_worker[worker.worker_id],
+                    now,
+                    self.travel,
+                    max_length=config.max_sequence_length,
+                    max_sequences=config.max_sequences,
+                    matrix=matrix,
+                )
+                for worker in workers
+            }
 
-        # Line 6: worker dependency graph (plain adjacency sets — the
-        # networkx-based reference builders stay available for the ablation
-        # benchmarks but are too allocation-heavy for the per-event path).
-        adjacency = build_adjacency(reachable_by_worker)
+        with obs.span("partition"):
+            # Line 6: worker dependency graph (plain adjacency sets — the
+            # networkx-based reference builders stay available for the
+            # ablation benchmarks but are too allocation-heavy for the
+            # per-event path).
+            adjacency = build_adjacency(reachable_by_worker)
 
-        # Lines 7-10: per-component partition, tree and search.
-        if config.use_partition:
-            roots = build_partition_tree_fast(adjacency).roots
-        else:
-            roots = [
-                PartitionNode(workers=component)
-                for component in connected_components(adjacency)
-            ]
+            # Lines 7-10: per-component partition, tree and search.
+            if config.use_partition:
+                roots = build_partition_tree_fast(adjacency).roots
+            else:
+                roots = [
+                    PartitionNode(workers=component)
+                    for component in connected_components(adjacency)
+                ]
 
         # ---- decompose: one self-contained job per component ------------- #
         # Engine choice, budget and inputs are all fixed here, *before* any
         # search runs; the deadline ladder is applied per job at dispatch
         # time (an expired deadline skips a job, a mid-search expiry cuts
         # it to its anytime answer).
-        use_guided = config.use_tvf and not collect_experience and self.tvf is not None
-        available_ids = frozenset(tasks_by_id)
-        jobs: List[ComponentJob] = []
-        for index, root in enumerate(roots):
-            root_workers = root.all_workers()
-            num_sequences = sum(
-                len(sequences_by_worker.get(wid, [])) for wid in root_workers
+        with obs.span("decompose", components=len(roots)):
+            use_guided = (
+                config.use_tvf and not collect_experience and self.tvf is not None
             )
-            if use_guided and len(root_workers) >= config.tvf_min_workers:
+            available_ids = frozenset(tasks_by_id)
+            jobs: List[ComponentJob] = []
+            for index, root in enumerate(roots):
+                root_workers = root.all_workers()
+                num_sequences = sum(
+                    len(sequences_by_worker.get(wid, [])) for wid in root_workers
+                )
+                if use_guided and len(root_workers) >= config.tvf_min_workers:
+                    jobs.append(
+                        ComponentJob(
+                            index=index,
+                            mode="tvf",
+                            root=root,
+                            worker_ids=tuple(root_workers),
+                            sequences_by_worker=sequences_by_worker,
+                            workers_by_id=workers_by_id,
+                            task_ids=available_ids,
+                            tasks=active_tasks,
+                            tvf=self.tvf,
+                            num_sequences=num_sequences,
+                        )
+                    )
+                    continue
+                budget = config.node_budget
+                if config.adaptive_node_budget:
+                    budget = adaptive_node_budget(
+                        budget, len(root_workers), num_sequences
+                    )
                 jobs.append(
                     ComponentJob(
                         index=index,
-                        mode="tvf",
+                        mode=config.search_mode,
                         root=root,
                         worker_ids=tuple(root_workers),
                         sequences_by_worker=sequences_by_worker,
                         workers_by_id=workers_by_id,
                         task_ids=available_ids,
-                        tasks=active_tasks,
-                        tvf=self.tvf,
+                        node_budget=budget,
+                        collect_experience=collect_experience,
                         num_sequences=num_sequences,
                     )
                 )
-                continue
-            budget = config.node_budget
-            if config.adaptive_node_budget:
-                budget = adaptive_node_budget(budget, len(root_workers), num_sequences)
-            jobs.append(
-                ComponentJob(
-                    index=index,
-                    mode=config.search_mode,
-                    root=root,
-                    worker_ids=tuple(root_workers),
-                    sequences_by_worker=sequences_by_worker,
-                    workers_by_id=workers_by_id,
-                    task_ids=available_ids,
-                    node_budget=budget,
-                    collect_experience=collect_experience,
-                    num_sequences=num_sequences,
-                )
-            )
 
         # ---- dispatch: serial or process pool, per the config ------------ #
-        results, stats = self.executor().run(jobs, deadline=deadline)
+        with obs.span("dispatch", jobs=len(jobs)) as dispatch_span:
+            results, stats = self.executor().run(jobs, deadline=deadline, obs=obs)
+            dispatch_span.set(parallel=stats.parallel_jobs)
 
         # ---- merge: submission-ordered, deterministic assembly ----------- #
-        assignment = Assignment()
-        planned = 0
-        nodes_expanded = 0
-        experience: List = []
-        # Degradation ladder bookkeeping (index into DEGRADATION_RUNGS).
-        rung_level = 0
-        used_ids: Set[int] = set()
-        for job, result in zip(jobs, results):
-            if result.skipped:
-                # The budget was gone before this component's search even
-                # started: the greedy rung — first-fit over the already-
-                # enumerated Q_w.  Sequential by nature (each fill consumes
-                # from the pool left by earlier components), so it runs
-                # here in the parent, in submission order.
-                selections = greedy_component_fill(
-                    list(job.worker_ids),
-                    sequences_by_worker,
-                    set(tasks_by_id) - used_ids,
-                )
-                rung_level = max(rung_level, 2)
-            else:
-                selections = result.selections
-                nodes_expanded += result.nodes_expanded
-                experience.extend(result.experience)
-                if result.deadline_hit:
-                    # The anytime partial of an interrupted search.
-                    rung_level = max(rung_level, 1)
-            for worker_id, task_ids in selections:
-                if not task_ids:
-                    continue
-                worker = workers_by_id[worker_id]
-                sequence_tasks = tuple(tasks_by_id[tid] for tid in task_ids)
-                assignment.add(WorkerPlan(worker, TaskSequence(worker, sequence_tasks)))
-                planned += len(task_ids)
-                used_ids.update(task_ids)
+        with obs.span("merge"):
+            assignment = Assignment()
+            planned = 0
+            nodes_expanded = 0
+            experience: List = []
+            # Degradation ladder bookkeeping (index into DEGRADATION_RUNGS).
+            rung_level = 0
+            used_ids: Set[int] = set()
+            for job, result in zip(jobs, results):
+                if result.skipped:
+                    # The budget was gone before this component's search even
+                    # started: the greedy rung — first-fit over the already-
+                    # enumerated Q_w.  Sequential by nature (each fill
+                    # consumes from the pool left by earlier components), so
+                    # it runs here in the parent, in submission order.
+                    selections = greedy_component_fill(
+                        list(job.worker_ids),
+                        sequences_by_worker,
+                        set(tasks_by_id) - used_ids,
+                    )
+                    rung_level = max(rung_level, 2)
+                else:
+                    selections = result.selections
+                    nodes_expanded += result.nodes_expanded
+                    experience.extend(result.experience)
+                    if result.deadline_hit:
+                        # The anytime partial of an interrupted search.
+                        rung_level = max(rung_level, 1)
+                for worker_id, task_ids in selections:
+                    if not task_ids:
+                        continue
+                    worker = workers_by_id[worker_id]
+                    sequence_tasks = tuple(tasks_by_id[tid] for tid in task_ids)
+                    assignment.add(
+                        WorkerPlan(worker, TaskSequence(worker, sequence_tasks))
+                    )
+                    planned += len(task_ids)
+                    used_ids.update(task_ids)
 
         return PlanningOutcome(
             assignment=assignment,

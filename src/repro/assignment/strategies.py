@@ -76,6 +76,15 @@ class AssignmentStrategy(ABC):
         a no-op so dirty-unaware strategies keep working unchanged.
         """
 
+    def attach_observability(self, obs) -> None:
+        """Receive the platform run's :class:`repro.obs.Observability` handle.
+
+        Planner-backed strategies forward it to their planner so pipeline
+        spans and metrics from every layer land in the one per-run tracer
+        and registry.  The default is a no-op: obs-unaware strategies keep
+        working unchanged and simply contribute no spans.
+        """
+
     def consume_last_outcome(self):
         """Return and clear the :class:`PlanningOutcome` of the last plan.
 
@@ -157,6 +166,9 @@ class _PlannerBackedStrategy(AssignmentStrategy):
 
     def notify_dirty(self, dirty) -> None:
         self.planner.note_dirty(dirty)
+
+    def attach_observability(self, obs) -> None:
+        self.planner.attach_observability(obs)
 
     def consume_last_outcome(self) -> Optional[PlanningOutcome]:
         outcome, self._last_outcome = self._last_outcome, None

@@ -52,6 +52,11 @@ class AssignmentRow:
     invariant_repairs: int = 0
     #: Malformed events rejected at ingestion.
     rejected_events: int = 0
+    #: Replan-latency percentiles across all epoch classes, in ms
+    #: (0.0 when the run recorded no counted planning epoch).
+    replan_p50_ms: float = 0.0
+    replan_p95_ms: float = 0.0
+    replan_p99_ms: float = 0.0
 
     def as_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -185,6 +190,7 @@ class AssignmentExperiment:
         rows: List[AssignmentRow] = []
         for method in methods:
             report = runner.run_strategy(method)
+            latency = report.replan_latency.get("overall", {})
             rows.append(
                 AssignmentRow(
                     dataset=self.dataset,
@@ -196,6 +202,9 @@ class AssignmentExperiment:
                     degraded_epochs=report.degraded_epochs,
                     invariant_repairs=report.invariant_repairs,
                     rejected_events=report.rejected_events,
+                    replan_p50_ms=float(latency.get("p50", 0.0)),
+                    replan_p95_ms=float(latency.get("p95", 0.0)),
+                    replan_p99_ms=float(latency.get("p99", 0.0)),
                 )
             )
         return rows

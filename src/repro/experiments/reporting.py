@@ -56,21 +56,44 @@ def table2_rows(workloads: Iterable) -> List[Dict]:
 #: served entirely by the full-quality planner.
 HEALTH_COLUMNS = ("degraded_epochs", "invariant_repairs", "rejected_events")
 
+#: Replan-latency percentile columns carried by :class:`AssignmentRow`
+#: (milliseconds, across all epoch classes; see
+#: :meth:`repro.simulation.metrics.SimulationMetrics.replan_latency_summary`).
+LATENCY_COLUMNS = ("replan_p50_ms", "replan_p95_ms", "replan_p99_ms")
+
 
 def health_rows(rows: Sequence[Dict]) -> List[Dict]:
     """Filter experiment rows down to the ones with health anomalies.
 
     Returns one row per input row whose degradation / repair / rejection
     counters are non-zero, keeping the identifying columns plus the
-    non-zero health counters.  An empty list therefore certifies that
-    every run in ``rows`` was fully healthy — the intended use is to
-    print ``format_table(health_rows(rows), ...)`` (or the "all healthy"
-    message) right after the headline figure tables.
+    non-zero health counters (and the replan-latency percentiles, so an
+    anomalous run's tail latency is visible in the same table).  An empty
+    list therefore certifies that every run in ``rows`` was fully healthy
+    — the intended use is to print ``format_table(health_rows(rows), ...)``
+    (or the "all healthy" message) right after the headline figure tables.
     """
     out: List[Dict] = []
     for row in rows:
         if any(row.get(column) for column in HEALTH_COLUMNS):
             out.append(dict(row))
+    return out
+
+
+def latency_rows(rows: Sequence[Dict]) -> List[Dict]:
+    """Project experiment rows onto their replan-latency percentiles.
+
+    One output row per input row, keeping the identifying columns plus
+    the p50/p95/p99 replan-latency columns — the table an operator scans
+    to see which configuration blew the planning budget.
+    """
+    identity = ("dataset", "parameter", "value", "method")
+    out: List[Dict] = []
+    for row in rows:
+        entry = {column: row.get(column) for column in identity if column in row}
+        for column in LATENCY_COLUMNS:
+            entry[column] = row.get(column, 0.0)
+        out.append(entry)
     return out
 
 

@@ -1,0 +1,217 @@
+"""Streaming metrics primitives: counters, gauges, log-scale histograms.
+
+Everything here is stdlib-only, picklable and mergeable, because the
+metrics travel three ways: across process boundaries inside checkpoint
+payloads (``SimulationMetrics`` carries per-class latency histograms),
+between runs when experiment drivers aggregate reports, and into the
+``repro.obs.report`` CLI.
+
+:class:`StreamingHistogram` answers p50/p95/p99 without retaining
+samples: observations land in fixed log-scale buckets (default
+``1e-6 .. 1e4`` seconds, 10 buckets per decade, so every quantile is
+exact to within one bucket — ~26% relative error, far below the
+run-to-run noise of any wall-clock latency).  Memory is a fixed ~100
+ints per histogram regardless of how many million epochs a run records.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "StreamingHistogram", "MetricsRegistry"]
+
+
+def _log_bounds(lo: float, hi: float, per_decade: int) -> Tuple[float, ...]:
+    """Upper bucket bounds: ``lo * 10**(k / per_decade)`` covering ``hi``."""
+    bounds: List[float] = []
+    k = 0
+    while True:
+        bound = lo * 10.0 ** (k / per_decade)
+        bounds.append(bound)
+        if bound >= hi:
+            return tuple(bounds)
+        k += 1
+
+
+#: Default bounds shared by every histogram: wall-clock seconds from a
+#: microsecond to ~2.8 hours.  Built once at import; histograms of the
+#: same shape share the tuple.
+_DEFAULT_BOUNDS = _log_bounds(1e-6, 1e4, per_decade=10)
+
+
+class Counter:
+    """Monotone counter (``inc``-only)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """Last-write-wins sampled value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def merge(self, other: "Gauge") -> None:
+        self.value = other.value
+
+
+class StreamingHistogram:
+    """Fixed-bucket log-scale histogram: quantiles without samples.
+
+    Observations at or below the smallest bound fall in bucket 0;
+    observations above the largest bound fall in the overflow bucket.
+    Exact ``min``/``max``/``total`` are tracked alongside, so the mean is
+    exact and quantile answers are clamped into the observed range.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Tuple[float, ...] = _DEFAULT_BOUNDS) -> None:
+        self.bounds = bounds
+        # One bucket per bound plus the overflow bucket.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------ #
+    def record(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], exact to one bucket.
+
+        Returns the geometric midpoint of the bucket the quantile rank
+        lands in, clamped to the exact observed ``[min, max]`` — so a
+        histogram holding a single sample answers that sample for every
+        quantile, and p100 is always the true maximum.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                value = self._bucket_mid(i)
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    def _bucket_mid(self, index: int) -> float:
+        if index == 0:
+            return self.bounds[0]
+        if index >= len(self.bounds):
+            return self.bounds[-1]
+        return math.sqrt(self.bounds[index - 1] * self.bounds[index])
+
+    # ------------------------------------------------------------------ #
+    def summary(self, scale: float = 1.0) -> Dict[str, float]:
+        """Count + mean + p50/p95/p99 + min/max, values times ``scale``."""
+        if not self.count:
+            return {"count": 0.0}
+        return {
+            "count": float(self.count),
+            "mean": self.mean * scale,
+            "p50": self.quantile(0.50) * scale,
+            "p95": self.quantile(0.95) * scale,
+            "p99": self.quantile(0.99) * scale,
+            "min": self.min * scale,
+            "max": self.max * scale,
+        }
+
+    # Plain-state pickling (``__slots__`` has no instance ``__dict__``).
+    def __getstate__(self):
+        return (self.bounds, self.counts, self.count, self.total, self.min, self.max)
+
+    def __setstate__(self, state) -> None:
+        self.bounds, self.counts, self.count, self.total, self.min, self.max = state
+
+
+class MetricsRegistry:
+    """Per-run registry: name -> metric, created on first touch.
+
+    Names are dotted (``executor.queue_wait_s``); the registry is flat —
+    hierarchy is a display concern, not a storage one.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> StreamingHistogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = StreamingHistogram()
+        return metric
+
+    def get_histogram(self, name: str) -> Optional[StreamingHistogram]:
+        return self._histograms.get(name)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view (sorted names, JSON-serialisable values)."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {name: self._gauges[name].value for name in sorted(self._gauges)},
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }

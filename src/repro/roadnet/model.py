@@ -137,9 +137,16 @@ class RoadNetworkTravelModel(TravelModel):
         #: node + window signature -> (times, lengths) Dijkstra row.
         self._row_cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._snap_cache: "OrderedDict[Tuple[float, float], Tuple[int, float]]" = OrderedDict()
-        #: Cache diagnostics (read by the perf smoke benchmarks).
+        #: Cache diagnostics (read by the perf smoke benchmarks and
+        #: exported through ``cache_stats`` by the observability layer).
         self.row_cache_hits = 0
         self.row_cache_misses = 0
+        self.snap_cache_hits = 0
+        self.snap_cache_misses = 0
+        #: Optional :class:`repro.obs.Tracer` recording a span per cold
+        #: Dijkstra row (attached by the platform when observability is
+        #: on; None keeps the hot path span-free).
+        self._tracer = None
         dilation = network.min_dilation
         #: Euclidean-displacement factor per unit of travel distance: any
         #: path of network length L has straight-line displacement at most
@@ -207,7 +214,9 @@ class RoadNetworkTravelModel(TravelModel):
         hit = cache.get(key)
         if hit is not None:
             cache.move_to_end(key)
+            self.snap_cache_hits += 1
             return hit
+        self.snap_cache_misses += 1
         radius = self._nodes_index.cell_size
         best: Optional[Tuple[float, int]] = None
         while best is None:
@@ -256,11 +265,30 @@ class RoadNetworkTravelModel(TravelModel):
             self.row_cache_hits += 1
             return hit
         self.row_cache_misses += 1
-        row = dijkstra_row(self.network, node, edge_time=self._edge_time)
+        tracer = self._tracer
+        if tracer is not None:
+            with tracer.span("roadnet.dijkstra_row", node=node):
+                row = dijkstra_row(self.network, node, edge_time=self._edge_time)
+        else:
+            row = dijkstra_row(self.network, node, edge_time=self._edge_time)
         cache[key] = row
         if len(cache) > self._row_cache_size:
             cache.popitem(last=False)
         return row
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or with ``None`` detach) a tracer for cold-row spans."""
+        self._tracer = tracer
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Current hit/miss counters of both LRUs (cumulative since the
+        last ``clear_caches``)."""
+        return {
+            "row_hits": self.row_cache_hits,
+            "row_misses": self.row_cache_misses,
+            "snap_hits": self.snap_cache_hits,
+            "snap_misses": self.snap_cache_misses,
+        }
 
     def clear_caches(self) -> None:
         """Drop the snap and row caches (e.g. between benchmark phases)."""
@@ -269,6 +297,8 @@ class RoadNetworkTravelModel(TravelModel):
         self._last_blocks = None
         self.row_cache_hits = 0
         self.row_cache_misses = 0
+        self.snap_cache_hits = 0
+        self.snap_cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Scalar primitives

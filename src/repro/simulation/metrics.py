@@ -5,6 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.obs.metrics import StreamingHistogram
+
+#: Epoch classes the replan-latency distribution is partitioned by:
+#: ``full`` — the epoch was fully recomputed; ``incremental`` — the
+#: dirty-region engine served part of it from cache; ``degraded`` — a
+#: deadline forced a rung below ``full``.
+EPOCH_CLASSES = ("full", "incremental", "degraded")
+
 
 @dataclass
 class SimulationMetrics:
@@ -41,6 +49,12 @@ class SimulationMetrics:
     #: summed over epochs.  Wall-clock, hence excluded from the
     #: deterministic state like ``cpu_times``.
     executor_overhead_s: float = 0.0
+    #: Replan-latency distribution per epoch class (see
+    #: :data:`EPOCH_CLASSES`): streaming log-scale histograms answering
+    #: p50/p95/p99 without retaining samples.  The recorded values are
+    #: the same wall-clock measurements as ``cpu_times``, so the field is
+    #: excluded from :meth:`deterministic_state` for the same reason.
+    latency_by_class: Dict[str, StreamingHistogram] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def record_dispatch(self, worker_id: int) -> None:
@@ -51,9 +65,13 @@ class SimulationMetrics:
     def record_expiry(self, count: int = 1) -> None:
         self.expired_tasks += count
 
-    def record_plan(self, cpu_time: float) -> None:
+    def record_plan(self, cpu_time: float, epoch_class: str = "full") -> None:
         self.replans += 1
         self.cpu_times.append(cpu_time)
+        histogram = self.latency_by_class.get(epoch_class)
+        if histogram is None:
+            histogram = self.latency_by_class[epoch_class] = StreamingHistogram()
+        histogram.record(cpu_time)
 
     def record_rung(self, rung: str) -> None:
         self.degradation_rungs[rung] = self.degradation_rungs.get(rung, 0) + 1
@@ -87,6 +105,22 @@ class SimulationMetrics:
         return sum(
             count for rung, count in self.degradation_rungs.items() if rung != "full"
         )
+
+    def replan_latency_summary(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 (and count/mean/min/max) per epoch class, in ms.
+
+        Includes an ``overall`` entry merging every class — the number an
+        operator alarms on before caring which class blew the budget.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        overall = StreamingHistogram()
+        for epoch_class in sorted(self.latency_by_class):
+            histogram = self.latency_by_class[epoch_class]
+            summary[epoch_class] = histogram.summary(scale=1000.0)
+            overall.merge(histogram)
+        if overall.count:
+            summary["overall"] = overall.summary(scale=1000.0)
+        return summary
 
     def as_dict(self) -> Dict[str, float]:
         return {

@@ -57,6 +57,7 @@ from repro.core.problem import ATAInstance
 from repro.core.sequence import TaskSequence
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.obs.runtime import OBS_DISABLED, Observability, ObservabilityConfig
 from repro.resilience.chaos import FaultInjector, InjectedCrash
 from repro.resilience.checkpoint import PlatformCheckpoint
 from repro.simulation.clock import SimulationClock
@@ -64,7 +65,9 @@ from repro.simulation.metrics import SimulationMetrics
 from repro.spatial.geometry import Point
 from repro.spatial.index import SpatialIndex
 
-_LOG = logging.getLogger("repro.resilience")
+#: Child of ``repro.resilience`` so resilience-wide log configuration
+#: (and test captures pinned to that name) still applies.
+_LOG = logging.getLogger("repro.resilience.platform")
 
 
 @dataclass
@@ -106,6 +109,11 @@ class PlatformConfig:
     #: Chaos harness perturbing the event stream and scheduling crashes
     #: (see :mod:`repro.resilience.chaos`); None runs the clean stream.
     fault_injector: Optional[FaultInjector] = None
+    #: Observability: tracing spans, streaming metrics and profiling hooks
+    #: across the whole plan pipeline (see :mod:`repro.obs`).  None — the
+    #: default — keeps every hot path on the no-op singleton; the overhead
+    #: of the disabled path is a guarded attribute read per call site.
+    observability: Optional[ObservabilityConfig] = None
 
 
 @dataclass
@@ -154,6 +162,9 @@ class SCPlatform:
         self.instance = instance
         self.strategy = strategy
         self.config = config or PlatformConfig()
+        #: Per-run observability handle (fresh per run; see
+        #: :meth:`_reset_run_state`).  The disabled singleton until then.
+        self.obs = OBS_DISABLED
         self.metrics = SimulationMetrics()
         self.clock = SimulationClock(instance.start_time)
         self._workers: Dict[int, _WorkerRuntime] = {}
@@ -318,6 +329,18 @@ class SCPlatform:
         if self._task_index is not None:
             self._task_index.clear()
         self.strategy.attach_task_index(self._task_index)
+        # A fresh handle per run keeps spans and metrics scoped to one
+        # replay (run() is re-entrant); the strategy forwards it to its
+        # planner, which the incremental engine and executor read it from.
+        self.obs = (
+            Observability(self.config.observability)
+            if self.config.observability is not None
+            else OBS_DISABLED
+        )
+        self.strategy.attach_observability(self.obs)
+        set_tracer = getattr(self.instance.travel, "set_tracer", None)
+        if set_tracer is not None:
+            set_tracer(self.obs.tracer if self.obs.enabled else None)
         events = self.instance.event_stream()
         injector = self.config.fault_injector
         if injector is not None:
@@ -328,6 +351,8 @@ class SCPlatform:
         self._event_index = 0
         self._epoch_seq = 0
         self._last_plans = {}
+        #: Last degradation rung served (drives rung-transition instants).
+        self._last_rung = "full"
         # Platform-level carryover only makes sense (and only pays its
         # bookkeeping cost) when the planner can actually degrade.
         self._carryover_enabled = (
@@ -346,47 +371,65 @@ class SCPlatform:
         self._epoch_counted = False
         self._epoch_cpu = 0.0
         self._epoch_rung = "full"
+        self._epoch_cls = "full"
         self._epoch_repairs = 0
         self._epoch_dispatches: List[Tuple[int, int]] = []
         self._epoch_repositions: List[Tuple[int, float, float, float]] = []
 
     def _run_loop(self) -> SimulationMetrics:
         injector = self.config.fault_injector
+        obs = self.obs
         while self._event_index < len(self._events) or self._wakeups:
             seq = self._epoch_seq
-            next_arrival = (
-                self._events[self._event_index].time
-                if self._event_index < len(self._events)
-                else float("inf")
-            )
-            next_wakeup = self._wakeups[0] if self._wakeups else float("inf")
+            with obs.span("epoch", seq=seq) as epoch_span:
+                next_arrival = (
+                    self._events[self._event_index].time
+                    if self._event_index < len(self._events)
+                    else float("inf")
+                )
+                next_wakeup = self._wakeups[0] if self._wakeups else float("inf")
 
-            if next_arrival <= next_wakeup:
-                event = self._events[self._event_index]
-                self._event_index += 1
-                # Out-of-order deliveries (chaos, external feeds) carry a
-                # timestamp in the past; the platform processes them at the
-                # current instant instead of moving time backwards.
-                now = self.clock.advance_to(max(event.time, self.clock.now))
-                src = "a"
-                self._ingest(event, now)
-            else:
-                now = self.clock.advance_to(heapq.heappop(self._wakeups))
-                src = "w"
+                if next_arrival <= next_wakeup:
+                    event = self._events[self._event_index]
+                    self._event_index += 1
+                    # Out-of-order deliveries (chaos, external feeds) carry
+                    # a timestamp in the past; the platform processes them
+                    # at the current instant instead of moving time
+                    # backwards.
+                    now = self.clock.advance_to(max(event.time, self.clock.now))
+                    src = "a"
+                    self._ingest(event, now)
+                else:
+                    now = self.clock.advance_to(heapq.heappop(self._wakeups))
+                    src = "w"
+                if obs.enabled:
+                    epoch_span.set(src=src, now=now)
 
-            self._step(now)
+                self._step(now)
 
-            if injector is not None and injector.should_crash(seq, mid=True):
-                # Crash before the journal write: this epoch's entry is
-                # torn away and recovery must redo the epoch live.
-                raise InjectedCrash(f"injected crash mid-epoch {seq}")
-            self._journal_epoch(seq, src, now)
-            self._maybe_checkpoint(seq)
-            if injector is not None and injector.should_crash(seq, mid=False):
-                raise InjectedCrash(f"injected crash after epoch {seq}")
+                if injector is not None and injector.should_crash(seq, mid=True):
+                    # Crash before the journal write: this epoch's entry is
+                    # torn away and recovery must redo the epoch live.
+                    raise InjectedCrash(f"injected crash mid-epoch {seq}")
+                self._journal_epoch(seq, src, now)
+                self._maybe_checkpoint(seq)
+                if injector is not None and injector.should_crash(seq, mid=False):
+                    raise InjectedCrash(f"injected crash after epoch {seq}")
             self._epoch_seq = seq + 1
 
+        self._finish_observability()
         return self.metrics
+
+    def _finish_observability(self) -> None:
+        """End-of-run exports: cache gauges and the configured trace file."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        stats_fn = getattr(self.instance.travel, "cache_stats", None)
+        if stats_fn is not None:
+            for name, value in sorted(stats_fn().items()):
+                obs.gauge(f"roadnet.{name}", float(value))
+        obs.write_trace()
 
     # ------------------------------------------------------------------ #
     # Event handling
@@ -458,9 +501,13 @@ class SCPlatform:
         # prediction-aware methods can reposition idle workers towards future
         # demand; only instants with real pending tasks count towards the
         # CPU-time metric (the paper's "task assignment at each time instance").
+        obs = self.obs
         self.strategy.notify_dirty(self._dirty)
         start = _time.perf_counter()
-        plan = self.strategy.plan(idle_workers, pending_tasks, now)
+        with obs.span(
+            "plan", workers=len(idle_workers), tasks=len(pending_tasks)
+        ) as plan_span:
+            plan = self.strategy.plan(idle_workers, pending_tasks, now)
         elapsed = _time.perf_counter() - start
         outcome = self.strategy.consume_last_outcome()
         rung = "full"
@@ -479,19 +526,62 @@ class SCPlatform:
                 if self._carryover(plan, idle_workers, now):
                     rung = "carryover"
             self._remember_plans(plan, idle_workers)
+        # The epoch's latency class: any rung below ``full`` is degraded;
+        # otherwise an epoch that reused cached per-worker or per-component
+        # state is incremental; everything else paid for a full replan.
+        if rung != "full":
+            cls = "degraded"
+        elif outcome is not None and (
+            outcome.reused_workers or outcome.reused_components
+        ):
+            cls = "incremental"
+        else:
+            cls = "full"
+        if obs.enabled:
+            # The span's args dict is shared with the emitted event, so
+            # stamping after exit still lands in the trace.
+            plan_span.set(cls=cls, rung=rung)
+            if rung != self._last_rung:
+                obs.instant("rung.transition", previous=self._last_rung, rung=rung)
+                self._last_rung = rung
+            self._emit_cache_counters()
         if pending_tasks:
-            self.metrics.record_plan(elapsed)
+            self.metrics.record_plan(elapsed, cls)
             self.metrics.record_rung(rung)
         self._epoch_planned = True
         self._epoch_counted = bool(pending_tasks)
         self._epoch_cpu = elapsed
         self._epoch_rung = rung
+        self._epoch_cls = cls
         self._epoch_repairs = repairs
         self._last_plan_time = now
         self._dirty.clear()
         self._schedule_boundary_wakeup(now)
 
-        self._dispatch(plan, now)
+        if plan:
+            # No span for empty plans: most epochs dispatch nothing, and a
+            # zero-duration span per epoch is pure trace-budget noise.
+            with obs.span("dispatch_plan", planned=len(plan)):
+                self._dispatch(plan, now)
+        else:
+            self._dispatch(plan, now)
+
+    def _emit_cache_counters(self) -> None:
+        """Per-epoch travel-cache counter samples (roadnet models only)."""
+        stats_fn = getattr(self.instance.travel, "cache_stats", None)
+        if stats_fn is None:
+            return
+        stats = stats_fn()
+        self.obs.counter_event(
+            "roadnet.row_cache",
+            hits=float(stats.get("row_hits", 0)),
+            misses=float(stats.get("row_misses", 0)),
+        )
+        self.obs.counter_event(
+            "roadnet.snap_cache",
+            hits=float(stats.get("snap_hits", 0)),
+            misses=float(stats.get("snap_misses", 0)),
+        )
 
     def _should_defer_replan(self, now: float) -> bool:
         """The ``replan_interval`` throttle, made speed-profile-aware.
@@ -667,20 +757,21 @@ class SCPlatform:
     def _journal_epoch(self, seq: int, src: str, now: float) -> None:
         if self.config.journal is None:
             return
-        self.config.journal.append(
-            {
-                "seq": seq,
-                "src": src,
-                "now": now,
-                "planned": self._epoch_planned,
-                "counted": self._epoch_counted,
-                "cpu": self._epoch_cpu,
-                "rung": self._epoch_rung,
-                "repairs": self._epoch_repairs,
-                "dispatches": [list(item) for item in self._epoch_dispatches],
-                "repositions": [list(item) for item in self._epoch_repositions],
-            }
-        )
+        entry = {
+            "seq": seq,
+            "src": src,
+            "now": now,
+            "planned": self._epoch_planned,
+            "counted": self._epoch_counted,
+            "cpu": self._epoch_cpu,
+            "rung": self._epoch_rung,
+            "cls": self._epoch_cls,
+            "repairs": self._epoch_repairs,
+            "dispatches": [list(item) for item in self._epoch_dispatches],
+            "repositions": [list(item) for item in self._epoch_repositions],
+        }
+        with self.obs.span("journal.append", seq=seq):
+            self.config.journal.append(entry)
 
     def _maybe_checkpoint(self, seq: int) -> None:
         store = self.config.checkpoint_store
@@ -688,10 +779,14 @@ class SCPlatform:
             return
         if (seq + 1) % self.config.checkpoint_interval != 0:
             return
-        # Pickling at save time freezes the snapshot: later in-place
-        # mutation of the live runtimes cannot corrupt it.
-        payload = pickle.dumps(self._capture_state(seq + 1), protocol=pickle.HIGHEST_PROTOCOL)
-        store.save(PlatformCheckpoint(seq=seq + 1, payload=payload))
+        with self.obs.span("checkpoint.save", seq=seq + 1) as ckpt_span:
+            # Pickling at save time freezes the snapshot: later in-place
+            # mutation of the live runtimes cannot corrupt it.
+            payload = pickle.dumps(
+                self._capture_state(seq + 1), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            store.save(PlatformCheckpoint(seq=seq + 1, payload=payload))
+            ckpt_span.set(payload_bytes=len(payload))
 
     def _capture_state(self, next_seq: int) -> Dict[str, object]:
         return {
@@ -790,7 +885,9 @@ class SCPlatform:
         if entry["counted"]:
             # The crashed run's own measurement, not a re-measurement:
             # replay must not let recovery wall-clock into the metrics.
-            self.metrics.record_plan(entry["cpu"])
+            # Journals written before the epoch class existed replay as
+            # "full" — the conservative default.
+            self.metrics.record_plan(entry["cpu"], entry.get("cls", "full"))
             self.metrics.record_rung(entry["rung"])
         if entry["repairs"]:
             self.metrics.record_repairs(entry["repairs"])

@@ -42,10 +42,23 @@ class SimulationReport:
     invariant_repairs: int = 0
     #: Malformed events rejected at ingestion.
     rejected_events: int = 0
+    #: Replan-latency percentiles per epoch class (``full`` /
+    #: ``incremental`` / ``degraded`` plus ``overall``), each a
+    #: ``{count, mean, p50, p95, p99, min, max}`` mapping in milliseconds.
+    replan_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Observability snapshot of the run (counters, gauges, histogram
+    #: summaries, per-phase totals); empty when observability was off.
+    observability: Dict[str, object] = field(default_factory=dict)
     details: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
-    def from_metrics(cls, strategy: str, instance: str, metrics: SimulationMetrics) -> "SimulationReport":
+    def from_metrics(
+        cls,
+        strategy: str,
+        instance: str,
+        metrics: SimulationMetrics,
+        observability: Optional[Dict[str, object]] = None,
+    ) -> "SimulationReport":
         return cls(
             strategy=strategy,
             instance=instance,
@@ -58,6 +71,8 @@ class SimulationReport:
             degradation_rungs=dict(sorted(metrics.degradation_rungs.items())),
             invariant_repairs=metrics.invariant_repairs,
             rejected_events=metrics.rejected_events,
+            replan_latency=metrics.replan_latency_summary(),
+            observability=dict(observability or {}),
             details=metrics.as_dict(),
         )
 
@@ -153,7 +168,12 @@ class SimulationRunner:
             metrics = self._recover(platform, recoveries)
         finally:
             platform.close()
-        return SimulationReport.from_metrics(strategy.name, self.instance.name, metrics)
+        return SimulationReport.from_metrics(
+            strategy.name,
+            self.instance.name,
+            metrics,
+            observability=platform.obs.snapshot(),
+        )
 
     @staticmethod
     def _recover(platform: SCPlatform, attempts: int) -> SimulationMetrics:

@@ -1,0 +1,127 @@
+"""Unit tests of the streaming metrics layer (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, StreamingHistogram
+
+
+class TestCounterGauge:
+    def test_counter_increments_and_merges(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(2.5)
+        b.inc(4.0)
+        a.merge(b)
+        assert a.value == pytest.approx(7.5)
+
+    def test_gauge_keeps_last_sample(self):
+        g = Gauge()
+        g.set(1.0)
+        g.set(42.0)
+        assert g.value == 42.0
+
+
+class TestStreamingHistogram:
+    def test_empty_summary(self):
+        h = StreamingHistogram()
+        assert h.summary() == {"count": 0.0}
+        assert h.quantile(0.5) == 0.0
+
+    def test_single_sample_answers_exactly(self):
+        h = StreamingHistogram()
+        h.record(0.25)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == pytest.approx(0.25)
+        summary = h.summary()
+        assert summary["count"] == 1.0
+        assert summary["min"] == summary["max"] == pytest.approx(0.25)
+
+    def test_quantiles_track_known_distribution(self):
+        # 1..1000 ms: the log-scale buckets (10/decade) answer within
+        # one bucket width (~26% relative) of the exact percentile.
+        h = StreamingHistogram()
+        values = [i / 1000.0 for i in range(1, 1001)]
+        for v in values:
+            h.record(v)
+        for q in (0.5, 0.95, 0.99):
+            exact = values[int(q * (len(values) - 1))]
+            assert h.quantile(q) == pytest.approx(exact, rel=0.30)
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = StreamingHistogram()
+        for v in (0.010, 0.011, 0.012):
+            h.record(v)
+        assert h.quantile(0.0) >= 0.010
+        assert h.quantile(1.0) <= 0.012
+
+    def test_mean_is_exact(self):
+        h = StreamingHistogram()
+        for v in (0.1, 0.2, 0.3):
+            h.record(v)
+        assert h.mean == pytest.approx(0.2)
+
+    def test_merge_equals_combined_stream(self):
+        rng = random.Random(7)
+        values = [rng.uniform(1e-4, 10.0) for _ in range(500)]
+        combined, left, right = (
+            StreamingHistogram(),
+            StreamingHistogram(),
+            StreamingHistogram(),
+        )
+        for i, v in enumerate(values):
+            combined.record(v)
+            (left if i % 2 else right).record(v)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.total == pytest.approx(combined.total)
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == pytest.approx(combined.quantile(q))
+
+    def test_merge_rejects_different_bounds(self):
+        from repro.obs.metrics import _log_bounds
+
+        a = StreamingHistogram()
+        b = StreamingHistogram(bounds=_log_bounds(1e-3, 1e3, 5))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_pickle_round_trip(self):
+        h = StreamingHistogram()
+        for v in (0.001, 0.5, 2.0, 100.0):
+            h.record(v)
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone.count == h.count
+        assert clone.summary() == h.summary()
+
+    def test_summary_scale(self):
+        h = StreamingHistogram()
+        h.record(0.5)
+        assert h.summary(scale=1000.0)["p50"] == pytest.approx(500.0)
+
+
+class TestMetricsRegistry:
+    def test_create_on_touch_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        reg.gauge("pool_size").set(2.0)
+        reg.histogram("wait_s").record(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"jobs": 3.0}
+        assert snap["gauges"] == {"pool_size": 2.0}
+        assert snap["histograms"]["wait_s"]["count"] == 1.0
+
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc()
+        assert list(reg.snapshot()["counters"]) == ["alpha", "zeta"]

@@ -1,0 +1,51 @@
+"""The latency histograms respect the metrics wall-clock partition.
+
+``SimulationMetrics.latency_by_class`` stores wall-clock measurements, so
+it must be declared in :data:`METRICS_WALL_CLOCK_EXEMPT` (the static
+analyser enforces the declaration) and must never leak into
+:meth:`deterministic_state` (the bit-for-bit checkpoint/recovery
+contract).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.registry import METRICS_WALL_CLOCK_EXEMPT
+from repro.simulation.metrics import EPOCH_CLASSES, SimulationMetrics
+
+
+def test_latency_by_class_is_declared_exempt():
+    assert "latency_by_class" in METRICS_WALL_CLOCK_EXEMPT
+    field_names = {f.name for f in dataclasses.fields(SimulationMetrics)}
+    # Every exemption names a real field (no stale declarations).
+    assert set(METRICS_WALL_CLOCK_EXEMPT) <= field_names
+
+
+def test_latency_recordings_do_not_move_deterministic_state():
+    a, b = SimulationMetrics(), SimulationMetrics()
+    # Same stream, different wall-clock readings and epoch classes.
+    a.record_plan(0.010, "full")
+    a.record_plan(0.002, "incremental")
+    b.record_plan(0.500, "degraded")
+    b.record_plan(0.900, "degraded")
+    assert a.deterministic_state() == b.deterministic_state()
+    assert a.replan_latency_summary() != b.replan_latency_summary()
+
+
+def test_summary_overall_merges_every_class():
+    metrics = SimulationMetrics()
+    for i, cls in enumerate(EPOCH_CLASSES):
+        for _ in range(i + 1):
+            metrics.record_plan(0.001 * (i + 1), cls)
+    summary = metrics.replan_latency_summary()
+    assert set(summary) == set(EPOCH_CLASSES) | {"overall"}
+    assert summary["overall"]["count"] == sum(
+        summary[cls]["count"] for cls in EPOCH_CLASSES
+    )
+    # Summaries are in milliseconds.
+    assert summary["full"]["p50"] > 0.5
+
+
+def test_empty_metrics_summary_is_empty():
+    assert SimulationMetrics().replan_latency_summary() == {}
