@@ -18,6 +18,9 @@ safe to compare across a dev laptop and a CI runner:
 * branch-and-bound search: nodes-expanded ratio and latency speedup vs
   the plain exact search, on one-shot dense components and on the dirty
   dense-component replan stream,
+* LP-relaxation bound: the latency speedup of the adaptive
+  (matching-bound) search over the additive bound on contested
+  components (the nodes ratio itself gates at an absolute floor, below),
 * road-network planning: the Euclidean/roadnet same-snapshot efficiency
   ratio, the roadnet incremental-replan speedup, and the multi-source
   Dijkstra row-cache (cold vs warm) speedup,
@@ -36,15 +39,34 @@ safe to compare across a dev laptop and a CI runner:
   same absolute ``OVERHEAD_LIMIT`` bound — tracing must stay a <5%
   decision to turn on.
 
-One family is gated at an absolute **floor** instead:
-``parallel_search.*.speedup`` — the process-pool backend's wall-clock
-win over the serial backend on dense multi-cluster snapshots — must be
-at least ``PARALLEL_SPEEDUP_FLOOR`` at 4 workers.  The floor arms itself
-from the *candidate* entry's ``gate`` flag (recorded true only on hosts
-with >= 4 usable cores): a 1-core container records honest numbers and
-is exempt, CI's 4-vCPU runners enforce the floor.  Floor metrics are
-driven by the candidate, not the baseline, so the gate cannot be
-disabled by a baseline that was committed from a small machine.
+Some families are gated at an absolute **floor** instead (``FLOORS``
+maps metric-name prefixes to their thresholds):
+
+* ``parallel_search.*.speedup`` — the process-pool backend's wall-clock
+  win over the serial backend on dense multi-cluster snapshots — must be
+  at least ``PARALLEL_SPEEDUP_FLOOR`` at 4 workers.  The floor arms
+  itself from the *candidate* entry's ``gate`` flag (recorded true only
+  on hosts with >= 4 usable cores): a 1-core container records honest
+  numbers and is exempt, CI's 4-vCPU runners enforce the floor.  Floor
+  metrics are driven by the candidate, not the baseline, so the gate
+  cannot be disabled by a baseline that was committed from a small
+  machine.
+* ``lp_bound.*.nodes_ratio`` — node expansions of the additive-bound
+  exact search over the LP-relaxation bound's on contested components.
+  Node counts are integer search statistics over identical float inputs
+  (deterministic, machine-invariant), so the ``>= 2x fewer nodes``
+  acceptance bar gates as an absolute ``LP_NODES_RATIO_FLOOR`` on every
+  host, no ``gate`` flag needed.
+* ``per_leg_pricing.boundary_stream.*.served_ratio`` — tasks served with
+  per-leg departure pricing over tasks served with frozen-at-departure
+  pricing on the boundary-crossing platform stream.  Integer simulation
+  outcomes, gated at ``PER_LEG_SERVED_FLOOR`` (1.0: pricing what
+  execution pays must never serve fewer tasks; the committed value is
+  1.5).
+* ``replan_alloc.*.alloc_reduction`` — the full pipeline's per-event
+  tracemalloc allocation ceiling over the incremental engine's, same
+  run and same snapshots, gated at ``ALLOC_REDUCTION_FLOOR`` (the
+  dirty-region engine must allocate at most half of a full replan).
 
 Absolute wall-clock numbers (latencies, events/sec) are printed for
 context but never fail the check — they are not comparable across
@@ -66,9 +88,39 @@ from pathlib import Path
 #: cost at most 5% of the bare-metal wall-clock on a healthy stream.
 OVERHEAD_LIMIT = 1.05
 
-#: Absolute floor for 'floor' metrics: the 4-worker pool must beat the
-#: serial backend by at least this much on gated (>= 4-core) hosts.
+#: Absolute floor for the parallel-search family: the 4-worker pool must
+#: beat the serial backend by at least this much on gated (>= 4-core)
+#: hosts.
 PARALLEL_SPEEDUP_FLOOR = 1.5
+
+#: Absolute floor for the LP-relaxation bound: the additive-bound search
+#: must expand at least 2x the nodes on contested components (the PR 10
+#: acceptance bar; deterministic integer counts).
+LP_NODES_RATIO_FLOOR = 2.0
+
+#: Absolute floor for per-leg pricing: never serve fewer tasks than the
+#: frozen-at-departure approximation on the boundary stream.
+PER_LEG_SERVED_FLOOR = 1.0
+
+#: Absolute floor for the allocation benchmark: a dirty-stream replan on
+#: the incremental engine allocates at most half of a full replan.
+ALLOC_REDUCTION_FLOOR = 2.0
+
+#: 'floor'-kind metrics gate at the threshold mapped from their metric
+#: name's leading section.
+FLOORS = {
+    "parallel_search.": PARALLEL_SPEEDUP_FLOOR,
+    "lp_bound.": LP_NODES_RATIO_FLOOR,
+    "per_leg_pricing.": PER_LEG_SERVED_FLOOR,
+    "replan_alloc.": ALLOC_REDUCTION_FLOOR,
+}
+
+
+def _floor_for(name):
+    for prefix, floor in FLOORS.items():
+        if name.startswith(prefix):
+            return floor
+    raise KeyError(f"no absolute floor registered for metric {name!r}")
 
 
 def _iter_metrics(data):
@@ -147,6 +199,43 @@ def _iter_metrics(data):
                 entry["incremental_mean_ms"],
                 "info",
             )
+    for scale, entry in data.get("lp_bound", {}).get("component_search", {}).items():
+        # Node counts are deterministic: the floor holds on every host and
+        # the ratio-gate catches any drift from the committed baseline.
+        yield f"lp_bound.component_search.{scale}.nodes_ratio", entry["nodes_ratio"], "floor"
+        yield f"lp_bound.component_search.{scale}.lp_nodes", entry["lp_nodes"], "info"
+        yield f"lp_bound.component_search.{scale}.speedup", entry["speedup"], "ratio"
+    per_leg = data.get("per_leg_pricing", {})
+    for scale, entry in per_leg.get("boundary_stream", {}).items():
+        yield (
+            f"per_leg_pricing.boundary_stream.{scale}.served_ratio",
+            entry["served_ratio"],
+            "floor",
+        )
+        yield (
+            f"per_leg_pricing.boundary_stream.{scale}.per_leg_served",
+            entry["per_leg_served"],
+            "info",
+        )
+    for scale, entry in per_leg.get("uniform_overhead", {}).items():
+        # Two timed runs of bit-identical work: machine noise only, never
+        # gated (the bit-for-bit assertion lives in the benchmark itself).
+        yield (
+            f"per_leg_pricing.uniform_overhead.{scale}.overhead_ratio",
+            entry["overhead_ratio"],
+            "info",
+        )
+    for scale, entry in data.get("replan_alloc", {}).get("single_event_stream", {}).items():
+        yield (
+            f"replan_alloc.single_event_stream.{scale}.alloc_reduction",
+            entry["alloc_reduction"],
+            "floor",
+        )
+        yield (
+            f"replan_alloc.single_event_stream.{scale}.incremental_peak_kb",
+            entry["incremental_peak_kb"],
+            "info",
+        )
     for scale, entry in data.get("degradation_overhead", {}).items():
         yield (
             f"degradation_overhead.{scale}.overhead_ratio",
@@ -223,14 +312,15 @@ def compare(baseline: dict, candidate: dict, factor: float):
     for name, (cand_value, kind) in candidate_metrics.items():
         if kind != "floor":
             continue
-        regressed = cand_value < PARALLEL_SPEEDUP_FLOOR
+        floor = _floor_for(name)
+        regressed = cand_value < floor
         status = "FAIL" if regressed else "ok"
         rows.append(
             (
                 name,
                 baseline_values.get(name),
                 cand_value,
-                f"{status} (floor {PARALLEL_SPEEDUP_FLOOR})",
+                f"{status} (floor {floor})",
             )
         )
         if regressed:

@@ -51,6 +51,96 @@ _BUDGET_PER_SEQUENCE = 250
 #: microseconds while adding well under a percent of search cost.
 _DEADLINE_CHECK_INTERVAL = 64
 
+#: Admissible bound kinds for :func:`dfsearch_bnb`.  ``additive`` is the
+#: per-worker capped sum; ``lp`` refines it with an exact fractional-
+#: matching (bipartite b-matching max-flow) relaxation; ``adaptive``
+#: enables the refinement only on *contested* nodes — ones holding a
+#: capacity-surplus worker cluster, where the additive bound provably
+#: double-counts shared tasks.  Every kind is admissible, so the engine
+#: stays exact under all of them.
+BOUND_MODES = ("additive", "lp", "adaptive")
+
+#: Work cap of one max-flow bound evaluation, counted in augmenting-path
+#: steps.  The flow search is *anytime*: on hitting the cap it abandons the
+#: refinement and the caller falls back to the additive bound (a partial
+#: flow is a lower bound on the relaxation and would not be admissible).
+_FLOW_STEP_LIMIT = 4096
+
+#: Adaptive trigger — see :meth:`_BnBNode.__init__`.  The matching bound
+#: can only improve on the additive bound when some worker *cluster* has
+#: capacity surplus: a subset whose summed capacities exceed the distinct
+#: tasks it references (a Hall-deficiency witness — some capacity provably
+#: goes unused, which is exactly what the additive sum double-counts).
+#: Dense isotropic components never have one (every worker's pool dwarfs
+#: its capacity), and there the flow search is pure per-node overhead, so
+#: arming on a mere refs-per-task ratio triples ``bound()`` cost for zero
+#: pruning.  The trigger scans workers in ascending pool-size order and
+#: arms on the first prefix whose capacity sum exceeds its joint pool.
+
+
+def _matching_bound(units: List[Tuple[int, int]], limit: int) -> Optional[int]:
+    """Exact b-matching max-flow over ``(task mask, capacity)`` units.
+
+    Models the LP relaxation of the component's worker×task structure:
+    worker ``w`` may serve at most ``capacity`` tasks, each drawn from its
+    ``mask``, and every task serves at most one worker.  The integral
+    max-flow equals the LP optimum here (the constraint matrix is totally
+    unimodular), upper-bounds any feasible joint selection — a selection
+    induces a flow — and never exceeds the additive bound ``limit``.
+
+    Returns ``None`` when the augmenting-path step cap is hit: the partial
+    flow is *not* an admissible upper bound, so the caller must fall back
+    to the additive value.
+    """
+    owner: Dict[int, int] = {}  # task bit -> unit index currently serving it
+    matched = 0  # mask of matched tasks
+    steps = 0
+    flow = 0
+    for w, (mask, capacity) in enumerate(units):
+        for _ in range(capacity):
+            # One Kuhn augmentation from ``w``, as an explicit-stack DFS
+            # over current task holders; frames are [holder, bits left to
+            # scan, entry bit].
+            visited = {w}
+            stack = [[w, mask, 0]]
+            augmented = False
+            while stack:
+                frame = stack[-1]
+                free = units[frame[0]][0] & ~matched
+                if free:
+                    bit = free & -free
+                    matched |= bit
+                    owner[bit] = frame[0]
+                    # Shift every stolen task one frame up the path.
+                    for k in range(len(stack) - 1, 0, -1):
+                        owner[stack[k][2]] = stack[k - 1][0]
+                    augmented = True
+                    break
+                bits = frame[1]
+                descended = False
+                while bits:
+                    bit = bits & -bits
+                    bits ^= bit
+                    frame[1] = bits
+                    holder = owner[bit]
+                    if holder in visited:
+                        continue
+                    visited.add(holder)
+                    steps += 1
+                    if steps > _FLOW_STEP_LIMIT:
+                        return None
+                    stack.append([holder, units[holder][0], bit])
+                    descended = True
+                    break
+                if not descended:
+                    stack.pop()
+            if not augmented:
+                break  # matched tasks only grow: later tries fail too
+            flow += 1
+            if flow >= limit:
+                return limit
+    return flow
+
 
 def adaptive_node_budget(base: int, num_workers: int, num_sequences: int) -> int:
     """Search budget scaled to the component size (never below ``base``).
@@ -330,8 +420,10 @@ class _BnBNode:
         "candidates",
         "own_bounds",
         "desc_bounds",
+        "all_bounds",
         "rel_from",
         "empty_tail",
+        "lp_active",
     )
 
     def __init__(
@@ -340,11 +432,12 @@ class _BnBNode:
         bit_of: Dict[int, int],
         sequences_by_worker: Dict[int, List[TaskSequence]],
         counter: List[int],
+        bound_mode: str = "additive",
     ) -> None:
         self.key = counter[0]
         counter[0] += 1
         self.children = [
-            _BnBNode(child, bit_of, sequences_by_worker, counter)
+            _BnBNode(child, bit_of, sequences_by_worker, counter, bound_mode)
             for child in node.children
         ]
         self.worker_ids = list(node.workers)
@@ -397,6 +490,41 @@ class _BnBNode:
         rel.reverse()
         self.rel_from = rel
 
+        #: Concatenated (union, longest) of this node's workers then every
+        #: descendant — ``bound(i)`` scans ``all_bounds[i:]``, the exact
+        #: order the two legacy loops visited.
+        self.all_bounds = self.own_bounds + self.desc_bounds
+
+        #: Whether :meth:`bound` refines the additive value with the exact
+        #: fractional-matching max-flow.  Decided per tree node: ``lp``
+        #: forces it, ``adaptive`` enables it only when the group holds a
+        #: capacity-surplus cluster — some workers-in-ascending-pool-order
+        #: prefix whose capacities sum past its joint task pool — the
+        #: Hall-deficiency structure where the additive bound provably
+        #: double-counts.  Without one (dense isotropic components) the
+        #: flow equals the additive value and would be pure overhead.
+        if bound_mode == "lp":
+            self.lp_active = sum(1 for union, _ in self.all_bounds if union) >= 2
+        elif bound_mode == "adaptive":
+            pools = sorted(
+                (union.bit_count(), union, longest)
+                for union, longest in self.all_bounds
+                if union
+            )
+            cap_sum = 0
+            joint = 0
+            self.lp_active = False
+            for pool_size, union, longest in pools:
+                cap_sum += longest if longest < pool_size else pool_size
+                joint |= union
+                # A one-worker prefix can never trigger: its capacity is
+                # clamped to its own pool size.
+                if cap_sum > joint.bit_count():
+                    self.lp_active = True
+                    break
+        else:
+            self.lp_active = False
+
         #: empty_tail[i:] — the all-unassigned selection tuple for workers
         #: i.. plus every descendant in preorder (the legacy layout).
         tail: List[Tuple[int, Tuple[int, ...]]] = [
@@ -410,31 +538,56 @@ class _BnBNode:
         """Admissible upper bound on tasks assignable by workers ``i..``
         of this node plus all descendants, given the ``available`` mask.
 
-        Relaxation: every undecided worker contributes at most
+        Additive relaxation: every undecided worker contributes at most
         ``min(longest candidate, |union ∩ available|)`` (each cap is
         individually admissible), and the total can never exceed the
         number of distinct available tasks the group references.  The
         per-worker scan short-circuits at that cap.
+
+        With :attr:`lp_active` the additive value is refined by the exact
+        fractional-matching max-flow over the same ``(union ∩ available,
+        capacity)`` structure, which never double-counts a shared task.
+        The bound is **recomputed from scratch for every** ``(i,
+        available)`` **with the node's active kind** — an additive value
+        must never stand in for an LP call site (or vice versa) once a
+        caller has used it to size a suffix cut, and both kinds are
+        monotone in ``available``, which is what makes the suffix cuts
+        sound.  On a step-cap abort the flow search discards its partial
+        flow (a lower bound of the relaxation, inadmissible) and the
+        additive value stands.
         """
         cap = (available & self.rel_from[i]).bit_count()
         if cap == 0:
             return 0
+        bounds = self.all_bounds
+        if not self.lp_active:
+            total = 0
+            for j in range(i, len(bounds)):
+                union, longest = bounds[j]
+                overlap = (union & available).bit_count()
+                if overlap:
+                    total += overlap if overlap < longest else longest
+                    if total >= cap:
+                        return cap
+            return total
+        # LP path: the additive scan runs without the cap short-circuit so
+        # the flow search sees every undecided worker's unit.
         total = 0
-        bounds = self.own_bounds
+        units: List[Tuple[int, int]] = []
         for j in range(i, len(bounds)):
             union, longest = bounds[j]
-            overlap = (union & available).bit_count()
-            if overlap:
-                total += overlap if overlap < longest else longest
-                if total >= cap:
-                    return cap
-        for union, longest in self.desc_bounds:
-            overlap = (union & available).bit_count()
-            if overlap:
-                total += overlap if overlap < longest else longest
-                if total >= cap:
-                    return cap
-        return total
+            overlap_mask = union & available
+            if overlap_mask:
+                overlap = overlap_mask.bit_count()
+                capacity = overlap if overlap < longest else longest
+                total += capacity
+                units.append((overlap_mask, capacity))
+        if total >= cap:
+            total = cap
+        if len(units) < 2:
+            return total  # a single worker's capped term is already exact
+        flow = _matching_bound(units, total)
+        return total if flow is None else flow
 
 
 class _BnBContext:
@@ -658,8 +811,16 @@ def dfsearch_bnb(
     collect_experience: bool = False,
     deadline: Optional[float] = None,
     available_ids: Optional[FrozenSet[int]] = None,
+    bound_mode: str = "adaptive",
 ) -> DFSearchResult:
     """Anytime branch-and-bound equivalent of :func:`dfsearch`.
+
+    ``bound_mode`` selects the admissible bound (see :data:`BOUND_MODES`):
+    the per-worker ``additive`` relaxation, the fractional-matching ``lp``
+    refinement, or ``adaptive`` (the default), which pays for the flow
+    search only on contested nodes.  The mode changes how much is pruned —
+    ``nodes_expanded`` and the tie-broken selections may differ — but
+    never the optimality guarantees below, which hold for every kind.
 
     Guarantees, for the same inputs:
 
@@ -685,6 +846,10 @@ def dfsearch_bnb(
     ``available_ids`` (with ``tasks=None``) yields the same result from
     plain picklable data.
     """
+    if bound_mode not in BOUND_MODES:
+        raise ValueError(
+            f"bound_mode must be one of {BOUND_MODES}, got {bound_mode!r}"
+        )
     if available_ids is None:
         available_ids = {task.task_id for task in tasks}
 
@@ -700,7 +865,7 @@ def dfsearch_bnb(
     bit_mask = {tid: 1 << i for tid, i in bit_of.items()}
 
     counter = [0]
-    info = _BnBNode(node, bit_of, sequences_by_worker, counter)
+    info = _BnBNode(node, bit_of, sequences_by_worker, counter, bound_mode)
     context = _BnBContext(bit_mask, node_budget, deadline=deadline)
     if collect_experience:
         context.collect_experience = True

@@ -107,6 +107,11 @@ class ComponentJob:
     task_ids: FrozenSet[int]
     node_budget: int = 0
     collect_experience: bool = False
+    #: Admissible bound kind for B&B jobs (see
+    #: :data:`repro.assignment.dfsearch.BOUND_MODES`); exact/TVF jobs
+    #: ignore it.  Part of the job payload so pool workers prune exactly
+    #: like the serial path would.
+    bound_mode: str = "adaptive"
     #: Active tasks (TVF mode only: global snapshot statistics).
     tasks: Optional[Sequence[Task]] = None
     #: The trained value function (TVF mode only; numpy state, picklable).
@@ -177,9 +182,8 @@ def run_component_job(
         result = dfsearch_tvf(
             job.root, job.tasks, job.sequences_by_worker, job.workers_by_id, job.tvf
         )
-    else:
-        engine = dfsearch if job.mode == "exact" else dfsearch_bnb
-        result = engine(
+    elif job.mode == "exact":
+        result = dfsearch(
             job.root,
             None,
             job.sequences_by_worker,
@@ -188,6 +192,18 @@ def run_component_job(
             collect_experience=job.collect_experience,
             deadline=deadline,
             available_ids=job.task_ids,
+        )
+    else:
+        result = dfsearch_bnb(
+            job.root,
+            None,
+            job.sequences_by_worker,
+            job.workers_by_id,
+            node_budget=job.node_budget,
+            collect_experience=job.collect_experience,
+            deadline=deadline,
+            available_ids=job.task_ids,
+            bound_mode=job.bound_mode,
         )
     end = _time.perf_counter()
     spans: Tuple[Dict[str, object], ...] = ()
@@ -238,7 +254,10 @@ class ExecutorStats:
     #: ``wall_s`` minus the backend's ideal critical path — an *estimate*
     #: of pickling + IPC + scheduling cost (0 for a perfect dispatch).
     overhead_s: float = 0.0
-    #: Dispatches that fell back to serial after a pool failure.
+    #: 1 when *this* dispatch fell back to serial after a pool failure,
+    #: else 0 — per-dispatch like every other field here, so consumers
+    #: that sum stats across epochs count each failure once.  The
+    #: executor's lifetime total is ``ParallelExecutor._fallbacks``.
     fallbacks: int = 0
 
 
@@ -413,7 +432,11 @@ class ParallelExecutor(SearchExecutor):
                 self._fallbacks += 1
                 obs.count("executor.fallbacks")
                 serial_results, stats = SerialExecutor().run(jobs, deadline, obs=obs)
-                stats.fallbacks = self._fallbacks
+                # Per-dispatch stats: THIS dispatch fell back exactly once.
+                # The executor's lifetime total lives in ``_fallbacks``;
+                # reporting it here would re-bill every historic fallback
+                # on each later epoch when the consumer sums dispatches.
+                stats.fallbacks = 1
                 return serial_results, stats
 
         wall = _time.perf_counter() - start
@@ -431,7 +454,6 @@ class ParallelExecutor(SearchExecutor):
             search_s=search,
             wall_s=wall,
             overhead_s=max(0.0, wall - ideal),
-            fallbacks=self._fallbacks,
         )
 
 

@@ -53,6 +53,8 @@ import logging
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.assignment.dfsearch import adaptive_node_budget
 from repro.assignment.executor import ComponentJob
 from repro.assignment.fast_partition import (
@@ -134,6 +136,23 @@ def _worker_fingerprint(worker: Worker) -> tuple:
     )
 
 
+def _worker_unchanged(fingerprint: tuple, worker: Worker) -> bool:
+    """``fingerprint == _worker_fingerprint(worker)`` without building the
+    tuple — the steady-state path compares every worker every epoch, and
+    the 7-tuple allocation per (worker, epoch) was pure garbage-collector
+    load.  Field order must mirror :func:`_worker_fingerprint`."""
+    location = worker.location
+    return (
+        fingerprint[0] == location.x
+        and fingerprint[1] == location.y
+        and fingerprint[2] == worker.reachable_distance
+        and fingerprint[3] == worker.on_time
+        and fingerprint[4] == worker.off_time
+        and fingerprint[5] == worker.speed
+        and fingerprint[6] == worker.windows
+    )
+
+
 def _task_fingerprint(task: Task) -> tuple:
     """Every task attribute any pipeline stage reads."""
     return (
@@ -142,6 +161,19 @@ def _task_fingerprint(task: Task) -> tuple:
         task.publication_time,
         task.expiration_time,
         task.predicted,
+    )
+
+
+def _task_unchanged(fingerprint: tuple, task: Task) -> bool:
+    """Allocation-free twin of ``fingerprint == _task_fingerprint(task)``
+    (same contract as :func:`_worker_unchanged`)."""
+    location = task.location
+    return (
+        fingerprint[0] == location.x
+        and fingerprint[1] == location.y
+        and fingerprint[2] == task.publication_time
+        and fingerprint[3] == task.expiration_time
+        and fingerprint[4] == task.predicted
     )
 
 
@@ -235,6 +267,12 @@ class IncrementalPlanEngine:
         self._forced_workers: Set[int] = set()
         self._forced_tasks: Set[int] = set()
         self._task_epoch = 0
+        #: Interned active-task id frozenset, valid for one ``_task_epoch``
+        #: (membership can only change through the snapshot diff, which
+        #: bumps the epoch): quiet epochs reuse one allocation instead of
+        #: rebuilding an O(T) frozenset per plan call.
+        self._available_ids: Optional[FrozenSet[int]] = None
+        self._available_ids_epoch = -1
         #: Next speed-profile boundary of the travel model; crossing it is
         #: treated like a task-set change for the guided (TVF) search,
         #: whose snapshot statistics read travel costs (-inf so a fresh
@@ -295,6 +333,8 @@ class IncrementalPlanEngine:
             config.node_budget,
             config.adaptive_node_budget,
             config.search_mode,
+            config.bound_mode,
+            config.per_leg_pricing,
             config.use_tvf,
             config.tvf_min_workers,
             config.use_partition,
@@ -336,7 +376,7 @@ class IncrementalPlanEngine:
                     added.append(task)
                 elif (
                     prev is not task
-                    and _task_fingerprint(task) != self._task_fps[tid]
+                    and not _task_unchanged(self._task_fps[tid], task)
                 ):
                     removed.add(tid)
                     added.append(task)
@@ -407,22 +447,27 @@ class IncrementalPlanEngine:
         reused_workers = 0
         recomputed_workers = 0
         reach_sets_changed = False
+        #: One coordinate extraction per epoch, not per dirty worker: the
+        #: single-row TravelMatrix rebuilds below all see the same ``real``
+        #: (or ``active``) list whenever no index narrows the candidates.
+        coords_cache: Dict[int, tuple] = {}
         with obs.span("refresh") as refresh_span:
             for worker in workers:
                 wid = worker.worker_id
-                fingerprint = _worker_fingerprint(worker)
                 entry = self._worker_entries.get(wid)
                 old_reachable_ids = entry.reachable_ids if entry is not None else None
-                if entry is None or entry.fingerprint != fingerprint:
+                if entry is None or not _worker_unchanged(entry.fingerprint, worker):
                     entry = self._refresh_worker(
-                        worker, fingerprint, entry, real, active, has_predicted,
-                        now, use_index, positions, force_bump=True,
+                        worker, _worker_fingerprint(worker), entry, real, active,
+                        has_predicted, now, use_index, positions, coords_cache,
+                        force_bump=True,
                     )
                     recomputed_workers += 1
                 elif wid in dirty or now >= entry.reach_horizon:
                     entry = self._refresh_worker(
-                        worker, fingerprint, entry, real, active, has_predicted,
-                        now, use_index, positions, force_bump=False,
+                        worker, entry.fingerprint, entry, real, active,
+                        has_predicted, now, use_index, positions, coords_cache,
+                        force_bump=False,
                     )
                     recomputed_workers += 1
                 elif now >= entry.seq_horizon:
@@ -468,7 +513,10 @@ class IncrementalPlanEngine:
             # executor.  Everything a job needs (subtree, budget, candidate
             # sets) is fixed here, before any search runs.
             use_guided = config.use_tvf and tvf is not None
-            available_ids = frozenset(tasks_by_id)
+            if self._available_ids_epoch != self._task_epoch:
+                self._available_ids = frozenset(tasks_by_id)
+                self._available_ids_epoch = self._task_epoch
+            available_ids = self._available_ids
             slots: List[Tuple[str, object]] = []
             jobs: List[ComponentJob] = []
             job_meta: List[Tuple[FrozenSet[int], Dict[int, int], str]] = []
@@ -526,6 +574,7 @@ class IncrementalPlanEngine:
                         workers_by_id=workers_by_id,
                         task_ids=available_ids,
                         node_budget=budget,
+                        bound_mode=config.bound_mode,
                         num_sequences=num_sequences,
                     )
                 slots.append(("job", len(jobs)))
@@ -784,6 +833,21 @@ class IncrementalPlanEngine:
         in_scope.sort(key=positions.__getitem__)
         return [real[positions[tid]] for tid in in_scope]
 
+    @staticmethod
+    def _epoch_coords(tasks: List[Task], coords_cache: Dict[int, tuple]) -> tuple:
+        """The ``(tx, ty)`` float64 arrays of a task list shared across one
+        epoch's single-row matrix rebuilds (keyed by list identity — the
+        ``real`` / ``active`` lists live exactly as long as the plan call)."""
+        key = id(tasks)
+        coords = coords_cache.get(key)
+        if coords is None:
+            coords = (
+                np.array([t.location.x for t in tasks], dtype=np.float64),
+                np.array([t.location.y for t in tasks], dtype=np.float64),
+            )
+            coords_cache[key] = coords
+        return coords
+
     def _refresh_worker(
         self,
         worker: Worker,
@@ -795,6 +859,7 @@ class IncrementalPlanEngine:
         now: float,
         use_index: bool,
         positions: Optional[Dict[int, int]],
+        coords_cache: Dict[int, tuple],
         force_bump: bool,
     ) -> _WorkerEntry:
         """Recompute a dirty worker's reachable set and sequences."""
@@ -804,7 +869,19 @@ class IncrementalPlanEngine:
 
         candidates = self._candidates_for(worker, real, use_index, positions)
         matrix = (
-            TravelMatrix.for_single_worker(worker, candidates, travel, now=now)
+            TravelMatrix.for_single_worker(
+                worker,
+                candidates,
+                travel,
+                now=now,
+                # Index-narrowed candidate lists are per-worker; only the
+                # shared snapshot lists amortise coordinate extraction.
+                task_coords=(
+                    self._epoch_coords(candidates, coords_cache)
+                    if candidates is real
+                    else None
+                ),
+            )
             if len(candidates) >= VECTOR_MIN_TASKS
             else None
         )
@@ -824,7 +901,13 @@ class IncrementalPlanEngine:
             # snapshot so prediction-aware strategies can reposition it.
             fallback = True
             matrix = (
-                TravelMatrix.for_single_worker(worker, active, travel, now=now)
+                TravelMatrix.for_single_worker(
+                    worker,
+                    active,
+                    travel,
+                    now=now,
+                    task_coords=self._epoch_coords(active, coords_cache),
+                )
                 if len(active) >= VECTOR_MIN_TASKS
                 else None
             )
@@ -849,6 +932,7 @@ class IncrementalPlanEngine:
             max_sequences=config.max_sequences,
             matrix=matrix,
             horizon_out=horizon_box,
+            per_leg=config.per_leg_pricing,
         )
         seq_tuples = tuple(sequence.task_ids for sequence in sequences)
         seq_horizon = horizon_box[0]
@@ -862,20 +946,41 @@ class IncrementalPlanEngine:
         ):
             version += 1
 
-        entry = _WorkerEntry(
-            fingerprint=fingerprint,
-            reachable=list(reachable),
-            reachable_ids=reachable_ids,
-            uncapped_ids=uncapped_ids,
-            reach_horizon=reach_horizon,
-            sequences=sequences,
-            seq_tuples=seq_tuples,
-            seq_set=frozenset(seq_tuples),
-            seq_horizon=seq_horizon,
-            fallback=fallback,
-            version=version,
-        )
-        self._update_owners(worker.worker_id, old, entry)
+        if old is not None:
+            # Reuse the existing entry object in place: a refresh per dirty
+            # worker per epoch made the dataclass churn measurable at
+            # platform scale, and nothing holds an entry across epochs by
+            # value — component caches key on (worker id, version), which
+            # mutation preserves exactly.
+            old_uncapped = old.uncapped_ids
+            entry = old
+            entry.fingerprint = fingerprint
+            entry.reachable = list(reachable)
+            entry.reachable_ids = reachable_ids
+            entry.uncapped_ids = uncapped_ids
+            entry.reach_horizon = reach_horizon
+            entry.sequences = sequences
+            entry.seq_tuples = seq_tuples
+            entry.seq_set = frozenset(seq_tuples)
+            entry.seq_horizon = seq_horizon
+            entry.fallback = fallback
+            entry.version = version
+        else:
+            old_uncapped = frozenset()
+            entry = _WorkerEntry(
+                fingerprint=fingerprint,
+                reachable=list(reachable),
+                reachable_ids=reachable_ids,
+                uncapped_ids=uncapped_ids,
+                reach_horizon=reach_horizon,
+                sequences=sequences,
+                seq_tuples=seq_tuples,
+                seq_set=frozenset(seq_tuples),
+                seq_horizon=seq_horizon,
+                fallback=fallback,
+                version=version,
+            )
+        self._update_owners(worker.worker_id, old_uncapped, uncapped_ids)
         self._worker_entries[worker.worker_id] = entry
         return entry
 
@@ -891,6 +996,7 @@ class IncrementalPlanEngine:
             max_length=config.max_sequence_length,
             max_sequences=config.max_sequences,
             horizon_out=horizon_box,
+            per_leg=config.per_leg_pricing,
         )
         seq_tuples = tuple(sequence.task_ids for sequence in sequences)
         if seq_tuples != entry.seq_tuples:
@@ -911,14 +1017,17 @@ class IncrementalPlanEngine:
                     del self._task_owners[tid]
 
     def _update_owners(
-        self, worker_id: int, old: Optional[_WorkerEntry], new: _WorkerEntry
+        self, worker_id: int, old_ids: FrozenSet[int], new_ids: FrozenSet[int]
     ) -> None:
-        old_ids = old.uncapped_ids if old is not None else frozenset()
-        for tid in old_ids - new.uncapped_ids:
+        # Takes the id-sets rather than entries: with in-place entry reuse
+        # the old and new entry are the same object by the time this runs.
+        if old_ids == new_ids:
+            return
+        for tid in old_ids - new_ids:
             owners = self._task_owners.get(tid)
             if owners is not None:
                 owners.discard(worker_id)
                 if not owners:
                     del self._task_owners[tid]
-        for tid in new.uncapped_ids - old_ids:
+        for tid in new_ids - old_ids:
             self._task_owners.setdefault(tid, set()).add(worker_id)

@@ -19,7 +19,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.assignment.dfsearch import adaptive_node_budget
+from repro.assignment.dfsearch import BOUND_MODES, adaptive_node_budget
 from repro.assignment.executor import (
     EXECUTOR_ENV,
     ComponentJob,
@@ -133,6 +133,14 @@ class PlannerConfig:
         returns the same ``opt`` as the plain search on every instance
         the plain search solves within budget, after far fewer
         expansions; ``"exact"`` is the plain Algorithm 1 enumeration.
+    bound_mode:
+        Admissible bound kind of the branch-and-bound engine (see
+        :data:`repro.assignment.dfsearch.BOUND_MODES`): ``"additive"``
+        (per-worker capped sum), ``"lp"`` (fractional-matching max-flow
+        refinement), or ``"adaptive"`` (default — the refinement runs
+        only on contested components, where shared task pools make the
+        additive bound double-count).  Every kind keeps the engine exact;
+        only ``nodes_expanded`` and wall-clock change.
     use_tvf:
         Use the TVF-guided search (Alg. 2) instead of exact DFSearch.
     tvf_min_workers:
@@ -146,6 +154,19 @@ class PlannerConfig:
         Build a per-epoch :class:`TravelMatrix` and run reachability /
         sequence feasibility as vectorized array lookups.  Disabling it
         falls back to the scalar reference path (same assignments, slower).
+    per_leg_pricing:
+        Price every task→task leg of a candidate sequence in the speed
+        window in force at that leg's *departure* (a simulated clock
+        advances through the legs), instead of freezing the whole
+        sequence in the window latched at the decision point.  Matches
+        how the platform actually executes plans (it re-latches the
+        window at every dispatch), fixing the systematic mispricing of
+        legs that cross a rush-hour boundary; sequence-validity horizons
+        are tightened to every evaluated leg's window slack, so cached
+        results are never replayed across a mid-sequence boundary shift.
+        For uniform profiles and static travel models the flag is a
+        no-op — the code path is literally the frozen-at-departure one,
+        bit-for-bit.
     incremental_replan:
         Cache reachable sets, sequences and per-component search results
         across consecutive ``plan()`` calls and recompute only the dirty
@@ -191,10 +212,12 @@ class PlannerConfig:
     adaptive_node_budget: bool = True
     travel_model: Optional[TravelModel] = None
     search_mode: str = "bnb"
+    bound_mode: str = "adaptive"
     use_tvf: bool = False
     tvf_min_workers: int = 4
     use_partition: bool = True
     use_travel_matrix: bool = True
+    per_leg_pricing: bool = True
     incremental_replan: bool = True
     deadline_s: Optional[float] = None
     self_check: bool = True
@@ -263,6 +286,11 @@ class TaskPlanner:
             raise ValueError(
                 f"unknown search_mode: {self.config.search_mode!r} "
                 "(expected 'exact' or 'bnb')"
+            )
+        if self.config.bound_mode not in BOUND_MODES:
+            raise ValueError(
+                f"unknown bound_mode: {self.config.bound_mode!r} "
+                f"(expected one of {BOUND_MODES})"
             )
         self.travel = travel or self.config.travel_model or EuclideanTravelModel(speed=1.0)
         self.tvf = tvf
@@ -524,6 +552,7 @@ class TaskPlanner:
                     max_length=config.max_sequence_length,
                     max_sequences=config.max_sequences,
                     matrix=matrix,
+                    per_leg=config.per_leg_pricing,
                 )
                 for worker in workers
             }
@@ -592,6 +621,7 @@ class TaskPlanner:
                         task_ids=available_ids,
                         node_budget=budget,
                         collect_experience=collect_experience,
+                        bound_mode=config.bound_mode,
                         num_sequences=num_sequences,
                     )
                 )

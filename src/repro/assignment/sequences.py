@@ -107,6 +107,7 @@ def maximal_valid_sequences(
     max_sequences: int = 64,
     matrix: Optional[TravelMatrix] = None,
     horizon_out: Optional[List[float]] = None,
+    per_leg: bool = True,
 ) -> List[TaskSequence]:
     """Generate the maximal valid task sequence set ``Q_w``.
 
@@ -138,6 +139,22 @@ def maximal_valid_sequences(
         speed-profile window of the travel model, so the horizon is
         additionally clamped to ``next_profile_boundary(now)`` (infinite
         for static models).
+    per_leg:
+        Price each leg in the speed-profile window in force at its
+        *departure* on the simulated clock (PR 10), instead of freezing
+        every leg at the epoch multiplier.  Only takes effect when the
+        model feeding the legs returns a pricer from
+        :meth:`~repro.spatial.travel.TravelModel.leg_pricer` — static and
+        uniform-profile models return ``None``, keeping this path
+        bit-for-bit identical to the frozen one.  When active, each leg
+        priced at the latched multiplier is rescaled by
+        ``latched / multiplier_at(departure)`` (a no-op inside the
+        latched window), and the reported horizon is additionally
+        tightened to the earliest instant at which any evaluated leg's
+        departure would cross into another window — shifting all
+        departures by less than that slack preserves every window
+        assignment, so arrivals shift uniformly and the frozen-path
+        horizon reasoning applies unchanged between boundaries.
     """
     if max_length < 1:
         raise ValueError("max_length must be at least 1")
@@ -181,9 +198,14 @@ def maximal_valid_sequences(
         and all(task.task_id in matrix for task in reachable)
     ):
         legs = matrix.leg_times(worker, reachable)
+        legs_model = matrix.travel
     else:
         travel = travel or EuclideanTravelModel(speed=worker.speed)
         legs = LegTimes.from_scalar(worker, reachable, travel)
+        legs_model = travel
+    # The pricer must come from the model whose latched multiplier is
+    # baked into the leg arrays it will rescale.
+    pricer = legs_model.leg_pricer(now) if per_leg else None
 
     n = len(reachable)
     expirations = [task.expiration_time for task in reachable]
@@ -206,6 +228,7 @@ def maximal_valid_sequences(
     task_time = legs.task_time
     task_dist = legs.task_dist
     min_slack = float("inf")
+    min_boundary_slack = float("inf")
     stack: List[Tuple[Tuple[int, ...], int, float, float, int, bool]] = [
         ((), 0, now, 0.0, 0, True)
     ]
@@ -219,15 +242,28 @@ def maximal_valid_sequences(
         else:
             time_row = worker_time
             dist_row = worker_dist
+        if pricer is not None:
+            # Every candidate leg of this frame departs at ``time``: one
+            # window lookup prices them all.  The departure's distance to
+            # its boundary tightens the reuse horizon — but only when the
+            # frame actually prices a leg (below); a frame with no
+            # remaining candidates evaluates nothing a window change
+            # could flip.
+            ratio, boundary_slack = pricer.ratio_and_slack(time)
+        else:
+            ratio = 1.0
+        evaluated = False
         for i in range(start, n):
             if used >> i & 1:
                 continue
-            arrive = time + time_row[i]
+            evaluated = True
+            leg = time_row[i] if ratio == 1.0 else time_row[i] * ratio
+            arrive = time + leg
             if arrive >= expirations[i] or arrive >= off_time:
                 continue
             if dist_row[i] > reach:
                 continue
-            rel_arrive = rel_time + time_row[i]
+            rel_arrive = rel_time + leg
             slack = min(expirations[i] - arrive, off_time - arrive)
             if slack < min_slack:
                 min_slack = slack
@@ -244,9 +280,13 @@ def maximal_valid_sequences(
                 stack.append((prefix, used, time, rel_time, i + 1, False))
                 stack.append((new_prefix, key, arrive, rel_arrive, 0, True))
                 break
+        if evaluated and pricer is not None and boundary_slack < min_boundary_slack:
+            min_boundary_slack = boundary_slack
 
     if horizon_out is not None:
-        horizon_out.append(min(now + min_slack, profile_boundary))
+        horizon_out.append(
+            min(now + min_slack, now + min_boundary_slack, profile_boundary)
+        )
 
     if not best_by_subset:
         return []

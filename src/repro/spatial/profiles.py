@@ -34,6 +34,13 @@ __all__ = ["SpeedProfile", "DAY_SECONDS"]
 #: Default profile period: one day, in seconds.
 DAY_SECONDS = 86400.0
 
+#: Cap on the ulp-stepping correction loops of :meth:`SpeedProfile.
+#: next_boundary`.  The float candidate is within a few ulps of the true
+#: boundary, so a handful of steps always suffices; the cap only guards
+#: degenerate scales (windows narrower than one ulp of ``now``) where the
+#: method falls back to the sound one-ulp horizon.
+_BOUNDARY_CORRECTION_STEPS = 64
+
 
 @dataclass(frozen=True)
 class SpeedProfile:
@@ -162,16 +169,27 @@ class SpeedProfile:
         return self.multipliers[self.window_index(now)]
 
     def next_boundary(self, now: float) -> float:
-        """First absolute time strictly after ``now`` where the multiplier
-        may change (``inf`` for uniform profiles).
+        """First float strictly after ``now`` whose multiplier differs
+        (``inf`` for uniform profiles).
 
         This is the horizon clamp of the time-dependent planning stack:
         every cached quantity computed at ``now`` is valid on
         ``[now, next_boundary(now))`` and must be recomputed at the
-        boundary.  The result is strictly greater than ``now`` (when two
-        times are closer than one ulp the next representable float is
-        returned, which degrades caching to per-call recomputation but
-        never to a stale window).
+        boundary.  Two guarantees, both enforced with
+        :meth:`multiplier_at` itself as the oracle so they hold at every
+        float scale:
+
+        * ``multiplier_at(next_boundary(now)) != multiplier_at(now)`` —
+          a decision point landing exactly on the reported boundary sees
+          the new window, never the stale one;
+        * no float in ``(now, next_boundary(now))`` sees a different
+          multiplier — the validity interval genuinely covers everything
+          before the reported instant.
+
+        When the scales degenerate (windows narrower than one ulp of
+        ``now``) the method returns ``nextafter(now, inf)``, which
+        degrades caching to per-call recomputation but never to a stale
+        window.
         """
         if self._uniform:
             return float("inf")
@@ -188,6 +206,22 @@ class SpeedProfile:
             # change is the next cycle's second window.
             delta = self.period - phase + self.breakpoints[1]
         boundary = now + delta
-        if boundary <= now:  # ulp underflow on huge ``now``
-            boundary = math.nextafter(now, math.inf)
-        return boundary
+        # ``phase``, ``delta`` and ``boundary`` each round once, so the
+        # candidate can land a few ulps on *either* side of the true
+        # boundary: below, and a boundary-exact event re-latches the stale
+        # window; above, and a sliver of already-changed instants is still
+        # reported as covered by the old window.  Step to the first float
+        # after ``now`` whose multiplier actually differs.
+        stale = self.multipliers[index - 1]
+        for _ in range(_BOUNDARY_CORRECTION_STEPS):
+            if boundary > now and self.multiplier_at(boundary) != stale:
+                break
+            boundary = math.nextafter(boundary, math.inf)
+        else:
+            return math.nextafter(now, math.inf)
+        for _ in range(_BOUNDARY_CORRECTION_STEPS):
+            prev = math.nextafter(boundary, -math.inf)
+            if prev <= now or self.multiplier_at(prev) == stale:
+                return boundary
+            boundary = prev
+        return math.nextafter(now, math.inf)

@@ -36,7 +36,7 @@ from typing import Optional
 import numpy as np
 
 from repro.spatial.profiles import SpeedProfile
-from repro.spatial.travel import TravelModel
+from repro.spatial.travel import LegPricer, TravelModel
 
 __all__ = ["TimeDependentTravelModel"]
 
@@ -88,6 +88,27 @@ class TimeDependentTravelModel(TravelModel):
             self.profile.next_boundary(now), self.base.next_profile_boundary(now)
         )
 
+    def leg_pricer(self, now: float) -> Optional[LegPricer]:
+        """Per-leg departure-window pricer (PR 10).
+
+        Returns a pricer that converts this epoch's frozen leg times into
+        the multiplier active at each leg's simulated departure — the cost
+        the platform actually pays, since execution dispatches one task at
+        a time and re-latches the epoch at every departure.
+
+        ``None`` — keeping the frozen semantics, which are then already
+        exact — when the profile is uniform (no boundaries, so every
+        departure shares the latched multiplier bit-for-bit), or when the
+        wrapped base model is itself time-dependent (a scalar ratio cannot
+        re-price the base component; the frozen approximation plus its
+        boundary clamp remains the sound fallback there).
+        """
+        if self.profile._uniform:
+            return None
+        if self.base.next_profile_boundary(now) != float("inf"):
+            return None
+        return LegPricer(self.profile, self._multiplier)
+
     # ------------------------------------------------------------------ #
     # Scalar primitives
     # ------------------------------------------------------------------ #
@@ -110,10 +131,10 @@ class TimeDependentTravelModel(TravelModel):
             return None
         return base_time / self._multiplier
 
-    def pairwise(self, origins, destinations):
+    def pairwise(self, origins, destinations, dest_coords=None):
         # Delegate to the base's pairwise (which may fuse distance and time
         # passes, e.g. the road-network snap/row gather) and scale times.
-        dist, time = self.base.pairwise(origins, destinations)
+        dist, time = self.base.pairwise(origins, destinations, dest_coords=dest_coords)
         return dist, time / self._multiplier
 
     # ------------------------------------------------------------------ #

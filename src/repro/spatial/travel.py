@@ -58,6 +58,34 @@ def _coords(points) -> Tuple[np.ndarray, np.ndarray]:
     return xs, ys
 
 
+class LegPricer:
+    """Re-prices frozen-epoch leg times at their true departure windows.
+
+    Produced by :meth:`TravelModel.leg_pricer`.  ``ratio_and_slack(t)``
+    returns, for a leg departing at absolute time ``t``:
+
+    * the factor converting a leg time priced at the latched epoch
+      multiplier into one priced at ``t``'s window — exactly ``1.0``
+      (and hence bit-for-bit no-op) while ``t`` stays inside the latched
+      window;
+    * the distance from ``t`` to the next profile boundary, which callers
+      min-accumulate into their reuse horizons: shift every departure by
+      less than that slack and every window assignment (hence every
+      priced leg) is unchanged.
+    """
+
+    __slots__ = ("profile", "latched")
+
+    def __init__(self, profile, latched: float) -> None:
+        self.profile = profile
+        self.latched = latched
+
+    def ratio_and_slack(self, depart: float) -> Tuple[float, float]:
+        multiplier = self.profile.multiplier_at(depart)
+        ratio = 1.0 if multiplier == self.latched else self.latched / multiplier
+        return ratio, self.profile.next_boundary(depart) - depart
+
+
 class TravelModel(ABC):
     """Abstract travel model exposing distance and time between locations."""
 
@@ -90,6 +118,23 @@ class TravelModel(ABC):
         exactly as durable as before.
         """
         return float("inf")
+
+    def leg_pricer(self, now: float) -> Optional["LegPricer"]:
+        """Optional per-leg departure-window pricer for the epoch at ``now``.
+
+        ``None`` (the default, and the only value static models ever
+        return) keeps the frozen-at-departure semantics: every leg of a
+        sequence is priced at the multiplier latched by
+        :meth:`begin_epoch`.  Time-dependent models may instead return a
+        :class:`LegPricer`, which lets the sequence enumerator re-price
+        each leg in the speed-profile window in force at that leg's
+        *departure* on the simulated clock — matching what the platform
+        actually pays, since it dispatches one task at a time and
+        re-latches the epoch at every departure.  Models whose profile is
+        uniform must return ``None`` so the per-leg path is bit-for-bit
+        the frozen path.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # Scalar primitives (the reference semantics)
@@ -144,7 +189,10 @@ class TravelModel(ABC):
     # Entity-level protocol (workers / tasks / points)
     # ------------------------------------------------------------------ #
     def pairwise(
-        self, origins: Sequence, destinations: Sequence
+        self,
+        origins: Sequence,
+        destinations: Sequence,
+        dest_coords: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """``(distance, time)`` matrices between two entity sequences.
 
@@ -153,18 +201,29 @@ class TravelModel(ABC):
         provides one and falls back to exact per-pair scalar evaluation
         otherwise, so the result is always bit-identical to the scalar
         primitives.
+
+        ``dest_coords`` optionally carries the destinations' already
+        extracted ``(x, y)`` float64 arrays; callers holding them (the
+        per-epoch :class:`~repro.spatial.travel_matrix.TravelMatrix`)
+        skip one coordinate-array rebuild per call.  The arrays must
+        match ``destinations`` element for element.
         """
         pts_a = _points_of(origins)
-        pts_b = _points_of(destinations)
         ax, ay = _coords(pts_a)
-        bx, by = _coords(pts_b)
+        if dest_coords is not None:
+            bx, by = dest_coords
+        else:
+            bx, by = _coords(_points_of(destinations))
         dist = self.distance_matrix(ax, ay, bx, by)
+        time = None if dist is None else self.time_matrix(ax, ay, bx, by, dist=dist)
+        if dist is None or time is None:
+            pts_b = _points_of(destinations)
         if dist is None:
             dist = np.empty((len(pts_a), len(pts_b)), dtype=np.float64)
             for i, a in enumerate(pts_a):
                 for j, b in enumerate(pts_b):
                     dist[i, j] = self.distance(a, b)
-        time = self.time_matrix(ax, ay, bx, by, dist=dist)
+            time = self.time_matrix(ax, ay, bx, by, dist=dist)
         if time is None:
             time = np.empty((len(pts_a), len(pts_b)), dtype=np.float64)
             for i, a in enumerate(pts_a):

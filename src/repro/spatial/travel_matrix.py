@@ -60,6 +60,7 @@ class TravelMatrix:
         tasks: Sequence["Task"],
         travel: TravelModel,
         now: Optional[float] = None,
+        task_coords: Optional[tuple] = None,
     ) -> None:
         if now is not None:
             travel.begin_epoch(now)
@@ -73,13 +74,24 @@ class TravelMatrix:
             task.task_id: col for col, task in enumerate(self.tasks)
         }
 
-        #: Task coordinates, shape (T,) each — the base data for task→task blocks.
-        self.tx: np.ndarray = np.array([t.location.x for t in self.tasks], dtype=np.float64)
-        self.ty: np.ndarray = np.array([t.location.y for t in self.tasks], dtype=np.float64)
+        #: Task coordinates, shape (T,) each — the base data for task→task
+        #: blocks.  ``task_coords`` lets a caller planning many single-row
+        #: matrices over the same task list (the incremental engine's
+        #: per-dirty-worker rebuilds) share one ``(tx, ty)`` pair instead
+        #: of re-extracting it per worker; the arrays are read-only here.
+        if task_coords is not None:
+            self.tx, self.ty = task_coords
+        else:
+            self.tx = np.array([t.location.x for t in self.tasks], dtype=np.float64)
+            self.ty = np.array([t.location.y for t in self.tasks], dtype=np.float64)
 
         #: Worker→task distances ``td(w.l, s.l)`` (W, T) and travel times
         #: ``c(w.l, s.l)`` (W, T), via the model's ``pairwise`` protocol.
-        self.wt_dist, self.wt_time = travel.pairwise(self.workers, self.tasks)
+        #: The already-extracted task coordinates ride along so the model
+        #: skips its own destination-coordinate rebuild.
+        self.wt_dist, self.wt_time = travel.pairwise(
+            self.workers, self.tasks, dest_coords=(self.tx, self.ty)
+        )
         #: Per-task expiration times ``s.e``, shape (T,).
         self.expirations: np.ndarray = np.array(
             [t.expiration_time for t in self.tasks], dtype=np.float64
@@ -93,6 +105,7 @@ class TravelMatrix:
         tasks: Sequence["Task"],
         travel: TravelModel,
         now: Optional[float] = None,
+        task_coords: Optional[tuple] = None,
     ) -> "TravelMatrix":
         """A 1×T matrix holding only ``worker``'s row.
 
@@ -101,8 +114,10 @@ class TravelMatrix:
         constructor is that single-row rebuild.  The row is produced by the
         same vectorized formulas as the full constructor, so its floats are
         bit-identical to both the full matrix and the scalar travel model.
+        ``task_coords`` shares one extracted ``(tx, ty)`` pair across the
+        epoch's single-row rebuilds (see ``__init__``).
         """
-        return cls([worker], tasks, travel, now=now)
+        return cls([worker], tasks, travel, now=now, task_coords=task_coords)
 
     # ------------------------------------------------------------------ #
     def __contains__(self, task_id: int) -> bool:

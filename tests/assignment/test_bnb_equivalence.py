@@ -10,6 +10,7 @@ The contract under test (see :func:`repro.assignment.dfsearch.dfsearch_bnb`):
   and the memo key no longer collides across tree nodes.
 """
 
+import math
 import random
 
 import pytest
@@ -22,7 +23,13 @@ try:
 except ImportError:  # pragma: no cover - optional dependency
     HAVE_HYPOTHESIS = False
 
-from repro.assignment.dfsearch import adaptive_node_budget, dfsearch, dfsearch_bnb
+from repro.assignment.dfsearch import (
+    BOUND_MODES,
+    _matching_bound,
+    adaptive_node_budget,
+    dfsearch,
+    dfsearch_bnb,
+)
 from repro.assignment.fast_partition import build_adjacency, build_partition_tree_fast
 from repro.assignment.planner import PlannerConfig, TaskPlanner
 from repro.assignment.reachability import reachable_tasks
@@ -409,10 +416,16 @@ class TestBnBExperienceCollection:
 
 
 class TestBnBPruning:
-    def test_dominated_sibling_sequences_are_skipped(self):
+    @pytest.mark.parametrize("bound_mode", BOUND_MODES)
+    def test_dominated_sibling_sequences_are_skipped(self, bound_mode):
         """A subset sequence is dominated when the explored sibling's extra
         tasks are invisible to the remaining workers: the engine skips it
-        yet stays exact."""
+        yet stays exact.
+
+        Parametrized over every bound kind (PR 10): dominance is justified
+        by sibling-subset reasoning alone, so it must stay sound whether
+        the suffix bound is the additive estimate or the fractional
+        matching relaxation."""
         t = [Task(i, Point(i * 0.4, 0.0), 0.0, 100.0) for i in range(1, 6)]
         w = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
         other = Worker(2, Point(0, 0.5), 10.0, 0.0, 100.0)
@@ -431,14 +444,18 @@ class TestBnBPruning:
         }
         workers_by_id = {1: w, 2: other}
         exact = dfsearch(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
-        bnb = dfsearch_bnb(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+        bnb = dfsearch_bnb(
+            node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET, bound_mode=bound_mode
+        )
         assert bnb.opt == exact.opt == 5
         assert bnb.nodes_expanded <= exact.nodes_expanded
 
-    def test_unconditional_subset_pruning_would_be_unsound(self):
+    @pytest.mark.parametrize("bound_mode", BOUND_MODES)
+    def test_unconditional_subset_pruning_would_be_unsound(self, bound_mode):
         """Regression for the dominance side condition: freeing a contested
         task (t3) lets worker 2 run its longer sequence, so the subset
-        candidate (t1, t2) must NOT be skipped — the optimum needs it."""
+        candidate (t1, t2) must NOT be skipped — the optimum needs it.
+        Holds under every bound kind (PR 10)."""
         t = [Task(i, Point(i * 0.4, 0.0), 0.0, 100.0) for i in range(1, 5)]
         w = Worker(1, Point(0, 0), 10.0, 0.0, 100.0)
         other = Worker(2, Point(0, 0.5), 10.0, 0.0, 100.0)
@@ -449,7 +466,9 @@ class TestBnBPruning:
         }
         workers_by_id = {1: w, 2: other}
         exact = dfsearch(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
-        bnb = dfsearch_bnb(node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+        bnb = dfsearch_bnb(
+            node, t, sequences, workers_by_id, node_budget=AMPLE_BUDGET, bound_mode=bound_mode
+        )
         assert bnb.opt == exact.opt == 4
         assert bnb.as_assignment_map() == {1: (1, 2), 2: (3, 4)}
 
@@ -484,3 +503,216 @@ class TestBnBPruning:
             exact_nodes += exact.nodes_expanded
             bnb_nodes += bnb.nodes_expanded
         assert bnb_nodes * 2 <= exact_nodes, (exact_nodes, bnb_nodes)
+
+
+def _brute_force_b_matching(units):
+    """Reference max b-matching: try every assignment of task bits."""
+    all_bits = []
+    union = 0
+    for mask, _ in units:
+        union |= mask
+    bit = 1
+    while bit <= union:
+        if union & bit:
+            all_bits.append(bit)
+        bit <<= 1
+
+    best = 0
+
+    def recurse(i, loads, count):
+        nonlocal best
+        best = max(best, count)
+        if i == len(all_bits):
+            return
+        recurse(i + 1, loads, count)  # leave this task unserved
+        b = all_bits[i]
+        for w, (mask, capacity) in enumerate(units):
+            if mask & b and loads[w] < capacity:
+                loads[w] += 1
+                recurse(i + 1, loads, count + 1)
+                loads[w] -= 1
+
+    recurse(0, [0] * len(units), 0)
+    return best
+
+
+def contested_hub_problem(num_pinned=8, num_central=6, num_ring=14, seed=7):
+    """Hub-and-ring instance where the additive bound is provably loose.
+
+    Many short-reach workers crowd a small central pool (worker surplus at
+    the hub) while the far ring holds more tasks than the rovers' total
+    capacity (task surplus at the rim).  Neither of the additive bound's
+    clamps — distinct available tasks, or the per-worker capacity sum —
+    sees the two-sided bottleneck; the matching relaxation does.
+    """
+    rng = random.Random(seed)
+    tasks = []
+    for j in range(num_central):
+        ang = rng.uniform(0, 2 * math.pi)
+        r = rng.uniform(0.0, 0.25)
+        tasks.append(
+            Task(10_000 + j, Point(r * math.cos(ang), r * math.sin(ang)), 0.0, rng.uniform(6.0, 40.0))
+        )
+    for j in range(num_ring):
+        ang = 2 * math.pi * j / num_ring + rng.uniform(-0.15, 0.15)
+        r = 5.0 + rng.uniform(-0.3, 0.3)
+        tasks.append(
+            Task(20_000 + j, Point(r * math.cos(ang), r * math.sin(ang)), 0.0, rng.uniform(20.0, 60.0))
+        )
+    workers = []
+    for i in range(num_pinned):
+        ang = rng.uniform(0, 2 * math.pi)
+        r = rng.uniform(0.1, 0.4)
+        workers.append(Worker(i, Point(r * math.cos(ang), r * math.sin(ang)), 0.8, 0.0, 240.0))
+    for i in range(2):
+        ang = math.pi * i + 0.3
+        workers.append(
+            Worker(100 + i, Point(4.6 * math.cos(ang), 4.6 * math.sin(ang)), 11.0, 0.0, 240.0)
+        )
+    # max_tasks mirrors the planner's default ``max_reachable``: the
+    # rovers see their ten nearest tasks, which keeps the rim contested.
+    reachable = {
+        w.worker_id: reachable_tasks(w, tasks, 0.0, TRAVEL, max_tasks=10) for w in workers
+    }
+    sequences = {
+        w.worker_id: maximal_valid_sequences(
+            w, reachable[w.worker_id], 0.0, TRAVEL, max_length=3, max_sequences=32
+        )
+        for w in workers
+    }
+    tree = build_partition_tree_fast(build_adjacency(reachable))
+    workers_by_id = {w.worker_id: w for w in workers}
+    return tree.roots, tasks, sequences, workers_by_id
+
+
+class TestLPBound:
+    """Fractional-matching relaxation bound (PR 10, tentpole a)."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matching_bound_matches_bruteforce(self, seed):
+        """The incremental Kuhn max-flow equals brute-force b-matching."""
+        rng = random.Random(4200 + seed)
+        num_tasks = rng.randint(1, 7)
+        units = []
+        for _ in range(rng.randint(1, 5)):
+            mask = 0
+            for b in range(num_tasks):
+                if rng.random() < 0.5:
+                    mask |= 1 << b
+            if mask:
+                units.append((mask, rng.randint(1, 3)))
+        if not units:
+            units = [(1, 1)]
+        expected = _brute_force_b_matching(units)
+        assert _matching_bound(units, limit=64) == expected
+        # A binding cap short-circuits to exactly the cap.
+        if expected > 1:
+            assert _matching_bound(units, limit=expected - 1) == expected - 1
+
+    def test_matching_bound_aborts_to_none_under_step_limit(self, monkeypatch):
+        """When the augmentation walk exceeds its step cap the helper must
+        return ``None`` (partial flow is NOT admissible) so the caller can
+        fall back to the additive estimate."""
+        import importlib
+
+        dfs = importlib.import_module("repro.assignment.dfsearch")
+        monkeypatch.setattr(dfs, "_FLOW_STEP_LIMIT", 0)
+        # Forcing augmentation through an owned task requires >= 1 step.
+        units = [(0b01, 1), (0b11, 1), (0b10, 1)]
+        assert dfs._matching_bound(units, limit=64) is None
+
+    @pytest.mark.parametrize("bound_mode", ["lp", "adaptive"])
+    @pytest.mark.parametrize("seed", range(15))
+    def test_same_opt_as_plain_search(self, seed, bound_mode):
+        """Exactness: the LP bound never cuts the true optimum."""
+        rng = random.Random(5100 + seed)
+        roots, tasks, sequences, workers_by_id = random_problem(rng)
+        for root in roots:
+            exact = dfsearch(root, tasks, sequences, workers_by_id, node_budget=200_000)
+            bnb = dfsearch_bnb(
+                root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET, bound_mode=bound_mode
+            )
+            if exact.complete:
+                assert bnb.complete
+                assert bnb.opt == exact.opt
+            else:
+                assert bnb.opt >= exact.opt
+            assert_feasible(bnb, sequences)
+
+    def test_rejects_unknown_bound_mode(self):
+        rng = random.Random(0)
+        roots, tasks, sequences, workers_by_id = random_problem(rng, max_workers=3, max_tasks=5)
+        with pytest.raises(ValueError, match="bound_mode"):
+            dfsearch_bnb(
+                roots[0], tasks, sequences, workers_by_id, node_budget=10, bound_mode="simplex"
+            )
+        with pytest.raises(ValueError, match="bound_mode"):
+            TaskPlanner(PlannerConfig(search_mode="bnb", bound_mode="simplex"))
+
+    @pytest.mark.parametrize("bound_mode", ["lp", "adaptive"])
+    def test_lp_prunes_contested_hub(self, bound_mode):
+        """On the two-sided-surplus hub instance the matching bound must
+        cut the node count by at least 2x while staying exact (the same
+        contract the CI perf gate enforces on the benchmark version)."""
+        roots, tasks, sequences, workers_by_id = contested_hub_problem()
+        additive_nodes = lp_nodes = 0
+        for root in roots:
+            additive = dfsearch_bnb(
+                root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET, bound_mode="additive"
+            )
+            lp = dfsearch_bnb(
+                root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET, bound_mode=bound_mode
+            )
+            assert lp.opt == additive.opt
+            assert_feasible(lp, sequences)
+            additive_nodes += additive.nodes_expanded
+            lp_nodes += lp.nodes_expanded
+        assert lp_nodes * 2 <= additive_nodes, (additive_nodes, lp_nodes)
+
+    @pytest.mark.parametrize("bound_mode", BOUND_MODES)
+    def test_planner_pipeline_same_plan_across_bound_modes(self, bound_mode):
+        """bound_mode only changes pruning, never the planned assignment."""
+        rng = random.Random(5200)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 8), rng.uniform(0, 8)), rng.uniform(0.7, 2.0), 0.0, 50.0)
+            for i in range(8)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 0.0, rng.uniform(5, 40))
+            for j in range(26)
+        ]
+        baseline = TaskPlanner(
+            PlannerConfig(search_mode="bnb", bound_mode="additive", incremental_replan=False,
+                          node_budget=AMPLE_BUDGET),
+            travel=TRAVEL,
+        ).plan(workers, tasks, 0.0)
+        candidate = TaskPlanner(
+            PlannerConfig(search_mode="bnb", bound_mode=bound_mode, incremental_replan=False,
+                          node_budget=AMPLE_BUDGET),
+            travel=TRAVEL,
+        ).plan(workers, tasks, 0.0)
+        assert candidate.planned_tasks == baseline.planned_tasks
+        assert candidate.num_components == baseline.num_components
+
+    if HAVE_HYPOTHESIS:
+
+        @given(
+            seed=st.integers(min_value=0, max_value=10_000),
+            bound_mode=st.sampled_from(["lp", "adaptive"]),
+        )
+        @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+        def test_same_opt_property(self, seed, bound_mode):
+            rng = random.Random(seed)
+            roots, tasks, sequences, workers_by_id = random_problem(rng, max_workers=7, max_tasks=20)
+            for root in roots:
+                exact = dfsearch(root, tasks, sequences, workers_by_id, node_budget=AMPLE_BUDGET)
+                bnb = dfsearch_bnb(
+                    root,
+                    tasks,
+                    sequences,
+                    workers_by_id,
+                    node_budget=AMPLE_BUDGET,
+                    bound_mode=bound_mode,
+                )
+                assert bnb.opt == exact.opt
+                assert_feasible(bnb, sequences)

@@ -179,6 +179,39 @@ class TestFingerprints:
         assert _task_fingerprint(task) == _task_fingerprint(same)
         assert _task_fingerprint(task) != _task_fingerprint(moved)
 
+    @pytest.mark.parametrize("seed", range(10))
+    def test_allocation_free_compare_agrees_with_tuples(self, seed):
+        """The steady-state paths compare fingerprints without building
+        tuples; the predicates must agree with tuple equality on every
+        field perturbation."""
+        from repro.assignment.incremental import _task_unchanged, _worker_unchanged
+
+        rng = random.Random(seed)
+        worker = Worker(
+            1,
+            Point(rng.uniform(0, 8), rng.uniform(0, 8)),
+            rng.uniform(0.5, 3.0),
+            0.0,
+            rng.uniform(5, 50),
+        )
+        task = Task(7, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 0.0, rng.uniform(1, 40))
+        assert _worker_unchanged(_worker_fingerprint(worker), worker)
+        assert _task_unchanged(_task_fingerprint(task), task)
+        variants = [
+            worker.moved_to(Point(worker.location.x + 0.5, worker.location.y)),
+            Worker(1, worker.location, worker.reachable_distance + 1.0,
+                   worker.on_time, worker.off_time),
+            Worker(1, worker.location, worker.reachable_distance,
+                   worker.on_time, worker.off_time + 1.0),
+        ]
+        for variant in variants:
+            assert _worker_unchanged(_worker_fingerprint(worker), variant) == (
+                _worker_fingerprint(worker) == _worker_fingerprint(variant)
+            )
+        moved = Task(7, Point(task.location.x, task.location.y + 0.5), 0.0,
+                     task.expiration_time)
+        assert not _task_unchanged(_task_fingerprint(task), moved)
+
 
 class TestEngineBehaviour:
     def _snapshot(self):
@@ -268,6 +301,60 @@ class TestEngineBehaviour:
         outcome = planner.plan(workers, tasks + [arrival], 0.1)
         assert outcome.recomputed_workers == 1  # only worker 1 is nearby
         assert outcome.reused_workers == 1
+
+
+class TestAllocationReuse:
+    """PR 10 tentpole (c): steady-state replans reuse scratch objects
+    instead of reallocating them — observable through object identity,
+    with behaviour covered by the equivalence suites."""
+
+    def _snapshot(self):
+        rng = random.Random(19)
+        workers = [
+            Worker(i, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 2.0, 0.0, 1000.0)
+            for i in range(5)
+        ]
+        tasks = [
+            Task(100 + j, Point(rng.uniform(0, 8), rng.uniform(0, 8)), 0.0, 1000.0)
+            for j in range(25)
+        ]
+        return workers, tasks
+
+    def test_worker_entry_reused_in_place_across_refreshes(self):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 0.0)
+        engine = planner._engine
+        before = dict(engine._worker_entries)
+        moved_wid = workers[0].worker_id
+        version_before = before[moved_wid].version
+        moved = list(workers)
+        moved[0] = moved[0].moved_to(Point(4.0, 4.0))
+        outcome = planner.plan(moved, tasks, 0.1)
+        assert outcome.recomputed_workers >= 1
+        after = engine._worker_entries
+        # Same entry objects, refreshed contents; the moved worker's entry
+        # bumped its version without being reallocated.
+        for wid, entry in before.items():
+            assert after[wid] is entry
+        assert after[moved_wid].version == version_before + 1
+        assert after[moved_wid].fingerprint[0] == 4.0
+
+    def test_available_ids_interned_per_task_epoch(self):
+        workers, tasks = self._snapshot()
+        planner = TaskPlanner(PlannerConfig(incremental_replan=True), travel=TRAVEL)
+        planner.plan(workers, tasks, 0.0)
+        engine = planner._engine
+        first = engine._available_ids
+        assert first == frozenset(task.task_id for task in tasks)
+        planner.plan(workers, tasks, 0.1)
+        # Quiet epoch: identical task set, the frozenset is reused by
+        # identity rather than rebuilt.
+        assert engine._available_ids is first
+        extra = tasks + [Task(999, Point(1.0, 1.0), 0.0, 1000.0)]
+        planner.plan(workers, extra, 0.2)
+        assert engine._available_ids is not first
+        assert 999 in engine._available_ids
 
 
 class TestAdjacencyRebuildSkip:

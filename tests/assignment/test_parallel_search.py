@@ -150,6 +150,57 @@ class TestExecutorUnit:
         assert outcome_state(outcome) == outcome_state(serial)
         assert planner.executor()._fallbacks >= 1
 
+    def test_fallback_stats_are_per_dispatch(self, monkeypatch):
+        """Regression: ``ExecutorStats.fallbacks`` used to report the
+        executor's cumulative lifetime count, so one historic pool failure
+        was re-billed on every later (successful) dispatch by any consumer
+        summing per-epoch stats.  The stats field is per-dispatch (1 on
+        the failing epoch, 0 afterwards); the lifetime total stays on
+        ``ParallelExecutor._fallbacks``; and the broken pool is evicted so
+        the next dispatch gets a fresh one."""
+        rng = random.Random(53)
+        # A fresh snapshot per epoch: identical snapshots would be served
+        # from the component cache without ever consulting the pool.
+        snapshots = [random_snapshot(rng, max_workers=14, max_tasks=40) for _ in range(3)]
+        monkeypatch.setattr(executor_mod, "INLINE_MIN_SEQUENCES", 0)
+
+        real_pool = executor_mod._shared_pool
+        fail_next = [False]
+
+        def flaky_pool(max_workers):
+            if fail_next[0]:
+                fail_next[0] = False
+                raise RuntimeError("injected pool failure")
+            return real_pool(max_workers)
+
+        monkeypatch.setattr(executor_mod, "_shared_pool", flaky_pool)
+
+        captured = []
+        original_run = ParallelExecutor.run
+
+        def recording_run(self, jobs, deadline=None, obs=executor_mod.OBS_DISABLED):
+            results, stats = original_run(self, jobs, deadline, obs=obs)
+            captured.append(stats)
+            return results, stats
+
+        monkeypatch.setattr(ParallelExecutor, "run", recording_run)
+
+        planner = make_planner("parallel", max_workers=2)
+        planner.plan(*snapshots[0], 0.0)  # prime the shared pool
+        primed = executor_mod._SHARED_POOLS.get(2)
+        assert primed is not None
+
+        fail_next[0] = True
+        planner.plan(*snapshots[1], 0.1)  # pool dies -> serial fallback
+        planner.plan(*snapshots[2], 0.2)  # healthy again on a fresh pool
+
+        assert [stats.fallbacks for stats in captured] == [0, 1, 0]
+        assert planner.executor()._fallbacks == 1
+        # The broken pool was evicted; the recovery dispatch rebuilt one.
+        fresh = executor_mod._SHARED_POOLS.get(2)
+        assert fresh is not None
+        assert fresh is not primed
+
     def test_env_overrides(self, monkeypatch):
         monkeypatch.setenv(EXECUTOR_ENV, "parallel")
         monkeypatch.setenv(MAX_WORKERS_ENV, "3")

@@ -4,6 +4,14 @@ import math
 
 import pytest
 
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
 from repro.spatial.profiles import DAY_SECONDS, SpeedProfile
 
 
@@ -135,3 +143,87 @@ class TestNormalization:
         )
         assert profile.breakpoints == (0.0, 2.0, 6.0)
         assert profile.next_boundary(3.0) == 6.0
+
+
+class TestBoundaryFloatDrift:
+    """Regression (PR 10): ulp drift at late-cycle period wraps.
+
+    ``k*period + boundary`` folded through ``fmod`` rounds a few times, so
+    the returned boundary could land an ulp *below* the true half-open
+    boundary — a decision point at the reported instant then re-latched the
+    stale window, violating the "boundary-exact events see the new window"
+    contract (and, the other way round, an instant just before the reported
+    boundary could already be in the new window).  ``next_boundary`` now
+    guarantees, at every float scale: the returned instant sees a changed
+    multiplier, and nothing strictly before it does.
+    """
+
+    #: 3.6 is not a dyadic float, so phase folding at large ``k`` drifts.
+    PROFILE = SpeedProfile(
+        breakpoints=(0.0, 1.2, 2.4), multipliers=(1.0, 0.5, 1.1), period=3.6
+    )
+    #: Last and first window share a multiplier: exercises the wrap branch.
+    WRAPPING = SpeedProfile(
+        breakpoints=(0.0, 1.2, 2.4), multipliers=(1.0, 0.5, 1.0), period=3.6
+    )
+
+    @staticmethod
+    def assert_boundary_exact(profile, now):
+        boundary = profile.next_boundary(now)
+        stale = profile.multiplier_at(now)
+        assert boundary > now
+        # Landing exactly on the boundary sees the new window...
+        assert profile.multiplier_at(boundary) != stale
+        # ...and no float before it does (minimality: the validity
+        # interval [now, boundary) genuinely covers the old window).
+        prev = math.nextafter(boundary, -math.inf)
+        assert prev <= now or profile.multiplier_at(prev) == stale
+
+    def test_pinned_late_cycle_wrap(self):
+        # Found by randomised search against the pre-fix implementation:
+        # the old code returned a boundary whose multiplier was still the
+        # stale window's.
+        now = float.fromhex("0x1.2a7c74cb8b323p+46")  # ~2.6e5 cycles in
+        self.assert_boundary_exact(self.WRAPPING, now)
+
+    def test_small_scale_boundaries_unchanged(self):
+        # At benign scales the corrected arithmetic returns the exact
+        # breakpoints, bit-for-bit as before.
+        assert self.PROFILE.next_boundary(0.0) == 1.2
+        assert self.PROFILE.next_boundary(1.2) == 2.4
+        assert self.PROFILE.next_boundary(2.4) == 3.6
+        # The wrap-continuation branch folds through ``fmod``, where the
+        # first float that *sees* the second window is one ulp above the
+        # naive ``period + breakpoints[1]`` sum — the oracle-checked
+        # minimal instant, not the raw sum, is the contract.
+        self.assert_boundary_exact(self.WRAPPING, 2.4)
+
+    def test_degenerate_scale_still_advances(self):
+        # ulp(1e18) = 128s dwarfs the 3.6s period: every horizon collapses
+        # to (at worst) one-ulp validity, but never to a stale window.
+        for now in (1e18, 1e15, -1e15):
+            boundary = self.PROFILE.next_boundary(now)
+            assert boundary > now
+            assert self.PROFILE.multiplier_at(boundary) != self.PROFILE.multiplier_at(now)
+
+    if HAVE_HYPOTHESIS:
+
+        @settings(max_examples=300, deadline=None)
+        @given(
+            k=st.integers(min_value=0, max_value=2**48),
+            frac=st.floats(min_value=0.0, max_value=3.6, exclude_max=True),
+            wrap=st.booleans(),
+        )
+        def test_boundary_exact_under_large_epoch_offsets(self, k, frac, wrap):
+            profile = self.WRAPPING if wrap else self.PROFILE
+            self.assert_boundary_exact(profile, k * profile.period + frac)
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            k=st.integers(min_value=0, max_value=2**40),
+            frac=st.floats(min_value=0.0, max_value=DAY_SECONDS, exclude_max=True),
+        )
+        def test_rush_hour_boundaries_exact_over_epochs(self, k, frac):
+            self.assert_boundary_exact(
+                SpeedProfile.rush_hour(), k * DAY_SECONDS + frac
+            )

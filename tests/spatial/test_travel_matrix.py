@@ -129,6 +129,41 @@ class TestTravelModelProtocol:
         assert dist.shape == (0, 0)
         assert time.shape == (0, 0)
 
+    @pytest.mark.parametrize(
+        "travel",
+        [
+            EuclideanTravelModel(speed=1.7),
+            ManhattanTravelModel(speed=0.8),
+            WeirdScalarModel(speed=1.1),
+        ],
+        ids=["euclidean", "manhattan", "scalar-fallback"],
+    )
+    def test_precomputed_dest_coords_bit_identical(self, travel):
+        # PR 10: the incremental engine extracts (tx, ty) once per epoch
+        # and threads it through every single-row rebuild; the shortcut
+        # must not perturb a single bit of the matrices.
+        workers, tasks = _random_instance(31, num_workers=4, num_tasks=12)
+        tx = np.array([t.location.x for t in tasks], dtype=np.float64)
+        ty = np.array([t.location.y for t in tasks], dtype=np.float64)
+
+        plain = TravelMatrix(workers, tasks, travel)
+        shared = TravelMatrix(workers, tasks, travel, task_coords=(tx, ty))
+        assert shared.tx is tx and shared.ty is ty
+        np.testing.assert_array_equal(shared.wt_dist, plain.wt_dist)
+        np.testing.assert_array_equal(shared.wt_time, plain.wt_time)
+
+        single = TravelMatrix.for_single_worker(
+            workers[0], tasks, travel, task_coords=(tx, ty)
+        )
+        assert single.tx is tx
+        np.testing.assert_array_equal(single.wt_dist, plain.wt_dist[:1])
+        np.testing.assert_array_equal(single.wt_time, plain.wt_time[:1])
+
+        d_plain, t_plain = travel.pairwise(workers, tasks)
+        d_shared, t_shared = travel.pairwise(workers, tasks, dest_coords=(tx, ty))
+        np.testing.assert_array_equal(d_shared, d_plain)
+        np.testing.assert_array_equal(t_shared, t_plain)
+
 
 class TestReachabilityMask:
     def test_mask_matches_is_reachable(self):
